@@ -1,0 +1,76 @@
+//! Wall-clock benchmarks of the scalar transform implementations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntt_core::{ct, radix, stockham, NttTable};
+use std::hint::black_box;
+
+fn input(n: usize, p: u64) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x2545_F491_4F6C_DD1D) % p)
+        .collect()
+}
+
+fn bench_forward_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_forward_ntt");
+    g.sample_size(20);
+    for log_n in [10u32, 12, 14] {
+        let n = 1usize << log_n;
+        let table = NttTable::new_with_bits(n, 60).unwrap();
+        let a = input(n, table.modulus());
+
+        g.bench_with_input(BenchmarkId::new("ct_strict", log_n), &a, |b, a| {
+            b.iter(|| {
+                let mut x = a.clone();
+                ct::ntt(black_box(&mut x), &table);
+                x
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ct_lazy", log_n), &a, |b, a| {
+            b.iter(|| {
+                let mut x = a.clone();
+                ct::ntt_lazy(black_box(&mut x), &table);
+                x
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("stockham", log_n), &a, |b, a| {
+            b.iter(|| stockham::stockham_ntt(black_box(a), &table))
+        });
+        g.bench_with_input(BenchmarkId::new("high_radix_16", log_n), &a, |b, a| {
+            b.iter(|| {
+                let mut x = a.clone();
+                radix::high_radix_ntt(black_box(&mut x), &table, 16);
+                x
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_roundtrip_and_multiply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_ntt_pipeline");
+    g.sample_size(20);
+    let n = 1 << 12;
+    let ring = ntt_core::NegacyclicRing::new_with_bits(n, 60).unwrap();
+    let table = NttTable::new_with_bits(n, 60).unwrap();
+    let a = input(n, table.modulus());
+
+    g.bench_function("ntt_intt_roundtrip_4096", |b| {
+        b.iter(|| {
+            let mut x = a.clone();
+            ct::ntt(&mut x, &table);
+            ct::intt(&mut x, &table);
+            x
+        })
+    });
+
+    let pa = ntt_core::Polynomial::from_coeffs(a.clone(), n);
+    let pb = ntt_core::Polynomial::from_coeffs(input(n, ring.modulus()), n);
+    g.bench_function("negacyclic_multiply_4096", |b| {
+        b.iter(|| ring.multiply(black_box(&pa), black_box(&pb)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_forward_variants, bench_roundtrip_and_multiply);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Wall-clock benchmarks of the HE layer — the workload whose NTT share
+//! motivates the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use he_lite::{sampling, HeContext, HeLiteParams};
+use std::hint::black_box;
+
+fn params() -> HeLiteParams {
+    HeLiteParams {
+        log_n: 11,
+        prime_bits: 55,
+        levels: 3,
+        scale_bits: 50,
+        gadget_bits: 12,
+        error_eta: 6,
+    }
+}
+
+fn bench_he(c: &mut Criterion) {
+    let ctx = HeContext::new(params()).unwrap();
+    let mut rng = sampling::seeded_rng(11);
+    let keys = ctx.keygen(&mut rng);
+    let pt_a = ctx.encode(&[1.5, 2.5, -3.0]);
+    let pt_b = ctx.encode(&[0.5, -1.0, 2.0]);
+    let ct_a = ctx.encrypt(&pt_a, &keys.public, &mut rng);
+    let ct_b = ctx.encrypt(&pt_b, &keys.public, &mut rng);
+
+    let mut g = c.benchmark_group("he_lite_n2048_l3");
+    g.sample_size(10);
+
+    g.bench_function("encrypt", |b| {
+        let mut rng = sampling::seeded_rng(12);
+        b.iter(|| ctx.encrypt(black_box(&pt_a), &keys.public, &mut rng))
+    });
+
+    g.bench_function("decrypt", |b| {
+        b.iter(|| ctx.decrypt(black_box(&ct_a), &keys.secret))
+    });
+
+    g.bench_function("add", |b| b.iter(|| ctx.add(black_box(&ct_a), &ct_b)));
+
+    g.bench_function("multiply_relinearize_rescale", |b| {
+        b.iter(|| ctx.multiply(black_box(&ct_a), &ct_b, &keys.relin))
+    });
+
+    g.bench_function("forward_ntt_all_primes", |b| {
+        let ring = ctx.ring();
+        let poly = sampling::uniform_poly(ring, &mut sampling::seeded_rng(13));
+        b.iter(|| {
+            let mut p = poly.clone();
+            p.to_evaluation(ring);
+            p
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_he);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Wall-clock comparison of modular-multiplication strategies (the
+//! CPU-side counterpart of the paper's Fig. 1).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ntt_math::{mont::Montgomery, Barrett, ShoupMul};
+use std::hint::black_box;
+
+const P: u64 = (1 << 59) + 21; // paper-style 60-bit-class NTT prime field
+
+fn operands() -> Vec<u64> {
+    (0..4096u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % P)
+        .collect()
+}
+
+fn bench_modmul(c: &mut Criterion) {
+    let xs = operands();
+    let w = 0x0123_4567_89AB_CDEF % P;
+    let shoup = ShoupMul::new(w, P);
+    let barrett = Barrett::new(P);
+    let mont = Montgomery::new(P);
+    let w_mont = mont.to_mont(w);
+
+    let mut g = c.benchmark_group("modmul_4096ops");
+    g.sample_size(20);
+
+    g.bench_function("native_u128_rem", |b| {
+        b.iter_batched(
+            || xs.clone(),
+            |xs| {
+                let mut acc = 0u64;
+                for &x in &xs {
+                    acc ^= ntt_math::mul_mod(black_box(x), w, P);
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("shoup", |b| {
+        b.iter_batched(
+            || xs.clone(),
+            |xs| {
+                let mut acc = 0u64;
+                for &x in &xs {
+                    acc ^= shoup.mul(black_box(x));
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("barrett", |b| {
+        b.iter_batched(
+            || xs.clone(),
+            |xs| {
+                let mut acc = 0u64;
+                for &x in &xs {
+                    acc ^= barrett.mul(black_box(x), w);
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("montgomery", |b| {
+        b.iter_batched(
+            || xs.iter().map(|&x| mont.to_mont(x)).collect::<Vec<_>>(),
+            |xs| {
+                let mut acc = 0u64;
+                for &x in &xs {
+                    acc ^= mont.mul(black_box(x), w_mont);
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_modmul);
+criterion_main!(benches);

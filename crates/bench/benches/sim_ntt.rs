@@ -1,0 +1,54 @@
+//! Simulator-throughput benchmarks: how fast the warp-level functional
+//! model executes each kernel family (host wall-clock, not modeled GPU
+//! time — the modeled times are the `figures` binary's output).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::{Gpu, GpuConfig};
+use ntt_gpu::radix2::ModMul;
+use ntt_gpu::smem::SmemConfig;
+use ntt_gpu::{batch::DeviceBatch, high_radix, radix2, smem};
+
+const LOG_N: u32 = 10;
+const NP: usize = 2;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator_throughput");
+    g.sample_size(10);
+
+    g.bench_function("radix2_n1024_np2", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::titan_v());
+            let batch = DeviceBatch::sequential(&mut gpu, LOG_N, NP, 60).unwrap();
+            radix2::run(&mut gpu, &batch, ModMul::Shoup)
+        })
+    });
+
+    g.bench_function("high_radix16_n1024_np2", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::titan_v());
+            let batch = DeviceBatch::sequential(&mut gpu, LOG_N, NP, 60).unwrap();
+            high_radix::run(&mut gpu, &batch, 16)
+        })
+    });
+
+    g.bench_function("smem_32x32_t8_n1024_np2", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::titan_v());
+            let batch = DeviceBatch::sequential(&mut gpu, LOG_N, NP, 60).unwrap();
+            smem::run(&mut gpu, &batch, &SmemConfig::new(32))
+        })
+    });
+
+    g.bench_function("smem_ot2_n1024_np2", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::titan_v());
+            let batch = DeviceBatch::sequential(&mut gpu, LOG_N, NP, 60).unwrap();
+            smem::run(&mut gpu, &batch, &SmemConfig::new(32).ot_stages(2))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,341 @@
+//! Regenerate every table and figure of the paper on the simulator.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures [--quick] [fig1 fig3 fig4 fig5 fig7 fig8 fig9 fig11a fig11b
+//!          fig11c fig12 fig13 table2 fpga wordsize otbase]
+//! ```
+//!
+//! With no figure names, everything runs. `--quick` shrinks N/np so a full
+//! sweep finishes in seconds (shape-preserving, used by CI).
+
+use ntt_bench::experiments as ex;
+
+struct Scale {
+    log_n: u32,
+    log_n_small: u32,
+    np: usize,
+    np_fig1: usize,
+    batch_sweep: Vec<usize>,
+    fig13_sweep: Vec<usize>,
+    table2_logs: Vec<u32>,
+}
+
+fn paper_scale() -> Scale {
+    Scale {
+        log_n: 17,
+        log_n_small: 16,
+        np: 21,
+        np_fig1: 45,
+        batch_sweep: vec![1, 2, 3, 5, 8, 13, 21],
+        fig13_sweep: vec![1, 6, 11, 16, 21, 26, 31, 36, 41, 45],
+        table2_logs: vec![14, 15, 16, 17],
+    }
+}
+
+fn quick_scale() -> Scale {
+    Scale {
+        log_n: 13,
+        log_n_small: 12,
+        np: 4,
+        np_fig1: 6,
+        batch_sweep: vec![1, 2, 4],
+        fig13_sweep: vec![1, 2, 4, 6],
+        table2_logs: vec![11, 12, 13],
+    }
+}
+
+fn header(title: &str, paper: &str) {
+    println!();
+    println!("== {title}");
+    println!("   paper: {paper}");
+    println!("{:-<78}", "");
+}
+
+fn print_rows(rows: &[ex::Measurement], np: usize) {
+    println!(
+        "{:<28} {:>10} {:>10} {:>9} {:>7} {:>6}",
+        "config", "total us", "per-NTT us", "DRAM MB", "util%", "occ%"
+    );
+    for m in rows {
+        println!(
+            "{:<28} {:>10.1} {:>10.1} {:>9.1} {:>7.1} {:>6.1}",
+            m.label,
+            m.time_us,
+            m.time_us / np as f64,
+            m.dram_mb,
+            m.utilization * 100.0,
+            m.occupancy * 100.0
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let run = |name: &str| wanted.is_empty() || wanted.contains(&name);
+    let s = if quick { quick_scale() } else { paper_scale() };
+
+    println!(
+        "ntt-warp figure harness -- {} scale (N=2^{}, np={})",
+        if quick { "quick" } else { "paper" },
+        s.log_n,
+        s.np
+    );
+
+    if run("fig1") {
+        header(
+            "Fig. 1: Shoup vs native modmul",
+            "Shoup 332.9 us vs native 789.2 us (2.4x) at N=2^17, np=45",
+        );
+        let rows = ex::fig1(s.log_n, s.np_fig1);
+        print_rows(&rows, s.np_fig1);
+        println!(
+            "   native/Shoup ratio: {:.2}x",
+            rows[1].time_us / rows[0].time_us
+        );
+    }
+
+    if run("fig3") {
+        header(
+            "Fig. 3(a): batching radix-2 NTT",
+            "per-NTT 2751.5 -> 1426.4 us (1.92x); DRAM util saturates at 86.7%",
+        );
+        let rows = ex::fig3a(s.log_n, &s.batch_sweep);
+        println!(
+            "{:<10} {:>12} {:>12} {:>8}",
+            "batch", "per-NTT us", "total us", "util%"
+        );
+        for m in &rows {
+            println!(
+                "{:<10} {:>12.1} {:>12.1} {:>8.1}",
+                m.label,
+                m.per_ntt_us,
+                m.time_us,
+                m.utilization * 100.0
+            );
+        }
+        println!(
+            "   batching speedup (per-NTT, batch 1 -> max): {:.2}x",
+            rows[0].per_ntt_us / rows.last().unwrap().per_ntt_us
+        );
+
+        header(
+            "Fig. 3(b): batching radix-2 DFT",
+            "speedup 1.84x; util saturates at 86.7%",
+        );
+        let rows = ex::fig3b(s.log_n, &s.batch_sweep);
+        for m in &rows {
+            println!(
+                "{:<10} {:>12.1} {:>12.1} {:>8.1}",
+                m.label,
+                m.per_ntt_us,
+                m.time_us,
+                m.utilization * 100.0
+            );
+        }
+        println!(
+            "   batching speedup: {:.2}x",
+            rows[0].per_ntt_us / rows.last().unwrap().per_ntt_us
+        );
+    }
+
+    let radices: Vec<usize> = vec![2, 4, 8, 16, 32, 64, 128];
+    if run("fig4") {
+        header(
+            "Fig. 4: NTT high-radix sweep (time / DRAM / occupancy)",
+            "radix-16 best (2.41x over radix-2); radix-32 -15.5% DRAM but util 59.9%; 64/128 spill",
+        );
+        for log_n in [s.log_n_small, s.log_n] {
+            println!("-- N = 2^{log_n}");
+            print_rows(&ex::fig4(log_n, s.np, &radices), s.np);
+        }
+    }
+
+    if run("fig5") {
+        header(
+            "Fig. 5: DFT high-radix sweep",
+            "radix-32 best (364.2 us at N=2^17); NTT occupancy ~31% below DFT at radix-32",
+        );
+        for log_n in [s.log_n_small, s.log_n] {
+            println!("-- N = 2^{log_n}");
+            print_rows(&ex::fig5(log_n, s.np, &radices), s.np);
+        }
+    }
+
+    let k1_sizes: Vec<usize> = if quick {
+        vec![16, 32, 64]
+    } else {
+        vec![32, 64, 128, 256, 512]
+    };
+    if run("fig7") {
+        header(
+            "Fig. 7: Kernel-1 coalescing via block merge",
+            "+21.6% average speedup from coalesced accesses",
+        );
+        let rows = ex::fig7(s.log_n, s.np, &k1_sizes);
+        print_rows(&rows, s.np);
+        let mut ratios = Vec::new();
+        for pair in rows.chunks(2) {
+            ratios.push(pair[0].time_us / pair[1].time_us);
+        }
+        let avg: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        println!("   average uncoalesced/coalesced ratio: {:.3}x", avg);
+    }
+
+    if run("fig8") {
+        header(
+            "Fig. 8: per-stage twiddle vs input bytes (radix-2)",
+            "twiddles grow from ~0 to input-size parity at the last stage",
+        );
+        for (stage, ratio) in ex::fig8(s.log_n) {
+            println!("stage {:>2}: twiddle/input = {:.4}", stage, ratio);
+        }
+    }
+
+    if run("fig9") {
+        header(
+            "Fig. 9: preloading Kernel-1 twiddles into SMEM",
+            "+8.4% average speedup",
+        );
+        let rows = ex::fig9(s.log_n, s.np, &k1_sizes);
+        print_rows(&rows, s.np);
+        let mut ratios = Vec::new();
+        for pair in rows.chunks(2) {
+            ratios.push(pair[0].time_us / pair[1].time_us);
+        }
+        let avg: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        println!("   average direct/preload ratio: {:.3}x", avg);
+    }
+
+    if run("fig11a") {
+        header(
+            "Fig. 11(a): SMEM NTT per-thread sizes across splits",
+            "4-point ~30.1% faster than 2-point; 4 ~ 8; all beat radix-16 register version",
+        );
+        print_rows(&ex::fig11a(s.log_n, s.np), s.np);
+    }
+
+    if run("fig11b") {
+        header(
+            "Fig. 11(b): SMEM DFT per-thread sizes",
+            "8-point best; all beat the radix-32 register DFT (364.2 us)",
+        );
+        print_rows(&ex::fig11b(s.log_n, s.np), s.np);
+    }
+
+    if run("fig11c") {
+        header(
+            "Fig. 11(c): OT on the last 1 vs 2 stages",
+            "OT on last 2 stages generally best (except 128x1024)",
+        );
+        print_rows(&ex::fig11c(s.log_n, s.np), s.np);
+    }
+
+    if run("fig12") {
+        header(
+            "Fig. 12: best SMEM config with/without OT per N",
+            "OT: -24.5/23.5/24.5/25.1% DRAM, util -16.7%, speedup 9.3% avg",
+        );
+        println!(
+            "{:<7} {:>12} {:>12} {:>9} {:>10} {:>10} {:>9}",
+            "logN", "w/o OT us", "w/ OT us", "speedup", "MB w/o", "MB w/", "dMB%"
+        );
+        for (log_n, wo, w) in ex::fig12(&s.table2_logs, s.np) {
+            println!(
+                "{:<7} {:>12.1} {:>12.1} {:>8.1}% {:>10.1} {:>10.1} {:>8.1}%",
+                log_n,
+                wo.time_us,
+                w.time_us,
+                (wo.time_us / w.time_us - 1.0) * 100.0,
+                wo.dram_mb,
+                w.dram_mb,
+                (1.0 - w.dram_mb / wo.dram_mb) * 100.0
+            );
+        }
+    }
+
+    if run("fig13") {
+        header(
+            "Fig. 13: time vs batch size np (best split, N=2^17)",
+            "linear growth past saturation",
+        );
+        let rows = ex::fig13(s.log_n, &s.fig13_sweep);
+        print_rows(&rows, 1);
+    }
+
+    if run("table2") {
+        header(
+            "Table II: radix-2 vs SMEM w/o OT vs SMEM w/ OT",
+            "speedups 3.4-4.3x (w/o OT) and 3.8-4.7x (w/ OT); OT adds 8.1-10.1%",
+        );
+        println!(
+            "{:<6} {:>11} {:>14} {:>8} {:>14} {:>8} {:>7}",
+            "logN", "radix-2 us", "SMEM us", "[x]", "SMEM+OT us", "[x]", "OT +%"
+        );
+        for (log_n, r2, sm, sm_ot) in ex::table2(&s.table2_logs, s.np) {
+            println!(
+                "{:<6} {:>11.1} {:>14.1} {:>7.1}x {:>14.1} {:>7.1}x {:>6.1}%",
+                log_n,
+                r2.time_us,
+                sm.time_us,
+                r2.time_us / sm.time_us,
+                sm_ot.time_us,
+                r2.time_us / sm_ot.time_us,
+                (sm.time_us / sm_ot.time_us - 1.0) * 100.0
+            );
+        }
+    }
+
+    if run("fpga") {
+        header(
+            "SVIII: comparison vs FCCM'20 FPGA NTT",
+            "6.56x and 6.48x faster at (2^17, np=36) and (2^17, np=42)",
+        );
+        let nps = if quick { vec![2, 3] } else { vec![36, 42] };
+        for (np, gpu_us, fpga_us, speedup) in ex::fpga_comparison(s.log_n, &nps) {
+            println!(
+                "np={:<4} gpu {:>10.1} us   fpga {:>10.1} us   speedup {:.2}x",
+                np, gpu_us, fpga_us, speedup
+            );
+        }
+    }
+
+    if run("wordsize") {
+        header(
+            "SIV: 32b vs 64b word size at Q = 2^1200",
+            "difference ~5%",
+        );
+        let rows = ex::wordsize(s.log_n);
+        for m in &rows {
+            println!("{:<16} {:>10.1} us", m.label, m.time_us);
+        }
+        println!(
+            "   ratio 30-bit/60-bit: {:.3}",
+            rows[1].time_us / rows[0].time_us
+        );
+    }
+
+    if run("otbase") {
+        header(
+            "SVII: OT factorization base sweep",
+            "base-1024 performs best (table size vs extra modmuls)",
+        );
+        println!(
+            "{:<8} {:>10} {:>9} {:>12}",
+            "base", "entries", "modmuls", "sim us"
+        );
+        for (base, entries, modmuls, time) in ex::ot_base_sweep(s.log_n, s.np) {
+            if time.is_nan() {
+                println!("{:<8} {:>10} {:>9} {:>12}", base, entries, modmuls, "-");
+            } else {
+                println!("{:<8} {:>10} {:>9} {:>12.1}", base, entries, modmuls, time);
+            }
+        }
+    }
+
+    println!();
+    println!("done.");
+}

@@ -1,0 +1,412 @@
+//! The experiments behind every figure and table in the paper.
+
+use gpu_sim::{Gpu, GpuConfig};
+use ntt_gpu::batch::DeviceBatch;
+use ntt_gpu::dft::DftBatch;
+use ntt_gpu::fpga_baseline::FpgaNtt;
+use ntt_gpu::ot::DeviceOt;
+use ntt_gpu::radix2::ModMul;
+use ntt_gpu::smem::SmemConfig;
+use ntt_gpu::{dft, high_radix, radix2, smem, RunReport};
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Configuration label.
+    pub label: String,
+    /// Total modeled time for the whole batch, microseconds.
+    pub time_us: f64,
+    /// Time per transform (total / np), microseconds.
+    pub per_ntt_us: f64,
+    /// DRAM traffic (including spills), megabytes.
+    pub dram_mb: f64,
+    /// Achieved DRAM bandwidth utilization (fraction of peak).
+    pub utilization: f64,
+    /// Minimum occupancy across the launches.
+    pub occupancy: f64,
+}
+
+fn measure(label: impl Into<String>, gpu: &Gpu, report: &RunReport, np: usize) -> Measurement {
+    Measurement {
+        label: label.into(),
+        time_us: report.total_us(),
+        per_ntt_us: report.per_ntt_us(np),
+        dram_mb: report.dram_mb(gpu),
+        utilization: report.dram_utilization(gpu),
+        occupancy: report.min_occupancy(),
+    }
+}
+
+fn fresh_batch(log_n: u32, np: usize) -> (Gpu, DeviceBatch) {
+    let mut gpu = Gpu::new(GpuConfig::titan_v());
+    let batch = DeviceBatch::sequential(&mut gpu, log_n, np, 60)
+        .expect("paper parameters always have valid prime chains");
+    (gpu, batch)
+}
+
+/// The best-performing SMEM split for a given `log N`, determined the way
+/// the paper does (minimum over the Fig. 12(a) splits), per-thread size 8.
+pub fn best_split(log_n: u32, np: usize, ot_stages: u32) -> (usize, Measurement) {
+    let mut best: Option<(usize, Measurement)> = None;
+    for n1 in SmemConfig::paper_splits(log_n) {
+        let (mut gpu, batch) = fresh_batch(log_n, np);
+        let cfg = SmemConfig::new(n1).ot_stages(ot_stages);
+        let rep = smem::run(&mut gpu, &batch, &cfg);
+        debug_assert!(rep.verify(&gpu, &batch));
+        let m = measure(cfg.label(batch.n()), &gpu, &rep, np);
+        if best.as_ref().is_none_or(|(_, b)| m.time_us < b.time_us) {
+            best = Some((n1, m));
+        }
+    }
+    best.expect("at least one split")
+}
+
+/// Fig. 1 — Shoup's modmul vs the native modulo on the optimized NTT
+/// (the paper: 332.9 µs vs 789.2 µs, 2.4×, at `N = 2^17`, `np = 45`).
+pub fn fig1(log_n: u32, np: usize) -> Vec<Measurement> {
+    let n1 = SmemConfig::paper_splits(log_n)[0];
+    [ModMul::Shoup, ModMul::Native]
+        .into_iter()
+        .map(|mode| {
+            let (mut gpu, batch) = fresh_batch(log_n, np);
+            let cfg = SmemConfig::new(n1).modmul(mode);
+            let rep = smem::run(&mut gpu, &batch, &cfg);
+            measure(
+                match mode {
+                    ModMul::Shoup => "Shoup",
+                    ModMul::Native => "Native",
+                },
+                &gpu,
+                &rep,
+                np,
+            )
+        })
+        .collect()
+}
+
+/// Fig. 3(a) — radix-2 NTT across batch sizes: per-NTT time drops then
+/// saturates while DRAM utilization climbs to ~86.7%.
+pub fn fig3a(log_n: u32, batch_sizes: &[usize]) -> Vec<Measurement> {
+    batch_sizes
+        .iter()
+        .map(|&np| {
+            let (mut gpu, batch) = fresh_batch(log_n, np);
+            let rep = radix2::run(&mut gpu, &batch, ModMul::Shoup);
+            measure(format!("batch {np}"), &gpu, &rep, np)
+        })
+        .collect()
+}
+
+/// Fig. 3(b) — the same batching sweep for the radix-2 DFT.
+pub fn fig3b(log_n: u32, batch_sizes: &[usize]) -> Vec<Measurement> {
+    batch_sizes
+        .iter()
+        .map(|&np| {
+            let mut gpu = Gpu::new(GpuConfig::titan_v());
+            let batch = DftBatch::sequential(&mut gpu, log_n, np);
+            let rep = dft::run_radix2(&mut gpu, &batch);
+            debug_assert!(batch.verify(&gpu));
+            measure(format!("batch {np}"), &gpu, &rep, np)
+        })
+        .collect()
+}
+
+/// Fig. 4(a,b,c) — NTT register-based high-radix sweep.
+pub fn fig4(log_n: u32, np: usize, radices: &[usize]) -> Vec<Measurement> {
+    radices
+        .iter()
+        .map(|&r| {
+            let (mut gpu, batch) = fresh_batch(log_n, np);
+            let rep = high_radix::run(&mut gpu, &batch, r);
+            measure(format!("radix-{r}"), &gpu, &rep, np)
+        })
+        .collect()
+}
+
+/// Fig. 5(a,b,c) — DFT register-based high-radix sweep.
+pub fn fig5(log_n: u32, np: usize, radices: &[usize]) -> Vec<Measurement> {
+    radices
+        .iter()
+        .map(|&r| {
+            let mut gpu = Gpu::new(GpuConfig::titan_v());
+            let batch = DftBatch::sequential(&mut gpu, log_n, np);
+            let rep = dft::run_high_radix(&mut gpu, &batch, r);
+            measure(format!("radix-{r}"), &gpu, &rep, np)
+        })
+        .collect()
+}
+
+/// Fig. 7 — Kernel-1 with and without coalesced access, across Kernel-1
+/// sizes. Returns (label, kernel-1 time µs) pairs: first uncoalesced,
+/// then coalesced, per size.
+pub fn fig7(log_n: u32, np: usize, k1_sizes: &[usize]) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for &n1 in k1_sizes {
+        for coalesced in [false, true] {
+            let (mut gpu, batch) = fresh_batch(log_n, np);
+            let cfg = SmemConfig::new(n1).coalesced(coalesced);
+            let rep = smem::run(&mut gpu, &batch, &cfg);
+            let k1_us = rep.launches[0].timing.total_s * 1e6;
+            out.push(Measurement {
+                label: format!(
+                    "K1={n1} {}",
+                    if coalesced { "coalesced" } else { "uncoalesced" }
+                ),
+                time_us: k1_us,
+                per_ntt_us: k1_us / np as f64,
+                dram_mb: rep.launches[0].dram_bytes(&gpu.config) as f64 / (1 << 20) as f64,
+                utilization: rep.launches[0]
+                    .timing
+                    .dram_utilization(rep.launches[0].dram_bytes(&gpu.config), &gpu.config),
+                occupancy: rep.launches[0].timing.occupancy,
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 8 — relative twiddle-table vs input bytes per radix-2 stage
+/// (pure accounting; returns `(stage, ratio)`).
+pub fn fig8(log_n: u32) -> Vec<(u32, f64)> {
+    let table = ntt_core::NttTable::new_with_bits(1 << log_n, 60).expect("valid table");
+    table.relative_stage_sizes()
+}
+
+/// Fig. 9 — Kernel-1 with and without preloading twiddles into SMEM.
+pub fn fig9(log_n: u32, np: usize, k1_sizes: &[usize]) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for &n1 in k1_sizes {
+        for preload in [false, true] {
+            let (mut gpu, batch) = fresh_batch(log_n, np);
+            let cfg = SmemConfig::new(n1).preload(preload);
+            let rep = smem::run(&mut gpu, &batch, &cfg);
+            let k1_us = rep.launches[0].timing.total_s * 1e6;
+            out.push(Measurement {
+                label: format!("K1={n1} {}", if preload { "preload" } else { "direct" }),
+                time_us: k1_us,
+                per_ntt_us: k1_us / np as f64,
+                dram_mb: rep.launches[0].dram_bytes(&gpu.config) as f64 / (1 << 20) as f64,
+                utilization: 0.0,
+                occupancy: rep.launches[0].timing.occupancy,
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 11(a) — SMEM NTT across splits and per-thread sizes 2/4/8.
+pub fn fig11a(log_n: u32, np: usize) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for t in [2usize, 4, 8] {
+        for n1 in SmemConfig::paper_splits(log_n) {
+            let (mut gpu, batch) = fresh_batch(log_n, np);
+            let cfg = SmemConfig::new(n1).per_thread(t);
+            let rep = smem::run(&mut gpu, &batch, &cfg);
+            out.push(measure(cfg.label(batch.n()), &gpu, &rep, np));
+        }
+    }
+    out
+}
+
+/// Fig. 11(b) — SMEM DFT across splits and per-thread sizes.
+pub fn fig11b(log_n: u32, np: usize) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for t in [2usize, 4, 8] {
+        for n1 in SmemConfig::paper_splits(log_n) {
+            let mut gpu = Gpu::new(GpuConfig::titan_v());
+            let batch = DftBatch::sequential(&mut gpu, log_n, np);
+            let rep = dft::run_smem(&mut gpu, &batch, n1, t);
+            out.push(measure(
+                format!("{}x{} t{}", n1, batch.n() / n1, t),
+                &gpu,
+                &rep,
+                np,
+            ));
+        }
+    }
+    out
+}
+
+/// Fig. 11(c) — OT on the last 0/1/2 stages across splits (t = 8).
+pub fn fig11c(log_n: u32, np: usize) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for ot in [0u32, 1, 2] {
+        for n1 in SmemConfig::paper_splits(log_n) {
+            let (mut gpu, batch) = fresh_batch(log_n, np);
+            let cfg = SmemConfig::new(n1).ot_stages(ot);
+            let rep = smem::run(&mut gpu, &batch, &cfg);
+            out.push(measure(cfg.label(batch.n()), &gpu, &rep, np));
+        }
+    }
+    out
+}
+
+/// Fig. 12(b,c) — best SMEM configuration with and without OT per `log N`:
+/// returns `(log_n, without, with)` rows.
+pub fn fig12(log_ns: &[u32], np: usize) -> Vec<(u32, Measurement, Measurement)> {
+    log_ns
+        .iter()
+        .map(|&log_n| {
+            let (_, without) = best_split(log_n, np, 0);
+            let (_, with) = best_split(log_n, np, 2);
+            (log_n, without, with)
+        })
+        .collect()
+}
+
+/// Fig. 13 — execution time vs batch size at the best split of `N = 2^17`
+/// (returns one measurement per `np`, with nominal `log Q = 60·np`).
+pub fn fig13(log_n: u32, batch_sizes: &[usize]) -> Vec<Measurement> {
+    let n1 = SmemConfig::paper_splits(log_n)[0];
+    batch_sizes
+        .iter()
+        .map(|&np| {
+            let (mut gpu, batch) = fresh_batch(log_n, np);
+            let cfg = SmemConfig::new(n1);
+            let rep = smem::run(&mut gpu, &batch, &cfg);
+            measure(format!("np={np} logQ={}", 60 * np), &gpu, &rep, np)
+        })
+        .collect()
+}
+
+/// Table II — radix-2 vs SMEM without OT vs SMEM with OT, per `log N`.
+/// Returns `(log_n, radix2, smem, smem_ot)`.
+pub fn table2(log_ns: &[u32], np: usize) -> Vec<(u32, Measurement, Measurement, Measurement)> {
+    log_ns
+        .iter()
+        .map(|&log_n| {
+            let (mut gpu, batch) = fresh_batch(log_n, np);
+            let rep = radix2::run(&mut gpu, &batch, ModMul::Shoup);
+            let r2 = measure("radix-2", &gpu, &rep, np);
+            let (_, s) = best_split(log_n, np, 0);
+            let (_, s_ot) = best_split(log_n, np, 2);
+            (log_n, r2, s, s_ot)
+        })
+        .collect()
+}
+
+/// §VIII — comparison against the FCCM'20 FPGA accelerator at
+/// `(N = 2^17, np = 36)` and `(N = 2^17, np = 42)`.
+/// Returns `(np, gpu_us, fpga_us, speedup)`.
+pub fn fpga_comparison(log_n: u32, batch_sizes: &[usize]) -> Vec<(usize, f64, f64, f64)> {
+    let fpga = FpgaNtt::fccm20();
+    batch_sizes
+        .iter()
+        .map(|&np| {
+            let (_, m) = best_split(log_n, np, 2);
+            let f_us = fpga.time_us(1 << log_n, np);
+            (np, m.time_us, f_us, f_us / m.time_us)
+        })
+        .collect()
+}
+
+/// §IV word-size ablation: `Q ≈ 2^1200` as 40 × 30-bit vs 20 × 60-bit
+/// primes. Returns the two measurements (30-bit path models half-width
+/// elements by halving N-word traffic — see EXPERIMENTS.md).
+pub fn wordsize(log_n: u32) -> Vec<Measurement> {
+    // 60-bit path: 20 primes of full-width words.
+    let n1 = SmemConfig::paper_splits(log_n)[0];
+    let (mut gpu, batch) = fresh_batch(log_n, 20);
+    let rep = smem::run(&mut gpu, &batch, &SmemConfig::new(n1));
+    let m60 = measure("20 x 60-bit", &gpu, &rep, 20);
+    // 30-bit path: 40 primes; elements are half-width so the modeled time
+    // halves the per-element traffic but doubles the transform count.
+    let (mut gpu2, batch2) = fresh_batch(log_n, 40);
+    let rep2 = smem::run(&mut gpu2, &batch2, &SmemConfig::new(n1));
+    let mut m30 = measure("40 x 30-bit", &gpu2, &rep2, 40);
+    m30.time_us *= 0.5;
+    m30.dram_mb *= 0.5;
+    vec![m60, m30]
+}
+
+/// §VII — OT base sweep: analytic table cost plus simulated time for the
+/// feasible two-level bases. Returns `(base, entries, modmuls, time_us)`;
+/// time is `NaN` for analytic-only rows.
+pub fn ot_base_sweep(log_n: u32, np: usize) -> Vec<(usize, usize, usize, f64)> {
+    let n = 1usize << log_n;
+    let analytic = ntt_core::ot::base_sweep(n, &[2, 4, 16, 64, 256, 512, 1024, 2048, 4096, 8192]);
+    let n1 = SmemConfig::paper_splits(log_n)[0];
+    analytic
+        .into_iter()
+        .map(|c| {
+            let time = if c.base * c.base >= n && c.base >= 2 {
+                let (mut gpu, batch) = fresh_batch(log_n, np);
+                let ot = DeviceOt::upload(&mut gpu, &batch, c.base);
+                let cfg = SmemConfig {
+                    ot_base: c.base,
+                    ..SmemConfig::new(n1).ot_stages(2)
+                };
+                let rep = smem::run_with_ot(&mut gpu, &batch, &cfg, Some(&ot));
+                rep.total_us()
+            } else {
+                f64::NAN
+            };
+            (c.base, c.entries, c.modmuls, time)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Shape tests at reduced size (log_n = 10, np = 3) so the suite stays
+    // fast; the figures binary runs the paper-scale versions.
+
+    #[test]
+    fn fig1_shoup_wins() {
+        // Needs enough butterflies for compute to rival the DRAM floor
+        // (at paper scale the gap is 2.4x; here it is smaller but real).
+        let rows = fig1(14, 8);
+        assert_eq!(rows.len(), 2);
+        assert!(
+            rows[1].time_us > rows[0].time_us,
+            "native {} vs shoup {}",
+            rows[1].time_us,
+            rows[0].time_us
+        );
+    }
+
+    #[test]
+    fn fig3_batching_improves_per_ntt_time() {
+        let rows = fig3a(10, &[1, 2, 4, 8]);
+        assert!(rows.last().unwrap().per_ntt_us < rows[0].per_ntt_us);
+        // Utilization should be non-decreasing-ish from batch 1 to max.
+        assert!(rows.last().unwrap().utilization > rows[0].utilization * 0.9);
+    }
+
+    #[test]
+    fn fig4_high_radix_beats_radix2() {
+        let rows = fig4(12, 3, &[2, 16]);
+        assert!(rows[1].time_us < rows[0].time_us);
+        assert!(rows[1].dram_mb < rows[0].dram_mb);
+    }
+
+    #[test]
+    fn fig8_ends_at_parity() {
+        let rows = fig8(12);
+        assert_eq!(rows.len(), 12);
+        assert!((rows[11].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table2_ordering_holds() {
+        // N must be large enough that the OT factor tables (1024 + N/1024
+        // entries) are smaller than the late-stage twiddles they replace.
+        let rows = table2(&[12], 3);
+        let (_, r2, s, s_ot) = &rows[0];
+        assert!(s.time_us < r2.time_us, "SMEM beats radix-2");
+        assert!(
+            s_ot.dram_mb < s.dram_mb,
+            "OT cuts traffic: {} vs {}",
+            s_ot.dram_mb,
+            s.dram_mb
+        );
+    }
+
+    #[test]
+    fn fpga_rows_have_positive_speedup() {
+        let rows = fpga_comparison(10, &[2]);
+        assert!(rows[0].3 > 0.0);
+    }
+}

@@ -1,0 +1,14 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each `fig*`/`table2` function runs the corresponding experiment on the
+//! GPU simulator at caller-chosen parameters (the paper's defaults live in
+//! the `figures` binary) and returns structured rows, so integration tests
+//! can assert the paper's *shapes* — who wins, by what factor, where the
+//! crossovers are — at reduced sizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::Measurement;

@@ -1,0 +1,323 @@
+//! In-place Cooley–Tukey NTT (paper Algorithm 1) and Gentleman–Sande iNTT.
+//!
+//! The forward transform takes natural-order input and produces
+//! **bit-reversed** output; the inverse takes bit-reversed input and
+//! produces natural-order output. HE pipelines never reorder: element-wise
+//! products in the NTT domain commute with the permutation, which is the
+//! paper's argument for preferring Cooley–Tukey over Stockham (§IV).
+//!
+//! Two variants are provided:
+//!
+//! * [`ntt`]/[`intt`] — strict: every intermediate value is `< p`.
+//! * [`ntt_lazy`]/[`intt_lazy`] — Harvey lazy reduction: intermediates live
+//!   in `[0, 4p)` (requires `p < 2^62`), exactly the `0 ≤ A,B < 4p`
+//!   precondition of the paper's Algorithm 2. One final pass reduces.
+
+use crate::table::NttTable;
+use ntt_math::modops::{add_mod, sub_mod};
+use ntt_math::shoup::MAX_LAZY_MODULUS;
+
+/// Forward negacyclic NTT, strict reduction. Natural-order input,
+/// bit-reversed output.
+///
+/// # Panics
+///
+/// Panics if `a.len() != table.n()`.
+///
+/// # Example
+///
+/// ```
+/// use ntt_core::{ct, NttTable};
+/// let t = NttTable::new_with_bits(16, 60)?;
+/// let mut a: Vec<u64> = (0..16).collect();
+/// let orig = a.clone();
+/// ct::ntt(&mut a, &t);
+/// ct::intt(&mut a, &t);
+/// assert_eq!(a, orig);
+/// # Ok::<(), ntt_math::root::RootError>(())
+/// ```
+pub fn ntt(a: &mut [u64], table: &NttTable) {
+    assert_eq!(a.len(), table.n(), "input length must equal table N");
+    let p = table.modulus();
+    let n = a.len();
+    let mut t = n / 2;
+    let mut m = 1;
+    while m < n {
+        for i in 0..m {
+            let w = table.forward(m + i);
+            let j1 = 2 * i * t;
+            for j in j1..j1 + t {
+                let u = a[j];
+                let v = w.mul(a[j + t]);
+                a[j] = add_mod(u, v, p);
+                a[j + t] = sub_mod(u, v, p);
+            }
+        }
+        m *= 2;
+        t /= 2;
+    }
+}
+
+/// Inverse negacyclic NTT, strict reduction. Bit-reversed input,
+/// natural-order output; the final stage folds in `N^{-1}`.
+///
+/// # Panics
+///
+/// Panics if `a.len() != table.n()`.
+pub fn intt(a: &mut [u64], table: &NttTable) {
+    assert_eq!(a.len(), table.n(), "input length must equal table N");
+    let p = table.modulus();
+    let n = a.len();
+    let mut t = 1;
+    let mut m = n;
+    while m > 1 {
+        let h = m / 2;
+        let mut j1 = 0;
+        for i in 0..h {
+            let w = table.inverse(h + i);
+            for j in j1..j1 + t {
+                let u = a[j];
+                let v = a[j + t];
+                a[j] = add_mod(u, v, p);
+                a[j + t] = w.mul(sub_mod(u, v, p));
+            }
+            j1 += 2 * t;
+        }
+        t *= 2;
+        m = h;
+    }
+    let n_inv = table.n_inv();
+    for x in a.iter_mut() {
+        *x = n_inv.mul(*x);
+    }
+}
+
+/// Forward NTT with Harvey lazy reduction: inputs must be `< 4p`, outputs
+/// are `< 4p`. Call [`reduce_from_lazy`] (or compare mod p) afterwards.
+///
+/// This is the butterfly the paper's Algorithm 2 specifies
+/// (`0 ≤ A, B < 4p`).
+///
+/// # Panics
+///
+/// Panics if the modulus is ≥ 2^62 (lazy bound) or on length mismatch.
+pub fn ntt_lazy(a: &mut [u64], table: &NttTable) {
+    assert_eq!(a.len(), table.n(), "input length must equal table N");
+    let p = table.modulus();
+    assert!(p < MAX_LAZY_MODULUS, "lazy NTT requires p < 2^62");
+    let two_p = 2 * p;
+    let n = a.len();
+    let mut t = n / 2;
+    let mut m = 1;
+    while m < n {
+        for i in 0..m {
+            let w = table.forward(m + i);
+            let j1 = 2 * i * t;
+            for j in j1..j1 + t {
+                // Harvey CT butterfly: A' = A + wB, B' = A - wB, kept in [0, 4p).
+                let mut u = a[j];
+                if u >= two_p {
+                    u -= two_p;
+                }
+                let v = w.mul_lazy(a[j + t]); // in [0, 2p)
+                a[j] = u + v;
+                a[j + t] = u + two_p - v;
+            }
+        }
+        m *= 2;
+        t /= 2;
+    }
+}
+
+/// Inverse NTT with lazy reduction; outputs fully reduced (`< p`) because
+/// the final `N^{-1}` multiplication uses the strict Shoup product.
+///
+/// # Panics
+///
+/// Panics if the modulus is ≥ 2^62 or on length mismatch.
+pub fn intt_lazy(a: &mut [u64], table: &NttTable) {
+    assert_eq!(a.len(), table.n(), "input length must equal table N");
+    let p = table.modulus();
+    assert!(p < MAX_LAZY_MODULUS, "lazy iNTT requires p < 2^62");
+    let two_p = 2 * p;
+    // The Gentleman-Sande lazy butterfly preserves the [0, 2p) invariant;
+    // fold possible [0, 4p) inputs (e.g. straight out of `ntt_lazy`) once.
+    for x in a.iter_mut() {
+        if *x >= two_p {
+            *x -= two_p;
+        }
+    }
+    let n = a.len();
+    let mut t = 1;
+    let mut m = n;
+    while m > 1 {
+        let h = m / 2;
+        let mut j1 = 0;
+        for i in 0..h {
+            let w = table.inverse(h + i);
+            for j in j1..j1 + t {
+                // Harvey GS butterfly: inputs < 2p, outputs < 2p.
+                let u = a[j];
+                let v = a[j + t];
+                let mut s = u + v; // < 4p
+                if s >= two_p {
+                    s -= two_p;
+                }
+                a[j] = s;
+                a[j + t] = w.mul_lazy(u + two_p - v);
+            }
+            j1 += 2 * t;
+        }
+        t *= 2;
+        m = h;
+    }
+    let n_inv = table.n_inv();
+    for x in a.iter_mut() {
+        let mut v = *x;
+        if v >= two_p {
+            v -= two_p;
+        }
+        *x = n_inv.mul(v);
+    }
+}
+
+/// Reduce a lazy-domain array (`< 4p`) to canonical residues (`< p`).
+pub fn reduce_from_lazy(a: &mut [u64], p: u64) {
+    let two_p = 2 * p;
+    for x in a.iter_mut() {
+        let mut v = *x;
+        if v >= two_p {
+            v -= two_p;
+        }
+        if v >= p {
+            v -= p;
+        }
+        *x = v;
+    }
+}
+
+/// Element-wise product in the NTT domain: `c[i] = a[i]·b[i] mod p`.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn pointwise(a: &[u64], b: &[u64], p: u64) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "operand lengths must match");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| ntt_math::mul_mod(x, y, p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitrev::bit_reversed;
+    use crate::naive::{naive_ntt, negacyclic_convolution};
+
+    fn table(n: usize) -> NttTable {
+        NttTable::new_with_bits(n, 60).unwrap()
+    }
+
+    #[test]
+    fn matches_naive_with_bitreversal() {
+        for n in [4usize, 8, 32, 128] {
+            let t = table(n);
+            let a: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37) % t.modulus()).collect();
+            let mut fast = a.clone();
+            ntt(&mut fast, &t);
+            let slow = naive_ntt(&a, t.psi(), t.modulus());
+            assert_eq!(bit_reversed(&fast), slow, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_many_sizes() {
+        for log_n in 1..=12 {
+            let n = 1usize << log_n;
+            let t = table(n);
+            let a: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 3) % t.modulus()).collect();
+            let mut b = a.clone();
+            ntt(&mut b, &t);
+            intt(&mut b, &t);
+            assert_eq!(a, b, "log_n = {log_n}");
+        }
+    }
+
+    #[test]
+    fn lazy_matches_strict() {
+        let n = 256;
+        let t = table(n);
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * i + 13) % t.modulus()).collect();
+        let mut strict = a.clone();
+        ntt(&mut strict, &t);
+        let mut lazy = a.clone();
+        ntt_lazy(&mut lazy, &t);
+        reduce_from_lazy(&mut lazy, t.modulus());
+        assert_eq!(strict, lazy);
+    }
+
+    #[test]
+    fn lazy_roundtrip() {
+        let n = 512;
+        let t = table(n);
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * 31 + 5) % t.modulus()).collect();
+        let mut b = a.clone();
+        ntt_lazy(&mut b, &t);
+        intt_lazy(&mut b, &t);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lazy_intermediates_stay_below_4p() {
+        let n = 128;
+        let t = table(n);
+        let p = t.modulus();
+        // Worst-case inputs: all p-1.
+        let mut a = vec![p - 1; n];
+        ntt_lazy(&mut a, &t);
+        assert!(a.iter().all(|&v| v < 4 * p), "lazy bound violated");
+    }
+
+    #[test]
+    fn convolution_via_ntt_matches_naive() {
+        let n = 64;
+        let t = table(n);
+        let p = t.modulus();
+        let a: Vec<u64> = (0..n as u64).map(|i| i + 1).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| 2 * i + 1).collect();
+        let mut na = a.clone();
+        let mut nb = b.clone();
+        ntt(&mut na, &t);
+        ntt(&mut nb, &t);
+        // Bit-reversed order on both sides: pointwise product commutes.
+        let mut prod = pointwise(&na, &nb, p);
+        intt(&mut prod, &t);
+        assert_eq!(prod, negacyclic_convolution(&a, &b, p));
+    }
+
+    #[test]
+    fn ntt_is_linear() {
+        let n = 32;
+        let t = table(n);
+        let p = t.modulus();
+        let a: Vec<u64> = (0..n as u64).map(|i| i * 3).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| i * i % p).collect();
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| (x + y) % p).collect();
+        let (mut na, mut nb, mut ns) = (a.clone(), b.clone(), sum.clone());
+        ntt(&mut na, &t);
+        ntt(&mut nb, &t);
+        ntt(&mut ns, &t);
+        for i in 0..n {
+            assert_eq!(ns[i], (na[i] + nb[i]) % p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length must equal")]
+    fn rejects_length_mismatch() {
+        let t = table(16);
+        let mut a = vec![0u64; 8];
+        ntt(&mut a, &t);
+    }
+}

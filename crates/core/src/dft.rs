@@ -1,0 +1,357 @@
+//! Complex-double DFT counterparts of the NTT code paths.
+//!
+//! The paper's §IV–§VI contrast every NTT optimization with the equivalent
+//! DFT implementation. To keep the *dataflow* bit-identical (same butterfly
+//! count, same access pattern, same table layout — only the arithmetic and
+//! element width differ) we implement the DFT with the exact same merged
+//! "negacyclic" Cooley–Tukey structure: `psi = exp(-iπ/N)` plays the role
+//! of the 2N-th root of unity and the twiddle table is stored bit-reversed.
+//! This is a unitary transform with the same operation mix as a standard
+//! FFT; a complex element is 16 bytes (vs the NTT's 8), and — the paper's
+//! central observation — the twiddle table needs **no Shoup companions and
+//! is shared across the whole batch**.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number with `f64` parts (the DFT element type).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from rectangular parts.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Zero.
+    #[inline]
+    pub fn zero() -> Self {
+        Self { re: 0.0, im: 0.0 }
+    }
+
+    /// One.
+    #[inline]
+    pub fn one() -> Self {
+        Self { re: 1.0, im: 0.0 }
+    }
+
+    /// `exp(i·theta)` on the unit circle.
+    #[inline]
+    pub fn from_angle(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl std::fmt::Display for Complex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{:+}i", self.re, self.im)
+    }
+}
+
+/// Bit-reversed twiddle table for the complex transform — the direct
+/// analogue of [`crate::table::NttTable`] minus the Shoup companions.
+#[derive(Debug, Clone)]
+pub struct DftTable {
+    n: usize,
+    log_n: u32,
+    /// `psi^{bitrev(i)}` with `psi = exp(-iπ/N)`.
+    psi_rev: Vec<Complex>,
+    /// `psi^{-bitrev(i)}`.
+    ipsi_rev: Vec<Complex>,
+}
+
+impl DftTable {
+    /// Build the table for an N-point transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two ≥ 2.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "N must be a power of two >= 2");
+        let log_n = n.trailing_zeros();
+        let mut psi_rev = vec![Complex::zero(); n];
+        let mut ipsi_rev = vec![Complex::zero(); n];
+        for (i, (f, b)) in psi_rev.iter_mut().zip(ipsi_rev.iter_mut()).enumerate() {
+            let r = crate::bitrev::bit_reverse(i, log_n) as f64;
+            let theta = -std::f64::consts::PI * r / n as f64;
+            *f = Complex::from_angle(theta);
+            *b = Complex::from_angle(-theta);
+        }
+        Self {
+            n,
+            log_n,
+            psi_rev,
+            ipsi_rev,
+        }
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `log2 N`.
+    #[inline]
+    pub fn log_n(&self) -> u32 {
+        self.log_n
+    }
+
+    /// Forward twiddle at bit-reversed index `i`.
+    #[inline]
+    pub fn forward(&self, i: usize) -> Complex {
+        self.psi_rev[i]
+    }
+
+    /// Inverse twiddle at bit-reversed index `i`.
+    #[inline]
+    pub fn inverse(&self, i: usize) -> Complex {
+        self.ipsi_rev[i]
+    }
+
+    /// Table bytes: `N` complex entries, 16 B each, **no companions** and
+    /// shared across any batch size — the paper's key DFT-vs-NTT contrast.
+    pub fn forward_table_bytes(&self) -> usize {
+        self.n * 16
+    }
+}
+
+/// Forward complex transform, natural-order input, bit-reversed output —
+/// the same loop as [`crate::ct::ntt`].
+pub fn dft(a: &mut [Complex], table: &DftTable) {
+    assert_eq!(a.len(), table.n(), "input length must equal table N");
+    let n = a.len();
+    let mut t = n / 2;
+    let mut m = 1;
+    while m < n {
+        for i in 0..m {
+            let w = table.forward(m + i);
+            let j1 = 2 * i * t;
+            for j in j1..j1 + t {
+                let u = a[j];
+                let v = a[j + t] * w;
+                a[j] = u + v;
+                a[j + t] = u - v;
+            }
+        }
+        m *= 2;
+        t /= 2;
+    }
+}
+
+/// Inverse complex transform, bit-reversed input, natural-order output,
+/// with the `1/N` normalization folded in — same loop as
+/// [`crate::ct::intt`].
+pub fn idft(a: &mut [Complex], table: &DftTable) {
+    assert_eq!(a.len(), table.n(), "input length must equal table N");
+    let n = a.len();
+    let mut t = 1;
+    let mut m = n;
+    while m > 1 {
+        let h = m / 2;
+        let mut j1 = 0;
+        for i in 0..h {
+            let w = table.inverse(h + i);
+            for j in j1..j1 + t {
+                let u = a[j];
+                let v = a[j + t];
+                a[j] = u + v;
+                a[j + t] = (u - v) * w;
+            }
+            j1 += 2 * t;
+        }
+        t *= 2;
+        m = h;
+    }
+    let scale = 1.0 / n as f64;
+    for x in a.iter_mut() {
+        *x = x.scale(scale);
+    }
+}
+
+/// Block (high-radix) complex NTT-style transform — the analogue of
+/// [`crate::radix::block_ntt`] with the same `tw_base` algebra.
+pub fn block_dft(block: &mut [Complex], table: &DftTable, tw_base: usize) {
+    let r = block.len();
+    assert!(r.is_power_of_two(), "block length must be a power of two");
+    let mut m_loc = 1;
+    let mut t_loc = r / 2;
+    while m_loc < r {
+        for i_loc in 0..m_loc {
+            let w = table.forward(m_loc * tw_base + i_loc);
+            let j1 = 2 * i_loc * t_loc;
+            for j in j1..j1 + t_loc {
+                let u = block[j];
+                let v = block[j + t_loc] * w;
+                block[j] = u + v;
+                block[j + t_loc] = u - v;
+            }
+        }
+        m_loc *= 2;
+        t_loc /= 2;
+    }
+}
+
+/// Naive O(N²) reference: `X_k = Σ_n a_n psi^{n(2k+1)}`, natural order.
+pub fn naive_dft(a: &[Complex]) -> Vec<Complex> {
+    let n = a.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::zero();
+            for (i, &x) in a.iter().enumerate() {
+                let theta =
+                    -std::f64::consts::PI * (i as f64) * (2.0 * k as f64 + 1.0) / n as f64;
+                acc = acc + x * Complex::from_angle(theta);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitrev::bit_reversed;
+
+    fn sample(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect()
+    }
+
+    fn close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((*x - *y).abs() < tol, "mismatch at {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn complex_algebra() {
+        let i = Complex::new(0.0, 1.0);
+        assert_eq!(i * i, Complex::new(-1.0, 0.0));
+        assert_eq!(i.conj(), -i);
+        assert!((Complex::from_angle(std::f64::consts::PI).re + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn roundtrip() {
+        for n in [2usize, 8, 64, 1024] {
+            let t = DftTable::new(n);
+            let a = sample(n);
+            let mut b = a.clone();
+            dft(&mut b, &t);
+            idft(&mut b, &t);
+            close(&a, &b, 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_naive_with_bitreversal() {
+        let n = 32;
+        let t = DftTable::new(n);
+        let a = sample(n);
+        let mut fast = a.clone();
+        dft(&mut fast, &t);
+        close(&bit_reversed(&fast), &naive_dft(&a), 1e-10);
+    }
+
+    #[test]
+    fn block_dft_with_base_one_is_full_dft() {
+        let n = 64;
+        let t = DftTable::new(n);
+        let a = sample(n);
+        let mut blocked = a.clone();
+        block_dft(&mut blocked, &t, 1);
+        let mut reference = a;
+        dft(&mut reference, &t);
+        close(&blocked, &reference, 1e-12);
+    }
+
+    #[test]
+    fn transform_preserves_energy_up_to_n() {
+        // For this unitary-up-to-scale transform: ||X||² = N·||x||².
+        let n = 128;
+        let t = DftTable::new(n);
+        let a = sample(n);
+        let mut x = a.clone();
+        dft(&mut x, &t);
+        let ein: f64 = a.iter().map(|c| c.abs() * c.abs()).sum();
+        let eout: f64 = x.iter().map(|c| c.abs() * c.abs()).sum();
+        assert!((eout / ein - n as f64).abs() / (n as f64) < 1e-12);
+    }
+
+    #[test]
+    fn table_bytes_independent_of_batch() {
+        let t = DftTable::new(1 << 14);
+        assert_eq!(t.forward_table_bytes(), (1 << 14) * 16);
+    }
+}

@@ -1,0 +1,172 @@
+//! O(N²) reference transforms — the correctness oracle.
+//!
+//! Everything here follows the paper's §III definitions directly:
+//!
+//! * `Xk = Σ xn ψ^{n(2k+1)} mod p` — the merged negacyclic forward NTT
+//!   (natural-order output).
+//! * Negacyclic convolution `ck = Σ_{i<=k} a_i b_{k-i} − Σ_{i>k} a_i b_{N+k−i}`.
+//!
+//! These are quadratic and only used by tests and examples on small sizes.
+
+use ntt_math::modops::{add_mod, mul_mod, pow_mod, sub_mod};
+
+/// Naive merged negacyclic forward NTT (natural-order output).
+///
+/// `psi` must be a primitive 2N-th root of unity mod `p`.
+/// Output: `X[k] = Σ_n a[n] · psi^{n(2k+1)} mod p`.
+///
+/// # Panics
+///
+/// Panics if `a` is empty or its length is not a power of two.
+pub fn naive_ntt(a: &[u64], psi: u64, p: u64) -> Vec<u64> {
+    let n = a.len() as u64;
+    assert!(n > 0 && n.is_power_of_two(), "length must be a power of two");
+    (0..n)
+        .map(|k| {
+            let mut acc = 0u64;
+            for (i, &x) in a.iter().enumerate() {
+                let e = (i as u64 * (2 * k + 1)) % (2 * n);
+                acc = add_mod(acc, mul_mod(x % p, pow_mod(psi, e, p), p), p);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Naive merged negacyclic inverse NTT (natural-order input and output).
+///
+/// Inverts [`naive_ntt`]: `a[n] = N^{-1} · psi^{-n} Σ_k X[k] ψ^{-2nk}`.
+pub fn naive_intt(x: &[u64], psi: u64, p: u64) -> Vec<u64> {
+    let n = x.len() as u64;
+    assert!(n > 0 && n.is_power_of_two(), "length must be a power of two");
+    let n_inv = ntt_math::inv_mod(n % p, p).expect("N invertible mod p");
+    let psi_inv = ntt_math::inv_mod(psi, p).expect("psi invertible mod p");
+    (0..n)
+        .map(|i| {
+            let mut acc = 0u64;
+            for (k, &v) in x.iter().enumerate() {
+                let e = (i * (2 * k as u64 + 1)) % (2 * n);
+                acc = add_mod(acc, mul_mod(v % p, pow_mod(psi_inv, e, p), p), p);
+            }
+            mul_mod(acc, n_inv, p)
+        })
+        .collect()
+}
+
+/// Naive negacyclic convolution: coefficients of `A(X)·B(X) mod (X^N + 1)`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are not a power of two.
+pub fn negacyclic_convolution(a: &[u64], b: &[u64], p: u64) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "operand lengths must match");
+    let n = a.len();
+    assert!(n.is_power_of_two(), "length must be a power of two");
+    let mut c = vec![0u64; n];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let prod = mul_mod(ai % p, bj % p, p);
+            if i + j < n {
+                c[i + j] = add_mod(c[i + j], prod, p);
+            } else {
+                // X^(i+j) = -X^(i+j-N)
+                c[i + j - n] = sub_mod(c[i + j - n], prod, p);
+            }
+        }
+    }
+    c
+}
+
+/// Naive cyclic (non-negacyclic) NTT: `X[k] = Σ a[n]·w^{nk}` with `w` a
+/// primitive N-th root of unity. Used to cross-check the DFT-style code
+/// paths that skip the negacyclic merge.
+pub fn naive_cyclic_ntt(a: &[u64], w: u64, p: u64) -> Vec<u64> {
+    let n = a.len() as u64;
+    assert!(n > 0 && n.is_power_of_two(), "length must be a power of two");
+    (0..n)
+        .map(|k| {
+            let mut acc = 0u64;
+            for (i, &x) in a.iter().enumerate() {
+                let e = (i as u64 * k) % n;
+                acc = add_mod(acc, mul_mod(x % p, pow_mod(w, e, p), p), p);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntt_math::{ntt_prime, primitive_root_of_unity};
+
+    fn setup(n: usize) -> (u64, u64) {
+        let p = ntt_prime(60, 2 * n as u64).unwrap();
+        let psi = primitive_root_of_unity(2 * n as u64, p).unwrap();
+        (p, psi)
+    }
+
+    #[test]
+    fn ntt_intt_roundtrip() {
+        let n = 16;
+        let (p, psi) = setup(n);
+        let a: Vec<u64> = (0..n as u64).map(|i| i * i + 1).collect();
+        let x = naive_ntt(&a, psi, p);
+        assert_eq!(naive_intt(&x, psi, p), a);
+    }
+
+    #[test]
+    fn ntt_of_delta_is_psi_powers() {
+        // a = (0, 1, 0, ...) -> X[k] = psi^(2k+1)
+        let n = 8;
+        let (p, psi) = setup(n);
+        let mut a = vec![0u64; n];
+        a[1] = 1;
+        let x = naive_ntt(&a, psi, p);
+        for (k, &v) in x.iter().enumerate() {
+            assert_eq!(v, ntt_math::pow_mod(psi, 2 * k as u64 + 1, p));
+        }
+    }
+
+    #[test]
+    fn pointwise_product_is_negacyclic_convolution() {
+        let n = 16;
+        let (p, psi) = setup(n);
+        let a: Vec<u64> = (0..n as u64).map(|i| i + 1).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| 3 * i + 2).collect();
+        let xa = naive_ntt(&a, psi, p);
+        let xb = naive_ntt(&b, psi, p);
+        let prod: Vec<u64> = xa
+            .iter()
+            .zip(&xb)
+            .map(|(&x, &y)| ntt_math::mul_mod(x, y, p))
+            .collect();
+        let c = naive_intt(&prod, psi, p);
+        assert_eq!(c, negacyclic_convolution(&a, &b, p));
+    }
+
+    #[test]
+    fn negacyclic_wraparound_sign() {
+        // x^(n-1) * x = x^n = -1
+        let n = 8;
+        let (p, _) = setup(n);
+        let mut a = vec![0u64; n];
+        a[n - 1] = 1;
+        let mut b = vec![0u64; n];
+        b[1] = 1;
+        let c = negacyclic_convolution(&a, &b, p);
+        assert_eq!(c[0], p - 1);
+        assert!(c[1..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn cyclic_ntt_of_ones() {
+        // NTT of all-ones is (N, 0, 0, ...) for the cyclic transform.
+        let n = 8u64;
+        let (p, psi) = setup(n as usize);
+        let w = ntt_math::mul_mod(psi, psi, p); // primitive N-th root
+        let x = naive_cyclic_ntt(&vec![1u64; n as usize], w, p);
+        assert_eq!(x[0], n % p);
+        assert!(x[1..].iter().all(|&v| v == 0));
+    }
+}

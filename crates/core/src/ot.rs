@@ -1,0 +1,294 @@
+//! On-the-fly twiddling (OT) — the paper's §VII contribution.
+//!
+//! A twiddle `Ψ[i] = psi^{bitrev(i)}` can be factorized by writing its
+//! exponent `e` in base `B`: `e = Σ_l d_l · B^l`. Storing only the factor
+//! tables `psi^{d·B^l}` (with Shoup companions) shrinks the precomputed
+//! data from `N` entries to `Σ_l min(B, N/B^l)` entries — for `N = 2^17`
+//! and `B = 1024`, from 131072 to `1024 + 128` entries.
+//!
+//! The trick that makes this NTT-compatible (the paper's key observation):
+//! we never *materialize* `w = w_hi · w_lo` — that would need a fresh Shoup
+//! companion, costing a native modular reduction. Instead the butterfly
+//! multiplies the **operand** by the factors consecutively
+//! (`x' = w_lo · x`, then `w_hi · x'`), each step using the factor's own
+//! precomputed companion. Cost: one extra Shoup modmul per twiddle per
+//! extra level; zero native reductions.
+//!
+//! Every level is always applied (even when its digit is zero, multiplying
+//! by `psi^0 = 1`): uniform work per lane avoids warp divergence on the
+//! GPU and matches the paper's "+1 modmul" accounting for base-1024.
+
+use crate::bitrev::bit_reverse;
+use crate::table::NttTable;
+use ntt_math::shoup::{mul_shoup, mul_shoup_lazy, precompute};
+use ntt_math::{mul_mod, pow_mod};
+
+/// One factor level: `w[d] = psi^{d · B^level}` for digit values `d`.
+#[derive(Debug, Clone)]
+struct OtLevel {
+    w: Vec<u64>,
+    shoup: Vec<u64>,
+}
+
+/// Factorized twiddle table for on-the-fly generation.
+///
+/// # Example
+///
+/// ```
+/// use ntt_core::{NttTable, OtTable};
+/// let t = NttTable::new_with_bits(1 << 12, 60)?;
+/// let ot = OtTable::new(&t, 64);
+/// // Same product, far smaller table:
+/// assert_eq!(ot.apply(12345, 1000), t.forward(1000).mul(12345));
+/// assert!(ot.table_bytes() < t.forward_table_bytes() / 10);
+/// # Ok::<(), ntt_math::root::RootError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OtTable {
+    p: u64,
+    n: usize,
+    log_n: u32,
+    base: usize,
+    levels: Vec<OtLevel>,
+}
+
+impl OtTable {
+    /// Build the base-`base` factorization of `table`'s forward twiddles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not a power of two ≥ 2.
+    pub fn new(table: &NttTable, base: usize) -> Self {
+        assert!(base.is_power_of_two() && base >= 2, "base must be a power of two >= 2");
+        let p = table.modulus();
+        let psi = table.psi();
+        let n = table.n();
+        let mut levels = Vec::new();
+        let mut step: u64 = 1; // B^level
+        while step < n as u64 {
+            let digits = base.min(((n as u64).div_ceil(step)) as usize);
+            let mut w = Vec::with_capacity(digits);
+            let mut shoup = Vec::with_capacity(digits);
+            for d in 0..digits as u64 {
+                let v = pow_mod(psi, d * step, p);
+                w.push(v);
+                shoup.push(precompute(v, p));
+            }
+            levels.push(OtLevel { w, shoup });
+            step *= base as u64;
+        }
+        Self {
+            p,
+            n,
+            log_n: table.log_n(),
+            base,
+            levels,
+        }
+    }
+
+    /// The factorization base `B`.
+    #[inline]
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Number of factor levels = modmuls per twiddle application.
+    #[inline]
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total number of precomputed entries: `Σ_l min(B, N/B^l)`.
+    /// For `N = 2^17`, `B = 1024` this is the paper's `1024 + 2^17/1024`.
+    pub fn entry_count(&self) -> usize {
+        self.levels.iter().map(|l| l.w.len()).sum()
+    }
+
+    /// Table bytes including Shoup companions (16 B per entry).
+    pub fn table_bytes(&self) -> usize {
+        self.entry_count() * 16
+    }
+
+    /// Exponent of `psi` behind twiddle index `i` (bit-reversed layout).
+    #[inline]
+    pub fn exponent(&self, twiddle_index: usize) -> usize {
+        bit_reverse(twiddle_index % self.n, self.log_n)
+    }
+
+    /// Multiply `x` by `Ψ[twiddle_index]`, generating the twiddle on the
+    /// fly: one Shoup modmul per level. Fully reduced result.
+    pub fn apply(&self, x: u64, twiddle_index: usize) -> u64 {
+        let mut e = self.exponent(twiddle_index);
+        let mut r = x % self.p;
+        for level in &self.levels {
+            let d = e % self.base;
+            e /= self.base;
+            r = mul_shoup(r, level.w[d], level.shoup[d], self.p);
+        }
+        debug_assert_eq!(e, 0);
+        r
+    }
+
+    /// Lazy variant: accepts any `u64` operand, returns a value in
+    /// `[0, 2p)` (each chained factor application is a lazy Shoup product).
+    pub fn apply_lazy(&self, x: u64, twiddle_index: usize) -> u64 {
+        let mut e = self.exponent(twiddle_index);
+        let mut r = x;
+        for level in &self.levels {
+            let d = e % self.base;
+            e /= self.base;
+            r = mul_shoup_lazy(r, level.w[d], level.shoup[d], self.p);
+        }
+        r
+    }
+
+    /// Reconstruct the twiddle value itself (test/diagnostic use; the whole
+    /// point of OT is that kernels never do this).
+    pub fn twiddle_value(&self, twiddle_index: usize) -> u64 {
+        let mut e = self.exponent(twiddle_index);
+        let mut r = 1u64;
+        for level in &self.levels {
+            let d = e % self.base;
+            e /= self.base;
+            r = mul_mod(r, level.w[d], self.p);
+        }
+        r
+    }
+
+    /// Extra Shoup modmuls per butterfly relative to the precomputed-table
+    /// path (which uses exactly one).
+    pub fn extra_modmuls(&self) -> usize {
+        self.levels().saturating_sub(1)
+    }
+}
+
+/// Cost model point for the base sweep (§VII: "dividing into base-1024
+/// performs best"): table bytes vs extra modmuls per butterfly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OtCost {
+    /// Factorization base.
+    pub base: usize,
+    /// Precomputed entries (values + companions counted as one entry pair).
+    pub entries: usize,
+    /// Bytes of the factor tables (16 B per entry).
+    pub table_bytes: usize,
+    /// Shoup modmuls per twiddle application.
+    pub modmuls: usize,
+}
+
+/// Enumerate the size/compute trade-off across factorization bases for an
+/// N-point transform — the data behind the paper's base-1024 choice.
+pub fn base_sweep(n: usize, bases: &[usize]) -> Vec<OtCost> {
+    bases
+        .iter()
+        .map(|&base| {
+            let mut entries = 0usize;
+            let mut levels = 0usize;
+            let mut step = 1usize;
+            while step < n {
+                entries += base.min(n.div_ceil(step));
+                levels += 1;
+                step = step.saturating_mul(base);
+            }
+            OtCost {
+                base,
+                entries,
+                table_bytes: entries * 16,
+                modmuls: levels,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: usize) -> NttTable {
+        NttTable::new_with_bits(n, 60).unwrap()
+    }
+
+    #[test]
+    fn reconstructs_every_twiddle() {
+        let t = table(256);
+        for base in [2usize, 4, 16, 64] {
+            let ot = OtTable::new(&t, base);
+            for i in 0..256 {
+                assert_eq!(
+                    ot.twiddle_value(i),
+                    t.forward(i).value(),
+                    "base {base}, index {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_matches_direct_multiplication() {
+        let t = table(128);
+        let ot = OtTable::new(&t, 16);
+        let xs = [0u64, 1, 12345, t.modulus() - 1];
+        for i in 0..128 {
+            for &x in &xs {
+                assert_eq!(ot.apply(x, i), t.forward(i).mul(x), "i={i} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_lazy_is_congruent_and_bounded() {
+        let t = table(64);
+        let p = t.modulus();
+        let ot = OtTable::new(&t, 8);
+        for i in 0..64 {
+            for x in [0u64, p - 1, 2 * p - 1, 4 * p - 1] {
+                let r = ot.apply_lazy(x, i);
+                assert!(r < 2 * p);
+                assert_eq!(r % p, t.forward(i).mul(x % p));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_entry_count_for_n17_base1024() {
+        // The paper: "the number of the precomputed twiddle factors becomes
+        // 1024 + 2^17/1024 with base-1024".
+        let sweep = base_sweep(1 << 17, &[1024]);
+        assert_eq!(sweep[0].entries, 1024 + (1 << 17) / 1024);
+        assert_eq!(sweep[0].modmuls, 2);
+    }
+
+    #[test]
+    fn base2_needs_logn_levels() {
+        let costs = base_sweep(1 << 17, &[2]);
+        assert_eq!(costs[0].modmuls, 17);
+        assert_eq!(costs[0].entries, 17 * 2);
+    }
+
+    #[test]
+    fn bigger_base_fewer_modmuls_more_bytes() {
+        let costs = base_sweep(1 << 17, &[4, 64, 1024, 4096]);
+        for w in costs.windows(2) {
+            assert!(w[0].modmuls >= w[1].modmuls);
+        }
+        // 4096 stores more than 1024+128 entries.
+        assert!(costs[3].entries > costs[2].entries);
+    }
+
+    #[test]
+    fn level_sizes_match_formula() {
+        let t = table(1 << 10);
+        let ot = OtTable::new(&t, 32);
+        // levels: 32 (digits of B^0), 32 (B^1), 1024/1024=1 -> min(32, 1) = 1
+        assert_eq!(ot.levels(), 2);
+        assert_eq!(ot.entry_count(), 32 + 32);
+    }
+
+    #[test]
+    fn extra_modmuls_accounting() {
+        let t = table(1 << 10);
+        assert_eq!(OtTable::new(&t, 32).extra_modmuls(), 1);
+        assert_eq!(OtTable::new(&t, 2).extra_modmuls(), 9);
+        assert_eq!(OtTable::new(&t, 1 << 10).extra_modmuls(), 0);
+    }
+}

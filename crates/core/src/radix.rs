@@ -1,0 +1,285 @@
+//! Block (high-radix) decomposition of the Cooley–Tukey NTT.
+//!
+//! The GPU implementations in the paper never run the monolithic CT loop:
+//! they split the `log2 N` stages into *passes* (register-based high radix,
+//! §V) or into *two kernels* (SMEM implementation, §VI-C), and further split
+//! each kernel into *per-thread NTTs* (Fig. 2 / Fig. 10). All of those are
+//! instances of one identity, derived from the in-place CT index algebra:
+//!
+//! > Running global stages `m0, 2·m0, …, m0·R/2` restricted to the strided
+//! > element set `S = { i0·(N/m0) + k + s·σ : s ∈ [0,R) }` (with
+//! > `σ = N/(m0·R)`, segment `i0 ∈ [0,m0)`, offset `k ∈ [0,σ)`) is exactly
+//! > an R-point CT NTT on the gathered values whose stage-`m'`/group-`i'`
+//! > twiddle is the global entry `Ψ[m'·(m0 + i0) + i']`.
+//!
+//! So every block NTT is parameterized by one integer `tw_base = m0 + i0`,
+//! and the parameterization is closed under recursive splitting:
+//! a sub-block at local `(m0', i0')` gets `tw_base' = m0'·tw_base + i0'`.
+//! The functions here implement the block NTT and the pass/kernel loops on
+//! the CPU; `ntt-gpu` reuses the same algebra inside simulated kernels.
+
+use crate::table::NttTable;
+use ntt_math::modops::{add_mod, sub_mod};
+
+/// R-point Cooley–Tukey NTT on a gathered block, strict reduction.
+///
+/// `tw_base` selects which global twiddles this block consumes (see the
+/// module docs). `tw_base = 1` with `block.len() = N` reproduces the full
+/// [`crate::ct::ntt`].
+///
+/// # Panics
+///
+/// Panics if the block length is not a power of two or if a required
+/// twiddle index falls outside the table.
+pub fn block_ntt(block: &mut [u64], table: &NttTable, tw_base: usize) {
+    let r = block.len();
+    assert!(r.is_power_of_two(), "block length must be a power of two");
+    let p = table.modulus();
+    let mut m_loc = 1;
+    let mut t_loc = r / 2;
+    while m_loc < r {
+        for i_loc in 0..m_loc {
+            let w = table.forward(m_loc * tw_base + i_loc);
+            let j1 = 2 * i_loc * t_loc;
+            for j in j1..j1 + t_loc {
+                let u = block[j];
+                let v = w.mul(block[j + t_loc]);
+                block[j] = add_mod(u, v, p);
+                block[j + t_loc] = sub_mod(u, v, p);
+            }
+        }
+        m_loc *= 2;
+        t_loc /= 2;
+    }
+}
+
+/// R-point block NTT with Harvey lazy reduction (values in `[0, 4p)`).
+///
+/// Mirrors [`block_ntt`]; used by the simulated GPU kernels, which keep
+/// data lazy between stages exactly as the paper's Algorithm 2 does.
+pub fn block_ntt_lazy(block: &mut [u64], table: &NttTable, tw_base: usize) {
+    let r = block.len();
+    assert!(r.is_power_of_two(), "block length must be a power of two");
+    let p = table.modulus();
+    let two_p = 2 * p;
+    let mut m_loc = 1;
+    let mut t_loc = r / 2;
+    while m_loc < r {
+        for i_loc in 0..m_loc {
+            let w = table.forward(m_loc * tw_base + i_loc);
+            let j1 = 2 * i_loc * t_loc;
+            for j in j1..j1 + t_loc {
+                let mut u = block[j];
+                if u >= two_p {
+                    u -= two_p;
+                }
+                let v = w.mul_lazy(block[j + t_loc]);
+                block[j] = u + v;
+                block[j + t_loc] = u + two_p - v;
+            }
+        }
+        m_loc *= 2;
+        t_loc /= 2;
+    }
+}
+
+/// Gather a strided block: `out[s] = a[base + s·stride]`.
+pub fn gather(a: &[u64], base: usize, stride: usize, r: usize) -> Vec<u64> {
+    (0..r).map(|s| a[base + s * stride]).collect()
+}
+
+/// Scatter a block back: `a[base + s·stride] = block[s]`.
+pub fn scatter(a: &mut [u64], base: usize, stride: usize, block: &[u64]) {
+    for (s, &v) in block.iter().enumerate() {
+        a[base + s * stride] = v;
+    }
+}
+
+/// One high-radix *pass*: runs global stages `m0 · {1, 2, …, r/2}` over the
+/// whole array by gathering every strided block, running [`block_ntt`], and
+/// scattering back.
+///
+/// `m0` must be a power of two and `m0 · r` must divide `a.len()`.
+pub fn radix_pass(a: &mut [u64], table: &NttTable, m0: usize, r: usize) {
+    let n = a.len();
+    assert!(m0.is_power_of_two() && r.is_power_of_two());
+    assert!(m0 * r <= n, "pass exceeds transform size");
+    let sigma = n / (m0 * r);
+    let seg_len = n / m0;
+    for i0 in 0..m0 {
+        for k in 0..sigma {
+            let base = i0 * seg_len + k;
+            let mut block = gather(a, base, sigma, r);
+            block_ntt(&mut block, table, m0 + i0);
+            scatter(a, base, sigma, &block);
+        }
+    }
+}
+
+/// Full NTT as a sequence of radix-`r` passes (the paper's register-based
+/// high-radix implementation, CPU reference). The final pass shrinks when
+/// `log2 r` does not divide `log2 N`.
+///
+/// Output is bit-reversed, identical to [`crate::ct::ntt`].
+pub fn high_radix_ntt(a: &mut [u64], table: &NttTable, r: usize) {
+    let n = a.len();
+    assert_eq!(n, table.n(), "input length must equal table N");
+    assert!(r.is_power_of_two() && r >= 2, "radix must be a power of two >= 2");
+    let mut m0 = 1usize;
+    while m0 < n {
+        let r_pass = r.min(n / m0);
+        radix_pass(a, table, m0, r_pass);
+        m0 *= r_pass;
+    }
+}
+
+/// Full NTT as the two-kernel split of the SMEM implementation (§VI-C):
+/// Kernel-1 performs `N2` strided `N1`-point NTTs, Kernel-2 performs `N1`
+/// contiguous `N2`-point NTTs, `N = N1 · N2`.
+///
+/// Output is bit-reversed, identical to [`crate::ct::ntt`].
+///
+/// # Panics
+///
+/// Panics if `n1` does not divide `a.len()` or either factor is < 2.
+pub fn two_kernel_ntt(a: &mut [u64], table: &NttTable, n1: usize) {
+    let n = a.len();
+    assert_eq!(n, table.n(), "input length must equal table N");
+    assert!(n1.is_power_of_two() && n1 >= 2 && n1 < n, "invalid N1");
+    let n2 = n / n1;
+    // Kernel-1: columns, shared twiddles (tw_base = 1 for every column).
+    radix_pass(a, table, 1, n1);
+    // Kernel-2: rows, per-row twiddles (tw_base = n1 + row).
+    for row in 0..n1 {
+        let block = &mut a[row * n2..(row + 1) * n2];
+        block_ntt(block, table, n1 + row);
+    }
+}
+
+/// Number of passes the high-radix implementation needs:
+/// `ceil(log2 N / log2 r)`. Each pass reads and writes the whole array
+/// once — the DRAM-traffic driver in the paper's Fig. 4.
+pub fn pass_count(n: usize, r: usize) -> u32 {
+    let log_n = n.trailing_zeros();
+    let log_r = r.trailing_zeros();
+    log_n.div_ceil(log_r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ct;
+
+    fn table(n: usize) -> NttTable {
+        NttTable::new_with_bits(n, 60).unwrap()
+    }
+
+    fn sample(n: usize, p: u64) -> Vec<u64> {
+        (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B9) % p).collect()
+    }
+
+    #[test]
+    fn block_ntt_with_base_one_is_full_ntt() {
+        let n = 64;
+        let t = table(n);
+        let a = sample(n, t.modulus());
+        let mut blocked = a.clone();
+        block_ntt(&mut blocked, &t, 1);
+        let mut reference = a;
+        ct::ntt(&mut reference, &t);
+        assert_eq!(blocked, reference);
+    }
+
+    #[test]
+    fn high_radix_matches_ct_all_radices() {
+        let n = 256;
+        let t = table(n);
+        let a = sample(n, t.modulus());
+        let mut reference = a.clone();
+        ct::ntt(&mut reference, &t);
+        for r in [2usize, 4, 8, 16, 32, 64, 128, 256] {
+            let mut x = a.clone();
+            high_radix_ntt(&mut x, &t, r);
+            assert_eq!(x, reference, "radix {r}");
+        }
+    }
+
+    #[test]
+    fn high_radix_with_non_dividing_log() {
+        // log2 N = 9, radix 16 (log 4): passes 16,16,2.
+        let n = 512;
+        let t = table(n);
+        let a = sample(n, t.modulus());
+        let mut reference = a.clone();
+        ct::ntt(&mut reference, &t);
+        let mut x = a;
+        high_radix_ntt(&mut x, &t, 16);
+        assert_eq!(x, reference);
+    }
+
+    #[test]
+    fn two_kernel_matches_ct_all_splits() {
+        let n = 1024;
+        let t = table(n);
+        let a = sample(n, t.modulus());
+        let mut reference = a.clone();
+        ct::ntt(&mut reference, &t);
+        for log_n1 in 1..10 {
+            let mut x = a.clone();
+            two_kernel_ntt(&mut x, &t, 1 << log_n1);
+            assert_eq!(x, reference, "N1 = 2^{log_n1}");
+        }
+    }
+
+    #[test]
+    fn recursive_split_composes_tw_base() {
+        // Split an R-point block into r1 x r2 sub-blocks with the composed
+        // tw_base rule and check against the direct block NTT.
+        let n = 256;
+        let t = table(n);
+        let (r1, r2) = (8usize, 8usize);
+        let r = r1 * r2;
+        let a = sample(r, t.modulus());
+        let tw_base = 1usize; // e.g. Kernel-1's first column
+
+        let mut direct = a.clone();
+        block_ntt(&mut direct, &t, tw_base);
+
+        let mut split = a;
+        // Level 1: r2 strided r1-point NTTs (m0' = 1, i0' = 0).
+        for k in 0..r2 {
+            let mut b = gather(&split, k, r2, r1);
+            block_ntt(&mut b, &t, tw_base);
+            scatter(&mut split, k, r2, &b);
+        }
+        // Level 2: r1 contiguous r2-point NTTs (m0' = r1, i0' = row).
+        for row in 0..r1 {
+            let b = &mut split[row * r2..(row + 1) * r2];
+            block_ntt(b, &t, r1 * tw_base + row);
+        }
+        assert_eq!(split, direct);
+    }
+
+    #[test]
+    fn lazy_block_matches_strict() {
+        let n = 128;
+        let t = table(n);
+        let p = t.modulus();
+        let a = sample(n, p);
+        let mut strict = a.clone();
+        block_ntt(&mut strict, &t, 1);
+        let mut lazy = a;
+        block_ntt_lazy(&mut lazy, &t, 1);
+        ct::reduce_from_lazy(&mut lazy, p);
+        assert_eq!(strict, lazy);
+    }
+
+    #[test]
+    fn pass_counts() {
+        assert_eq!(pass_count(1 << 17, 2), 17);
+        assert_eq!(pass_count(1 << 17, 16), 5);
+        assert_eq!(pass_count(1 << 17, 32), 4);
+        assert_eq!(pass_count(1 << 16, 16), 4);
+        assert_eq!(pass_count(1 << 17, 128), 3);
+    }
+}

@@ -1,0 +1,278 @@
+//! Residue number system (RNS) over an NTT-friendly prime basis.
+//!
+//! HE schemes avoid big-integer coefficient arithmetic by CRT-decomposing
+//! `Z_Q` (with `Q = Π p_i`) into `np` word-sized rings `Z_{p_i}` (§III-B).
+//! This module provides the basis bookkeeping, forward decomposition, and
+//! CRT reconstruction `x = Σ_i (x_i · ŷ_i mod p_i) · M_i mod M` used to
+//! read results back out.
+
+use ntt_math::{inv_mod, BigUint};
+
+/// An RNS basis: distinct primes and the precomputed CRT constants.
+///
+/// # Example
+///
+/// ```
+/// use ntt_core::RnsBasis;
+/// let basis = RnsBasis::new(ntt_math::ntt_primes(60, 1 << 15, 3))?;
+/// let x = 123_456_789_u64;
+/// let residues = basis.decompose_u64(x);
+/// assert_eq!(basis.reconstruct(&residues).to_u64(), Some(x));
+/// # Ok::<(), ntt_core::rns::RnsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RnsBasis {
+    primes: Vec<u64>,
+    /// `M = Π p_i` — the composite modulus `Q`.
+    modulus: BigUint,
+    /// `M_i = M / p_i`.
+    m_i: Vec<BigUint>,
+    /// `ŷ_i = (M_i)^{-1} mod p_i`.
+    y_i: Vec<u64>,
+}
+
+impl RnsBasis {
+    /// Build a basis from distinct primes.
+    ///
+    /// # Errors
+    ///
+    /// * [`RnsError::Empty`] for an empty prime list.
+    /// * [`RnsError::NotPrime`] if any modulus fails the primality test.
+    /// * [`RnsError::Duplicate`] if two primes coincide (CRT needs
+    ///   pairwise-coprime moduli).
+    pub fn new(primes: Vec<u64>) -> Result<Self, RnsError> {
+        if primes.is_empty() {
+            return Err(RnsError::Empty);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &p in &primes {
+            if !ntt_math::is_prime(p) {
+                return Err(RnsError::NotPrime { p });
+            }
+            if !seen.insert(p) {
+                return Err(RnsError::Duplicate { p });
+            }
+        }
+        let modulus = BigUint::product(&primes);
+        let mut m_i = Vec::with_capacity(primes.len());
+        let mut y_i = Vec::with_capacity(primes.len());
+        for &p in &primes {
+            let (mi, rem) = modulus.div_rem_u64(p);
+            debug_assert_eq!(rem, 0);
+            let mi_mod_p = &mi % p;
+            let y = inv_mod(mi_mod_p, p).expect("M_i coprime to p_i");
+            m_i.push(mi);
+            y_i.push(y);
+        }
+        Ok(Self {
+            primes,
+            modulus,
+            m_i,
+            y_i,
+        })
+    }
+
+    /// The primes `p_1, …, p_np`.
+    #[inline]
+    pub fn primes(&self) -> &[u64] {
+        &self.primes
+    }
+
+    /// Number of primes `np` (the paper's batch dimension).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.primes.len()
+    }
+
+    /// `true` iff the basis is empty (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.primes.is_empty()
+    }
+
+    /// The composite modulus `Q = Π p_i`.
+    #[inline]
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// `log2 Q`, the paper's headline parameter.
+    pub fn log_q(&self) -> f64 {
+        self.modulus.log2()
+    }
+
+    /// Decompose an unsigned word: `x mod p_i` for each `i`.
+    pub fn decompose_u64(&self, x: u64) -> Vec<u64> {
+        self.primes.iter().map(|&p| x % p).collect()
+    }
+
+    /// Decompose a signed value (centered representative).
+    pub fn decompose_i64(&self, x: i64) -> Vec<u64> {
+        self.primes
+            .iter()
+            .map(|&p| {
+                if x >= 0 {
+                    (x as u64) % p
+                } else {
+                    let m = ((-(x as i128)) as u64) % p;
+                    if m == 0 {
+                        0
+                    } else {
+                        p - m
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Decompose a big integer already reduced mod `Q`.
+    pub fn decompose(&self, x: &BigUint) -> Vec<u64> {
+        self.primes.iter().map(|&p| x % p).collect()
+    }
+
+    /// CRT reconstruction into `[0, Q)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residues.len() != self.len()`.
+    pub fn reconstruct(&self, residues: &[u64]) -> BigUint {
+        assert_eq!(residues.len(), self.len(), "residue count mismatch");
+        let mut acc = BigUint::zero();
+        for i in 0..self.len() {
+            let c = ntt_math::mul_mod(residues[i] % self.primes[i], self.y_i[i], self.primes[i]);
+            acc = acc.add(&self.m_i[i].mul_u64(c));
+        }
+        acc.rem(&self.modulus)
+    }
+
+    /// CRT reconstruction followed by a centered lift to `i128`
+    /// (for reading small signed results out of HE pipelines).
+    ///
+    /// Returns `None` when the centered value does not fit `i128`.
+    pub fn reconstruct_centered(&self, residues: &[u64]) -> Option<i128> {
+        self.reconstruct(residues).to_i128_centered(&self.modulus)
+    }
+}
+
+/// Errors from RNS basis construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RnsError {
+    /// No primes supplied.
+    Empty,
+    /// A modulus is not prime.
+    NotPrime {
+        /// The offending modulus.
+        p: u64,
+    },
+    /// A prime appears twice.
+    Duplicate {
+        /// The repeated prime.
+        p: u64,
+    },
+}
+
+impl std::fmt::Display for RnsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RnsError::Empty => write!(f, "RNS basis needs at least one prime"),
+            RnsError::NotPrime { p } => write!(f, "{p} is not prime"),
+            RnsError::Duplicate { p } => write!(f, "prime {p} appears more than once"),
+        }
+    }
+}
+
+impl std::error::Error for RnsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basis(np: usize) -> RnsBasis {
+        RnsBasis::new(ntt_math::ntt_primes(59, 1 << 12, np)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_u64() {
+        let b = basis(3);
+        for x in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(b.reconstruct(&b.decompose_u64(x)).to_u64(), Some(x));
+        }
+    }
+
+    #[test]
+    fn roundtrip_signed() {
+        let b = basis(4);
+        for x in [0i64, 1, -1, 123456, -987654321, i64::MIN + 1] {
+            assert_eq!(b.reconstruct_centered(&b.decompose_i64(x)), Some(x as i128));
+        }
+    }
+
+    #[test]
+    fn roundtrip_big() {
+        let b = basis(5);
+        // A value needing more than two words: Q - 12345.
+        let big = b.modulus().sub(&BigUint::from_u64(12345));
+        let rec = b.reconstruct(&b.decompose(&big));
+        assert_eq!(rec, big);
+        // And centered: Q - 12345 ≡ -12345.
+        assert_eq!(
+            rec.to_i128_centered(b.modulus()),
+            Some(-12345i128)
+        );
+    }
+
+    #[test]
+    fn additive_homomorphism() {
+        let b = basis(3);
+        let (x, y) = (998877665544u64, 112233445566u64);
+        let rx = b.decompose_u64(x);
+        let ry = b.decompose_u64(y);
+        let sum: Vec<u64> = rx
+            .iter()
+            .zip(&ry)
+            .zip(b.primes())
+            .map(|((&a, &c), &p)| ntt_math::add_mod(a, c, p))
+            .collect();
+        assert_eq!(b.reconstruct(&sum).to_u64(), Some(x + y));
+    }
+
+    #[test]
+    fn multiplicative_homomorphism() {
+        let b = basis(3);
+        let (x, y) = (0xDEAD_BEEFu64, 0xCAFE_BABEu64);
+        let rx = b.decompose_u64(x);
+        let ry = b.decompose_u64(y);
+        let prod: Vec<u64> = rx
+            .iter()
+            .zip(&ry)
+            .zip(b.primes())
+            .map(|((&a, &c), &p)| ntt_math::mul_mod(a, c, p))
+            .collect();
+        assert_eq!(
+            b.reconstruct(&prod).to_u128(),
+            Some(x as u128 * y as u128)
+        );
+    }
+
+    #[test]
+    fn log_q_scales_with_np() {
+        let b1 = basis(2);
+        let b2 = basis(4);
+        assert!((b1.log_q() - 118.0).abs() < 1.5); // 2 x 59-bit
+        assert!((b2.log_q() - 236.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn rejects_bad_bases() {
+        assert_eq!(RnsBasis::new(vec![]).unwrap_err(), RnsError::Empty);
+        assert_eq!(
+            RnsBasis::new(vec![15]).unwrap_err(),
+            RnsError::NotPrime { p: 15 }
+        );
+        let p = ntt_math::ntt_prime(59, 1 << 12).unwrap();
+        assert_eq!(
+            RnsBasis::new(vec![p, p]).unwrap_err(),
+            RnsError::Duplicate { p }
+        );
+    }
+}

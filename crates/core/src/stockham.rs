@@ -1,0 +1,130 @@
+//! Out-of-place self-sorting Stockham NTT (paper Algorithm 3).
+//!
+//! The Stockham algorithm folds the permutation into each stage's store
+//! pattern: natural-order input, natural-order output, **no** bit-reversal
+//! pass — at the cost of ping-ponging between two buffers (out-of-place).
+//! The paper chooses Cooley–Tukey instead because HE never needs sorted
+//! outputs and the doubled working set hurts cache behaviour (§IV); we
+//! implement Stockham to reproduce that comparison.
+//!
+//! This is a decimation-in-frequency Stockham over the cyclic transform
+//! with the negacyclic `psi^n` pre-twist merged into the first stage's
+//! loads, so it computes exactly the same function as
+//! [`crate::ct::ntt`] followed by a bit-reversal.
+
+use crate::table::NttTable;
+use ntt_math::modops::{add_mod, mul_mod, sub_mod};
+
+/// Forward negacyclic NTT, natural-order input **and** output.
+///
+/// Returns a fresh vector (Stockham is inherently out-of-place).
+///
+/// # Panics
+///
+/// Panics if `a.len() != table.n()`.
+///
+/// # Example
+///
+/// ```
+/// use ntt_core::{ct, stockham, NttTable, bitrev};
+/// let t = NttTable::new_with_bits(64, 60)?;
+/// let a: Vec<u64> = (0..64).collect();
+/// let sorted = stockham::stockham_ntt(&a, &t);
+/// let mut ct_out = a.clone();
+/// ct::ntt(&mut ct_out, &t);
+/// assert_eq!(sorted, bitrev::bit_reversed(&ct_out));
+/// # Ok::<(), ntt_math::root::RootError>(())
+/// ```
+pub fn stockham_ntt(a: &[u64], table: &NttTable) -> Vec<u64> {
+    assert_eq!(a.len(), table.n(), "input length must equal table N");
+    let n = a.len();
+    let p = table.modulus();
+    let psi = table.psi();
+    let omega = mul_mod(psi, psi, p); // primitive N-th root for the cyclic part
+
+    // Pre-twist: x[n] <- a[n] * psi^n merges the negacyclic factor.
+    let mut src: Vec<u64> = {
+        let mut acc = 1u64;
+        a.iter()
+            .map(|&x| {
+                let v = mul_mod(x % p, acc, p);
+                acc = mul_mod(acc, psi, p);
+                v
+            })
+            .collect()
+    };
+    let mut dst = vec![0u64; n];
+
+    // DIF Stockham: `l` sub-blocks halve, `m` strides double each stage.
+    let mut l = n / 2;
+    let mut m = 1usize;
+    while l >= 1 {
+        for j in 0..l {
+            // Twiddle for this block: omega^(j*m).
+            let w = ntt_math::pow_mod(omega, (j * m) as u64, p);
+            for k in 0..m {
+                let c0 = src[k + j * m];
+                let c1 = src[k + j * m + l * m];
+                dst[k + 2 * j * m] = add_mod(c0, c1, p);
+                dst[k + 2 * j * m + m] = mul_mod(sub_mod(c0, c1, p), w, p);
+            }
+        }
+        std::mem::swap(&mut src, &mut dst);
+        l /= 2;
+        m *= 2;
+    }
+    src
+}
+
+/// Count of butterfly operations a Stockham N-point NTT performs
+/// (identical to Cooley–Tukey: `N/2 · log2 N`).
+pub fn butterfly_count(n: usize) -> usize {
+    n / 2 * n.trailing_zeros() as usize
+}
+
+/// Working-set bytes: Stockham needs both ping and pong buffers
+/// (`2 · N · 8`), the out-of-place cost the paper cites against it.
+pub fn working_set_bytes(n: usize) -> usize {
+    2 * n * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitrev::bit_reversed;
+    use crate::ct;
+    use crate::naive::naive_ntt;
+
+    fn table(n: usize) -> NttTable {
+        NttTable::new_with_bits(n, 60).unwrap()
+    }
+
+    #[test]
+    fn matches_naive_in_natural_order() {
+        for n in [2usize, 4, 16, 64, 256] {
+            let t = table(n);
+            let a: Vec<u64> = (0..n as u64).map(|i| i * 5 + 2).collect();
+            let got = stockham_ntt(&a, &t);
+            let want = naive_ntt(&a, t.psi(), t.modulus());
+            assert_eq!(got, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn equals_ct_up_to_bit_reversal() {
+        let n = 1024;
+        let t = table(n);
+        let a: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(2654435761) % t.modulus()).collect();
+        let sorted = stockham_ntt(&a, &t);
+        let mut ct_out = a.clone();
+        ct::ntt(&mut ct_out, &t);
+        assert_eq!(sorted, bit_reversed(&ct_out));
+    }
+
+    #[test]
+    fn counters() {
+        assert_eq!(butterfly_count(8), 12);
+        assert_eq!(butterfly_count(1 << 17), (1 << 16) * 17);
+        assert_eq!(working_set_bytes(1 << 17), 2 << 20);
+    }
+}

@@ -1,0 +1,294 @@
+//! Precomputed twiddle-factor tables.
+//!
+//! The table layout follows the paper (and SEAL/NFLlib): for an N-point
+//! negacyclic NTT mod `p` with primitive 2N-th root `psi`,
+//!
+//! ```text
+//! psi_rev[i]  = psi^{bit_reverse(i, log2 N)}          (forward twiddles)
+//! ipsi_rev[i] = psi^{-bit_reverse(i, log2 N)}         (inverse twiddles)
+//! ```
+//!
+//! and every entry carries its Shoup companion word, **doubling** the table
+//! bytes — the effect at the heart of the paper's bandwidth analysis. The
+//! per-stage accounting methods reproduce Figure 8.
+
+use crate::bitrev::bit_reverse;
+use ntt_math::root::{inverse_root, primitive_root_of_unity, RootError};
+use ntt_math::shoup::precompute;
+use ntt_math::{inv_mod, mul_mod, ShoupMul};
+
+/// Twiddle-factor table for one `(N, p)` pair.
+///
+/// Stored as parallel `Vec<u64>`s (value + Shoup companion) so GPU kernels
+/// can treat them as raw device arrays.
+///
+/// # Example
+///
+/// ```
+/// use ntt_core::NttTable;
+/// let t = NttTable::new_with_bits(1024, 60)?;
+/// assert_eq!(t.n(), 1024);
+/// // Forward table bytes: N entries * (8B value + 8B companion).
+/// assert_eq!(t.forward_table_bytes(), 1024 * 16);
+/// # Ok::<(), ntt_math::root::RootError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    n: usize,
+    log_n: u32,
+    p: u64,
+    psi: u64,
+    /// `psi^{bitrev(i)}`, i in `0..n`.
+    psi_rev: Vec<u64>,
+    /// Shoup companions of `psi_rev`.
+    psi_rev_shoup: Vec<u64>,
+    /// `psi^{-bitrev(i)}`, i in `0..n`.
+    ipsi_rev: Vec<u64>,
+    /// Shoup companions of `ipsi_rev`.
+    ipsi_rev_shoup: Vec<u64>,
+    /// `N^{-1} mod p` with companion, merged into the last inverse stage.
+    n_inv: ShoupMul,
+}
+
+impl NttTable {
+    /// Build the table for a given prime `p ≡ 1 (mod 2N)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RootError`] when `p` is not prime or lacks a 2N-th root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two ≥ 2.
+    pub fn new(n: usize, p: u64) -> Result<Self, RootError> {
+        assert!(n.is_power_of_two() && n >= 2, "N must be a power of two >= 2");
+        let psi = primitive_root_of_unity(2 * n as u64, p)?;
+        Ok(Self::with_root(n, p, psi))
+    }
+
+    /// Build the table, choosing the largest NTT-friendly prime of the given
+    /// bit size automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RootError::NotPrime`] if no prime of that size exists
+    /// (practically impossible for the supported ranges).
+    pub fn new_with_bits(n: usize, prime_bits: u32) -> Result<Self, RootError> {
+        let p = ntt_math::ntt_prime(prime_bits, 2 * n as u64)
+            .ok_or(RootError::NotPrime { p: 0 })?;
+        Self::new(n, p)
+    }
+
+    /// Build from an explicit primitive 2N-th root (must be valid; checked
+    /// in debug builds only).
+    pub fn with_root(n: usize, p: u64, psi: u64) -> Self {
+        debug_assert_eq!(ntt_math::pow_mod(psi, 2 * n as u64, p), 1);
+        debug_assert_eq!(ntt_math::pow_mod(psi, n as u64, p), p - 1);
+        let log_n = n.trailing_zeros();
+        let psi_inv = inverse_root(psi, p).expect("root is invertible");
+
+        // Powers in natural order first, then scatter to bit-reversed slots.
+        let mut pow_f = vec![0u64; n];
+        let mut pow_i = vec![0u64; n];
+        let mut acc_f = 1u64;
+        let mut acc_i = 1u64;
+        for i in 0..n {
+            pow_f[i] = acc_f;
+            pow_i[i] = acc_i;
+            acc_f = mul_mod(acc_f, psi, p);
+            acc_i = mul_mod(acc_i, psi_inv, p);
+        }
+        let mut psi_rev = vec![0u64; n];
+        let mut ipsi_rev = vec![0u64; n];
+        for i in 0..n {
+            let r = bit_reverse(i, log_n);
+            psi_rev[i] = pow_f[r];
+            ipsi_rev[i] = pow_i[r];
+        }
+        let psi_rev_shoup = psi_rev.iter().map(|&w| precompute(w, p)).collect();
+        let ipsi_rev_shoup = ipsi_rev.iter().map(|&w| precompute(w, p)).collect();
+        let n_inv = ShoupMul::new(inv_mod(n as u64 % p, p).expect("N invertible"), p);
+        Self {
+            n,
+            log_n,
+            p,
+            psi,
+            psi_rev,
+            psi_rev_shoup,
+            ipsi_rev,
+            ipsi_rev_shoup,
+            n_inv,
+        }
+    }
+
+    /// Transform size `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `log2 N`.
+    #[inline]
+    pub fn log_n(&self) -> u32 {
+        self.log_n
+    }
+
+    /// The prime modulus.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// The primitive 2N-th root of unity used for the merged twiddles.
+    #[inline]
+    pub fn psi(&self) -> u64 {
+        self.psi
+    }
+
+    /// Forward twiddle `psi^{bitrev(i)}` as a ready-to-use multiplier.
+    #[inline]
+    pub fn forward(&self, i: usize) -> ShoupMul {
+        ShoupMul::from_parts(self.psi_rev[i], self.psi_rev_shoup[i], self.p)
+    }
+
+    /// Inverse twiddle `psi^{-bitrev(i)}` as a ready-to-use multiplier.
+    #[inline]
+    pub fn inverse(&self, i: usize) -> ShoupMul {
+        ShoupMul::from_parts(self.ipsi_rev[i], self.ipsi_rev_shoup[i], self.p)
+    }
+
+    /// `N^{-1} mod p`, merged into the final inverse-NTT stage.
+    #[inline]
+    pub fn n_inv(&self) -> ShoupMul {
+        self.n_inv
+    }
+
+    /// Raw forward twiddle values (bit-reversed order) — device-array view.
+    #[inline]
+    pub fn forward_values(&self) -> &[u64] {
+        &self.psi_rev
+    }
+
+    /// Raw forward Shoup companions — device-array view.
+    #[inline]
+    pub fn forward_companions(&self) -> &[u64] {
+        &self.psi_rev_shoup
+    }
+
+    /// Raw inverse twiddle values (bit-reversed order).
+    #[inline]
+    pub fn inverse_values(&self) -> &[u64] {
+        &self.ipsi_rev
+    }
+
+    /// Raw inverse Shoup companions.
+    #[inline]
+    pub fn inverse_companions(&self) -> &[u64] {
+        &self.ipsi_rev_shoup
+    }
+
+    /// Bytes of the forward table: `N * (8 + 8)` — value plus Shoup
+    /// companion. This is the per-prime table the paper's §IV sizes.
+    pub fn forward_table_bytes(&self) -> usize {
+        self.n * 16
+    }
+
+    /// Bytes of forward + inverse tables.
+    pub fn total_table_bytes(&self) -> usize {
+        2 * self.forward_table_bytes()
+    }
+
+    /// Number of *distinct* twiddles consumed by radix-2 stage `s`
+    /// (1-based): `2^{s-1}`. Stage counts sum to `N - 1`.
+    pub fn stage_twiddle_count(&self, stage: u32) -> usize {
+        assert!(stage >= 1 && stage <= self.log_n, "stage out of range");
+        1usize << (stage - 1)
+    }
+
+    /// Per-stage data sizes relative to the input array (paper Fig. 8):
+    /// returns `(stage, twiddle_bytes / input_bytes)` for every stage.
+    /// The input term is constant 1.0; twiddles (with companions) grow to
+    /// 1.0 at the final stage.
+    pub fn relative_stage_sizes(&self) -> Vec<(u32, f64)> {
+        let input_bytes = (self.n * 8) as f64;
+        (1..=self.log_n)
+            .map(|s| {
+                let tw_bytes = (self.stage_twiddle_count(s) * 16) as f64;
+                (s, tw_bytes / input_bytes)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_entries_match_definition() {
+        let n = 16usize;
+        let t = NttTable::new_with_bits(n, 59).unwrap();
+        let p = t.modulus();
+        for i in 0..n {
+            let e = bit_reverse(i, t.log_n()) as u64;
+            assert_eq!(t.forward(i).value(), ntt_math::pow_mod(t.psi(), e, p));
+            let inv_psi = ntt_math::inv_mod(t.psi(), p).unwrap();
+            assert_eq!(t.inverse(i).value(), ntt_math::pow_mod(inv_psi, e, p));
+        }
+    }
+
+    #[test]
+    fn first_entry_is_one() {
+        let t = NttTable::new_with_bits(64, 60).unwrap();
+        assert_eq!(t.forward(0).value(), 1);
+        assert_eq!(t.inverse(0).value(), 1);
+    }
+
+    #[test]
+    fn n_inv_is_inverse_of_n() {
+        let t = NttTable::new_with_bits(256, 60).unwrap();
+        assert_eq!(
+            ntt_math::mul_mod(t.n_inv().value(), 256 % t.modulus(), t.modulus()),
+            1
+        );
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let t = NttTable::new_with_bits(1 << 14, 60).unwrap();
+        assert_eq!(t.forward_table_bytes(), (1 << 14) * 16);
+        assert_eq!(t.total_table_bytes(), (1 << 14) * 32);
+    }
+
+    #[test]
+    fn stage_twiddles_sum_to_n_minus_one() {
+        let t = NttTable::new_with_bits(1 << 10, 60).unwrap();
+        let total: usize = (1..=10).map(|s| t.stage_twiddle_count(s)).sum();
+        assert_eq!(total, (1 << 10) - 1);
+    }
+
+    #[test]
+    fn relative_sizes_reach_parity_at_last_stage() {
+        // Paper Fig. 8: at the final stage the twiddle bytes (value +
+        // companion) equal the input bytes.
+        let t = NttTable::new_with_bits(1 << 12, 60).unwrap();
+        let sizes = t.relative_stage_sizes();
+        let (last_stage, last_ratio) = *sizes.last().unwrap();
+        assert_eq!(last_stage, 12);
+        assert!((last_ratio - 1.0).abs() < 1e-12);
+        // Early stages are tiny — this is why preloading them into shared
+        // memory (Fig. 9) is feasible.
+        assert!(sizes[0].1 < 0.001);
+    }
+
+    #[test]
+    fn companions_match_fresh_precompute() {
+        let t = NttTable::new_with_bits(32, 59).unwrap();
+        for i in 0..32 {
+            assert_eq!(
+                t.forward_companions()[i],
+                ntt_math::shoup::precompute(t.forward_values()[i], t.modulus())
+            );
+        }
+    }
+}

@@ -1,0 +1,662 @@
+//! Kernel execution engine: warp programs over simulated memory.
+//!
+//! A kernel is a [`WarpKernel`]: a *warp program* invoked once per warp per
+//! phase. Phases are separated by block-level barriers (the CUDA
+//! `__syncthreads()` the paper's Fig. 2 shows between per-thread NTTs), so
+//! shared-memory communication is race-free as long as a phase either
+//! writes or reads a given SMEM region, never both across warps.
+//!
+//! Per-thread state that must survive across phases (the "registers"
+//! holding a per-thread NTT's points) lives in a block-wide register file
+//! the context hands out per lane.
+//!
+//! Memory accesses are warp-wide (`&[Option<usize>]`, one slot per lane,
+//! `None` = inactive lane) so the engine can group them into 32-byte DRAM
+//! transactions exactly as the coalescer in §II does.
+
+use crate::config::GpuConfig;
+use crate::mem::Gmem;
+use crate::occupancy::{occupancy, OccupancyInfo};
+use crate::perf::{kernel_time, KernelTiming};
+use crate::stats::{KernelStats, OpClass};
+
+/// Grid/block shape and modeled resource usage of one launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchConfig {
+    /// Label for traces and reports.
+    pub label: String,
+    /// Number of thread blocks in the grid.
+    pub blocks: usize,
+    /// Threads per block (≤ 1024).
+    pub threads_per_block: usize,
+    /// Modeled 32-bit register demand per thread (occupancy/spill input).
+    pub regs_per_thread: u32,
+    /// Shared memory bytes per block.
+    pub smem_bytes_per_block: usize,
+    /// Functional per-thread `u64` register slots (state across phases).
+    pub reg_slots: usize,
+}
+
+impl LaunchConfig {
+    /// A launch with the given shape and default resource estimates.
+    pub fn new(label: impl Into<String>, blocks: usize, threads_per_block: usize) -> Self {
+        Self {
+            label: label.into(),
+            blocks,
+            threads_per_block,
+            regs_per_thread: 32,
+            smem_bytes_per_block: 0,
+            reg_slots: 0,
+        }
+    }
+
+    /// Set the modeled 32-bit register demand per thread.
+    pub fn regs_per_thread(mut self, regs: u32) -> Self {
+        self.regs_per_thread = regs;
+        self
+    }
+
+    /// Set shared-memory bytes per block.
+    pub fn smem_bytes(mut self, bytes: usize) -> Self {
+        self.smem_bytes_per_block = bytes;
+        self
+    }
+
+    /// Set functional `u64` register slots per thread.
+    pub fn reg_slots(mut self, slots: usize) -> Self {
+        self.reg_slots = slots;
+        self
+    }
+
+    /// Total threads in the grid.
+    pub fn total_threads(&self) -> usize {
+        self.blocks * self.threads_per_block
+    }
+}
+
+/// A kernel expressed as a warp program.
+pub trait WarpKernel {
+    /// Number of barrier-separated phases.
+    fn phases(&self) -> usize;
+
+    /// Execute one warp for the phase in `ctx.phase`.
+    fn run_warp(&self, ctx: &mut WarpCtx<'_>);
+}
+
+/// Execution context handed to a warp program.
+#[derive(Debug)]
+pub struct WarpCtx<'a> {
+    /// Current phase (0-based).
+    pub phase: usize,
+    /// Block index within the grid.
+    pub block: usize,
+    /// Warp index within the block.
+    pub warp: usize,
+    lanes: usize,
+    threads_per_block: usize,
+    words_per_txn: usize,
+    reg_slots: usize,
+    gmem: &'a mut Gmem,
+    smem: &'a mut [u64],
+    regs: &'a mut [u64],
+    stats: &'a mut KernelStats,
+    /// Bitmap of 32-byte segments already resident in the read-only cache.
+    cached: &'a mut [u64],
+}
+
+impl<'a> WarpCtx<'a> {
+    /// Active lanes in this warp (< 32 only for a ragged last warp).
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Block-local thread id of `lane`.
+    #[inline]
+    pub fn thread_in_block(&self, lane: usize) -> usize {
+        self.warp * 32 + lane
+    }
+
+    /// Grid-global thread id of `lane`.
+    #[inline]
+    pub fn global_thread(&self, lane: usize) -> usize {
+        self.block * self.threads_per_block + self.thread_in_block(lane)
+    }
+
+    /// This lane's persistent register slice (`reg_slots` words).
+    #[inline]
+    pub fn regs(&mut self, lane: usize) -> &mut [u64] {
+        let t = self.thread_in_block(lane);
+        &mut self.regs[t * self.reg_slots..(t + 1) * self.reg_slots]
+    }
+
+    /// Record `n` arithmetic operations of class `op` (one warp
+    /// instruction bundle).
+    #[inline]
+    pub fn count_op(&mut self, op: OpClass, n: u64) {
+        self.stats.count_op(op, n);
+        self.stats.warp_instructions += 1;
+    }
+
+    /// Distinct 32-byte segments and maximal consecutive runs among them.
+    fn count_segments(&self, addrs: &[Option<usize>]) -> (u64, u64) {
+        // ≤ 32 lanes: collect segment ids and count distinct ones.
+        let mut segs = [usize::MAX; 32];
+        let mut n = 0;
+        for a in addrs.iter().flatten() {
+            let s = a / self.words_per_txn;
+            if !segs[..n].contains(&s) {
+                segs[n] = s;
+                n += 1;
+            }
+        }
+        segs[..n].sort_unstable();
+        let mut runs = 0u64;
+        for i in 0..n {
+            if i == 0 || segs[i] != segs[i - 1] + 1 {
+                runs += 1;
+            }
+        }
+        (n as u64, runs)
+    }
+
+    /// Warp-wide GMEM load. One slot per lane; `None` = inactive.
+    /// Counts coalesced 32-byte transactions.
+    pub fn gmem_load(&mut self, addrs: &[Option<usize>]) -> Vec<Option<u64>> {
+        debug_assert!(addrs.len() <= self.lanes);
+        let (txns, runs) = self.count_segments(addrs);
+        self.stats.dram_read_transactions += txns;
+        self.stats.dram_row_activations += runs;
+        self.stats.warp_instructions += 1;
+        let mut useful = 0;
+        let out = addrs
+            .iter()
+            .map(|a| {
+                a.map(|addr| {
+                    useful += 8;
+                    self.gmem.word(addr)
+                })
+            })
+            .collect();
+        self.stats.useful_read_bytes += useful;
+        out
+    }
+
+    /// Paired warp-wide GMEM load: both operand sets are fetched in one
+    /// transaction-counting unit, so segments shared between the two (e.g.
+    /// the butterfly pair `a[x]`/`a[x+t]` once `t` drops below a
+    /// transaction) are only charged once — modeling the L1 hit the second
+    /// access gets on real hardware.
+    pub fn gmem_load2(
+        &mut self,
+        addrs_a: &[Option<usize>],
+        addrs_b: &[Option<usize>],
+    ) -> (Vec<Option<u64>>, Vec<Option<u64>>) {
+        debug_assert!(addrs_a.len() <= self.lanes && addrs_b.len() <= self.lanes);
+        let mut segs = Vec::with_capacity(64);
+        for a in addrs_a.iter().chain(addrs_b).flatten() {
+            let s = a / self.words_per_txn;
+            if !segs.contains(&s) {
+                segs.push(s);
+            }
+        }
+        segs.sort_unstable();
+        let mut runs = 0u64;
+        for i in 0..segs.len() {
+            if i == 0 || segs[i] != segs[i - 1] + 1 {
+                runs += 1;
+            }
+        }
+        self.stats.dram_read_transactions += segs.len() as u64;
+        self.stats.dram_row_activations += runs;
+        self.stats.warp_instructions += 2;
+        let mut useful = 0;
+        let read = |gmem: &Gmem, a: &Option<usize>, useful: &mut u64| {
+            a.map(|addr| {
+                *useful += 8;
+                gmem.word(addr)
+            })
+        };
+        let va = addrs_a.iter().map(|a| read(self.gmem, a, &mut useful)).collect();
+        let vb = addrs_b.iter().map(|a| read(self.gmem, a, &mut useful)).collect();
+        self.stats.useful_read_bytes += useful;
+        (va, vb)
+    }
+
+    /// Paired warp-wide GMEM store (see [`Self::gmem_load2`]).
+    pub fn gmem_store2(
+        &mut self,
+        writes_a: &[Option<(usize, u64)>],
+        writes_b: &[Option<(usize, u64)>],
+    ) {
+        debug_assert!(writes_a.len() <= self.lanes && writes_b.len() <= self.lanes);
+        let mut segs = Vec::with_capacity(64);
+        for w in writes_a.iter().chain(writes_b).flatten() {
+            let s = w.0 / self.words_per_txn;
+            if !segs.contains(&s) {
+                segs.push(s);
+            }
+        }
+        segs.sort_unstable();
+        let mut runs = 0u64;
+        for i in 0..segs.len() {
+            if i == 0 || segs[i] != segs[i - 1] + 1 {
+                runs += 1;
+            }
+        }
+        self.stats.dram_write_transactions += segs.len() as u64;
+        self.stats.dram_row_activations += runs;
+        self.stats.warp_instructions += 2;
+        for w in writes_a.iter().chain(writes_b).flatten() {
+            self.stats.useful_write_bytes += 8;
+            self.gmem.set_word(w.0, w.1);
+        }
+    }
+
+    /// Warp-wide load through the read-only (L2/texture) path: the first
+    /// touch of a 32-byte segment in this launch costs a DRAM transaction;
+    /// repeat touches only cost L2 transactions. Use for twiddle tables
+    /// (the paper's TMEM caching, §V).
+    pub fn gmem_load_cached(&mut self, addrs: &[Option<usize>]) -> Vec<Option<u64>> {
+        debug_assert!(addrs.len() <= self.lanes);
+        let mut l2 = 0u64;
+        let mut segs = [usize::MAX; 32];
+        let mut nseg = 0;
+        for a in addrs.iter().flatten() {
+            let s = a / self.words_per_txn;
+            if !segs[..nseg].contains(&s) {
+                segs[nseg] = s;
+                nseg += 1;
+                l2 += 1;
+                let (w, b) = (s / 64, s % 64);
+                if self.cached[w] & (1 << b) == 0 {
+                    self.cached[w] |= 1 << b;
+                    self.stats.dram_read_transactions += 1;
+                }
+            }
+        }
+        self.stats.l2_read_transactions += l2;
+        self.stats.warp_instructions += 1;
+        let mut useful = 0;
+        let out = addrs
+            .iter()
+            .map(|a| {
+                a.map(|addr| {
+                    useful += 8;
+                    self.gmem.word(addr)
+                })
+            })
+            .collect();
+        self.stats.useful_read_bytes += useful;
+        out
+    }
+
+    /// Warp-wide GMEM store through the L2 write-back path: scattered 8-byte
+    /// writes from different warps to the same 32-byte sector merge in L2,
+    /// so DRAM write transactions are counted once per unique sector per
+    /// launch while every warp access costs an L2 transaction. Use for
+    /// store patterns that are uncoalesced per warp but dense across the
+    /// grid (the paper's Fig. 6(a) case).
+    pub fn gmem_store_merged(&mut self, writes: &[Option<(usize, u64)>]) {
+        debug_assert!(writes.len() <= self.lanes);
+        let mut l2 = 0u64;
+        let mut segs = [usize::MAX; 32];
+        let mut nseg = 0;
+        for w in writes.iter().flatten() {
+            let s = w.0 / self.words_per_txn;
+            if !segs[..nseg].contains(&s) {
+                segs[nseg] = s;
+                nseg += 1;
+                l2 += 1;
+                let (word, bit) = (s / 64, s % 64);
+                if self.cached[word] & (1 << bit) == 0 {
+                    self.cached[word] |= 1 << bit;
+                    self.stats.dram_write_transactions += 1;
+                    self.stats.dram_row_activations += 1;
+                }
+            }
+        }
+        self.stats.l2_read_transactions += l2;
+        self.stats.warp_instructions += 1;
+        for w in writes.iter().flatten() {
+            self.stats.useful_write_bytes += 8;
+            self.gmem.set_word(w.0, w.1);
+        }
+    }
+
+    /// Warp-wide GMEM store; counts coalesced transactions.
+    pub fn gmem_store(&mut self, writes: &[Option<(usize, u64)>]) {
+        debug_assert!(writes.len() <= self.lanes);
+        let addrs: Vec<Option<usize>> = writes.iter().map(|w| w.map(|(a, _)| a)).collect();
+        let (txns, runs) = self.count_segments(&addrs);
+        self.stats.dram_write_transactions += txns;
+        self.stats.dram_row_activations += runs;
+        self.stats.warp_instructions += 1;
+        for w in writes.iter().flatten() {
+            self.stats.useful_write_bytes += 8;
+            self.gmem.set_word(w.0, w.1);
+        }
+    }
+
+    /// Warp-wide shared-memory load (block-local word addresses).
+    ///
+    /// Lanes reading the same word are served by one bank broadcast, so
+    /// traffic is counted per *unique* address (the hardware broadcast of
+    /// §II that makes SMEM twiddle reads nearly free).
+    pub fn smem_load(&mut self, addrs: &[Option<usize>]) -> Vec<Option<u64>> {
+        debug_assert!(addrs.len() <= self.lanes);
+        self.stats.warp_instructions += 1;
+        let mut uniq = [usize::MAX; 32];
+        let mut n = 0u64;
+        for a in addrs.iter().flatten() {
+            if !uniq[..n as usize].contains(a) {
+                uniq[n as usize] = *a;
+                n += 1;
+            }
+        }
+        self.stats.smem_read_bytes += 8 * n;
+        addrs.iter().map(|a| a.map(|addr| self.smem[addr])).collect()
+    }
+
+    /// Warp-wide shared-memory store (unique addresses counted once).
+    pub fn smem_store(&mut self, writes: &[Option<(usize, u64)>]) {
+        debug_assert!(writes.len() <= self.lanes);
+        self.stats.warp_instructions += 1;
+        let mut uniq = [usize::MAX; 32];
+        let mut n = 0u64;
+        for w in writes.iter().flatten() {
+            if !uniq[..n as usize].contains(&w.0) {
+                uniq[n as usize] = w.0;
+                n += 1;
+            }
+        }
+        self.stats.smem_write_bytes += 8 * n;
+        for w in writes.iter().flatten() {
+            self.smem[w.0] = w.1;
+        }
+    }
+}
+
+/// One launch: configuration, counters, occupancy and modeled time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchRecord {
+    /// The launch configuration (including its label).
+    pub launch: LaunchConfig,
+    /// Gathered counters.
+    pub stats: KernelStats,
+    /// Occupancy analysis.
+    pub occupancy: OccupancyInfo,
+    /// Modeled timing breakdown.
+    pub timing: KernelTiming,
+}
+
+impl LaunchRecord {
+    /// DRAM bytes including spill traffic.
+    pub fn dram_bytes(&self, cfg: &GpuConfig) -> u64 {
+        self.stats.dram_bytes(cfg) + self.timing.lmem_bytes
+    }
+}
+
+/// Execute a kernel to completion, producing its [`LaunchRecord`].
+///
+/// # Panics
+///
+/// Panics if the launch shape violates device limits.
+pub fn run_kernel<K: WarpKernel>(
+    cfg: &GpuConfig,
+    gmem: &mut Gmem,
+    kernel: &K,
+    launch: &LaunchConfig,
+) -> LaunchRecord {
+    assert!(launch.blocks > 0, "grid must contain at least one block");
+    assert!(
+        launch.threads_per_block >= 1
+            && launch.threads_per_block <= cfg.max_threads_per_block as usize,
+        "threads per block out of range"
+    );
+    assert!(
+        launch.smem_bytes_per_block <= cfg.max_smem_per_block as usize,
+        "shared memory per block exceeds device limit"
+    );
+    assert_eq!(
+        launch.smem_bytes_per_block % 8,
+        0,
+        "shared memory must be word-aligned"
+    );
+
+    let mut stats = KernelStats::default();
+    let smem_words = launch.smem_bytes_per_block / 8;
+    let warps_per_block = launch.threads_per_block.div_ceil(32);
+    let seg_count = gmem.allocated_words().div_ceil(cfg.words_per_transaction());
+    let mut cached = vec![0u64; seg_count.div_ceil(64)];
+    let mut smem = vec![0u64; smem_words];
+    let mut regs = vec![0u64; launch.threads_per_block * launch.reg_slots];
+    let phases = kernel.phases();
+
+    for block in 0..launch.blocks {
+        smem.fill(0);
+        regs.fill(0);
+        for phase in 0..phases {
+            for warp in 0..warps_per_block {
+                let lanes = 32.min(launch.threads_per_block - warp * 32);
+                let mut ctx = WarpCtx {
+                    phase,
+                    block,
+                    warp,
+                    lanes,
+                    threads_per_block: launch.threads_per_block,
+                    words_per_txn: cfg.words_per_transaction(),
+                    reg_slots: launch.reg_slots,
+                    gmem,
+                    smem: &mut smem,
+                    regs: &mut regs,
+                    stats: &mut stats,
+                    cached: &mut cached,
+                };
+                kernel.run_warp(&mut ctx);
+            }
+            if phase + 1 < phases {
+                stats.barriers += 1;
+            }
+        }
+    }
+
+    let occupancy_info = occupancy(cfg, launch);
+    let timing = kernel_time(cfg, launch, &stats);
+    LaunchRecord {
+        launch: launch.clone(),
+        stats,
+        occupancy: occupancy_info,
+        timing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Strided reader: lane l reads word l*stride (tests coalescing math).
+    struct StridedRead {
+        buf: crate::Buf,
+        stride: usize,
+    }
+
+    impl WarpKernel for StridedRead {
+        fn phases(&self) -> usize {
+            1
+        }
+        fn run_warp(&self, ctx: &mut WarpCtx<'_>) {
+            let addrs: Vec<Option<usize>> = (0..ctx.lanes())
+                .map(|l| Some(self.buf.word(ctx.global_thread(l) * self.stride)))
+                .collect();
+            ctx.gmem_load(&addrs);
+        }
+    }
+
+    #[test]
+    fn unit_stride_coalesces_perfectly() {
+        let mut gmem = Gmem::new();
+        let buf = gmem.alloc(1024);
+        let cfg = GpuConfig::titan_v();
+        let launch = LaunchConfig::new("r", 1, 32);
+        let rec = run_kernel(&cfg, &mut gmem, &StridedRead { buf, stride: 1 }, &launch);
+        // 32 lanes x 8 B = 256 B = 8 transactions of 32 B.
+        assert_eq!(rec.stats.dram_read_transactions, 8);
+        assert_eq!(rec.stats.useful_read_bytes, 256);
+        assert!((rec.stats.read_waste(&cfg) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stride_four_wastes_three_quarters() {
+        // Lane addresses 4 words apart: each 32 B transaction serves one
+        // lane — the paper's Fig. 6(a) 75%-waste case.
+        let mut gmem = Gmem::new();
+        let buf = gmem.alloc(4096);
+        let cfg = GpuConfig::titan_v();
+        let launch = LaunchConfig::new("r", 1, 32);
+        let rec = run_kernel(&cfg, &mut gmem, &StridedRead { buf, stride: 4 }, &launch);
+        assert_eq!(rec.stats.dram_read_transactions, 32);
+        assert!((rec.stats.read_waste(&cfg) - 0.75).abs() < 1e-12);
+    }
+
+    /// All lanes read the same word (twiddle broadcast).
+    struct Broadcast {
+        buf: crate::Buf,
+        cached: bool,
+    }
+
+    impl WarpKernel for Broadcast {
+        fn phases(&self) -> usize {
+            1
+        }
+        fn run_warp(&self, ctx: &mut WarpCtx<'_>) {
+            let addrs: Vec<Option<usize>> =
+                (0..ctx.lanes()).map(|_| Some(self.buf.word(0))).collect();
+            if self.cached {
+                ctx.gmem_load_cached(&addrs);
+            } else {
+                ctx.gmem_load(&addrs);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_is_one_transaction_per_warp() {
+        let mut gmem = Gmem::new();
+        let buf = gmem.alloc(4);
+        let cfg = GpuConfig::titan_v();
+        let launch = LaunchConfig::new("b", 8, 256);
+        let rec = run_kernel(&cfg, &mut gmem, &Broadcast { buf, cached: false }, &launch);
+        // 8 blocks x 8 warps, each warp 1 transaction.
+        assert_eq!(rec.stats.dram_read_transactions, 64);
+    }
+
+    #[test]
+    fn cached_broadcast_hits_dram_once() {
+        let mut gmem = Gmem::new();
+        let buf = gmem.alloc(4);
+        let cfg = GpuConfig::titan_v();
+        let launch = LaunchConfig::new("b", 8, 256);
+        let rec = run_kernel(&cfg, &mut gmem, &Broadcast { buf, cached: true }, &launch);
+        assert_eq!(rec.stats.dram_read_transactions, 1);
+        assert_eq!(rec.stats.l2_read_transactions, 64);
+    }
+
+    /// Two-phase SMEM exchange: phase 0 writes tid, phase 1 reads reversed.
+    struct SmemReverse {
+        out: crate::Buf,
+    }
+
+    impl WarpKernel for SmemReverse {
+        fn phases(&self) -> usize {
+            2
+        }
+        fn run_warp(&self, ctx: &mut WarpCtx<'_>) {
+            let lanes = ctx.lanes();
+            let n = 64; // threads per block in the test
+            if ctx.phase == 0 {
+                let writes: Vec<Option<(usize, u64)>> = (0..lanes)
+                    .map(|l| {
+                        let t = ctx.thread_in_block(l);
+                        Some((t, ctx.global_thread(l) as u64))
+                    })
+                    .collect();
+                ctx.smem_store(&writes);
+            } else {
+                let addrs: Vec<Option<usize>> = (0..lanes)
+                    .map(|l| Some(n - 1 - ctx.thread_in_block(l)))
+                    .collect();
+                let vals = ctx.smem_load(&addrs);
+                let writes: Vec<Option<(usize, u64)>> = (0..lanes)
+                    .map(|l| Some((self.out.word(ctx.global_thread(l)), vals[l].unwrap())))
+                    .collect();
+                ctx.gmem_store(&writes);
+            }
+        }
+    }
+
+    #[test]
+    fn smem_exchange_across_barrier() {
+        let mut gmem = Gmem::new();
+        let out = gmem.alloc(128);
+        let cfg = GpuConfig::titan_v();
+        let launch = LaunchConfig::new("rev", 2, 64).smem_bytes(64 * 8);
+        let rec = run_kernel(&cfg, &mut gmem, &SmemReverse { out }, &launch);
+        // Block 0 reverses 0..64, block 1 reverses 64..128.
+        let data = gmem.slice(out);
+        assert_eq!(data[0], 63);
+        assert_eq!(data[63], 0);
+        assert_eq!(data[64], 127);
+        assert_eq!(rec.stats.barriers, 2); // one per block
+        assert_eq!(rec.stats.smem_write_bytes, 128 * 8);
+    }
+
+    #[test]
+    fn register_state_survives_phases() {
+        struct RegCarry {
+            out: crate::Buf,
+        }
+        impl WarpKernel for RegCarry {
+            fn phases(&self) -> usize {
+                2
+            }
+            fn run_warp(&self, ctx: &mut WarpCtx<'_>) {
+                let lanes = ctx.lanes();
+                if ctx.phase == 0 {
+                    for l in 0..lanes {
+                        let v = ctx.global_thread(l) as u64 * 3;
+                        ctx.regs(l)[0] = v;
+                    }
+                } else {
+                    let writes: Vec<Option<(usize, u64)>> = (0..lanes)
+                        .map(|l| {
+                            let v = ctx.regs(l)[0];
+                            Some((self.out.word(ctx.global_thread(l)), v))
+                        })
+                        .collect();
+                    ctx.gmem_store(&writes);
+                }
+            }
+        }
+        let mut gmem = Gmem::new();
+        let out = gmem.alloc(64);
+        let cfg = GpuConfig::titan_v();
+        let launch = LaunchConfig::new("reg", 2, 32).reg_slots(1);
+        run_kernel(&cfg, &mut gmem, &RegCarry { out }, &launch);
+        assert_eq!(gmem.slice(out)[10], 30);
+        assert_eq!(gmem.slice(out)[63], 189);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_rejected() {
+        let mut gmem = Gmem::new();
+        let buf = gmem.alloc(4);
+        run_kernel(
+            &GpuConfig::titan_v(),
+            &mut gmem,
+            &StridedRead { buf, stride: 1 },
+            &LaunchConfig::new("x", 0, 32),
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! A functional + performance model of a Titan-V-class GPU.
+//!
+//! This crate is the hardware substrate for the reproduction of
+//! *"Accelerating NTT for Bootstrappable HE on GPUs"* (IISWC 2020). The
+//! paper's experiments run CUDA kernels on an NVIDIA Titan V; this
+//! environment has no GPU, so — per the reproduction's substitution rule —
+//! we model one:
+//!
+//! * **Functional**: kernels are *warp programs* ([`WarpKernel`]) executed
+//!   against simulated global/shared memory. Data really moves; the NTT
+//!   results coming out of the simulator are checked bit-exact against the
+//!   scalar reference in `ntt-core`.
+//! * **Performance**: every warp-level load/store is classified into 32-byte
+//!   DRAM transactions (memory coalescing, §II of the paper), read-only
+//!   table loads go through a modeled L2/texture path, shared-memory
+//!   traffic and block barriers are counted, and occupancy is derived from
+//!   register/SMEM pressure ([`occupancy`]). A calibrated analytical model
+//!   ([`perf`], [`calibrate`]) converts the counts into time.
+//!
+//! What this preserves from the paper: every effect the paper measures is a
+//! *counted* quantity here (bytes, transactions, wasted lanes, spills,
+//! occupancy), so the shapes of the paper's figures emerge from first
+//! principles; only the count→seconds conversion is calibrated, against the
+//! anchor points the paper discloses (86.7% saturated DRAM utilization,
+//! 59.9% at radix-32's occupancy, spills from radix-64 up).
+//!
+//! # Example
+//!
+//! ```
+//! use gpu_sim::{Gpu, GpuConfig, LaunchConfig, WarpKernel, WarpCtx};
+//!
+//! /// Doubles every element of a buffer.
+//! struct DoubleKernel { buf: gpu_sim::Buf }
+//! impl WarpKernel for DoubleKernel {
+//!     fn phases(&self) -> usize { 1 }
+//!     fn run_warp(&self, ctx: &mut WarpCtx<'_>) {
+//!         let lanes = ctx.lanes();
+//!         let addrs: Vec<Option<usize>> = (0..lanes)
+//!             .map(|l| Some(self.buf.word(ctx.global_thread(l))))
+//!             .collect();
+//!         let vals = ctx.gmem_load(&addrs);
+//!         let writes: Vec<Option<(usize, u64)>> = (0..lanes)
+//!             .map(|l| Some((self.buf.word(ctx.global_thread(l)), vals[l].unwrap() * 2)))
+//!             .collect();
+//!         ctx.gmem_store(&writes);
+//!     }
+//! }
+//!
+//! let mut gpu = Gpu::new(GpuConfig::titan_v());
+//! let buf = gpu.gmem.alloc_from(&[1u64, 2, 3, 4]);
+//! let cfg = LaunchConfig::new("double", 1, 4).regs_per_thread(16);
+//! let record = gpu.launch(&DoubleKernel { buf }, &cfg);
+//! assert_eq!(gpu.gmem.slice(buf), &[2, 4, 6, 8]);
+//! assert!(record.timing.total_s > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod config;
+pub mod engine;
+pub mod mem;
+pub mod occupancy;
+pub mod perf;
+pub mod stats;
+
+pub use config::GpuConfig;
+pub use engine::{LaunchConfig, LaunchRecord, WarpCtx, WarpKernel};
+pub use mem::{Buf, Gmem};
+pub use occupancy::OccupancyInfo;
+pub use perf::KernelTiming;
+pub use stats::{KernelStats, OpClass};
+
+/// The simulated device: configuration, global memory, and a trace of every
+/// kernel launch with its statistics and modeled timing.
+#[derive(Debug)]
+pub struct Gpu {
+    /// Device configuration (Titan V by default).
+    pub config: GpuConfig,
+    /// Simulated global memory.
+    pub gmem: Gmem,
+    /// One record per launch, in launch order.
+    pub trace: Vec<LaunchRecord>,
+}
+
+impl Gpu {
+    /// A fresh device with empty memory.
+    pub fn new(config: GpuConfig) -> Self {
+        Self {
+            config,
+            gmem: Gmem::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Execute a kernel and record its statistics and modeled time.
+    ///
+    /// Returns a clone of the recorded [`LaunchRecord`].
+    pub fn launch<K: WarpKernel>(&mut self, kernel: &K, cfg: &LaunchConfig) -> LaunchRecord {
+        let record = engine::run_kernel(&self.config, &mut self.gmem, kernel, cfg);
+        self.trace.push(record.clone());
+        record
+    }
+
+    /// Total modeled time of all launches since the last reset.
+    pub fn total_time_s(&self) -> f64 {
+        self.trace.iter().map(|r| r.timing.total_s).sum()
+    }
+
+    /// Total DRAM bytes moved (reads + writes + spills) across the trace.
+    pub fn total_dram_bytes(&self) -> u64 {
+        self.trace
+            .iter()
+            .map(|r| r.stats.dram_bytes(&self.config) + r.timing.lmem_bytes)
+            .sum()
+    }
+
+    /// Aggregate achieved DRAM bandwidth utilization (fraction of peak)
+    /// over the whole trace.
+    pub fn dram_utilization(&self) -> f64 {
+        let t = self.total_time_s();
+        if t == 0.0 {
+            return 0.0;
+        }
+        self.total_dram_bytes() as f64 / t / self.config.peak_dram_bw
+    }
+
+    /// Clear the launch trace (keeps memory contents).
+    pub fn reset_trace(&mut self) {
+        self.trace.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Copy {
+        src: Buf,
+        dst: Buf,
+    }
+
+    impl WarpKernel for Copy {
+        fn phases(&self) -> usize {
+            1
+        }
+        fn run_warp(&self, ctx: &mut WarpCtx<'_>) {
+            let lanes = ctx.lanes();
+            let addrs: Vec<Option<usize>> = (0..lanes)
+                .map(|l| Some(self.src.word(ctx.global_thread(l))))
+                .collect();
+            let vals = ctx.gmem_load(&addrs);
+            let writes: Vec<Option<(usize, u64)>> = (0..lanes)
+                .map(|l| Some((self.dst.word(ctx.global_thread(l)), vals[l].unwrap())))
+                .collect();
+            ctx.gmem_store(&writes);
+        }
+    }
+
+    #[test]
+    fn copy_kernel_moves_data_and_counts_traffic() {
+        let mut gpu = Gpu::new(GpuConfig::titan_v());
+        let data: Vec<u64> = (0..1024).collect();
+        let src = gpu.gmem.alloc_from(&data);
+        let dst = gpu.gmem.alloc(1024);
+        let cfg = LaunchConfig::new("copy", 4, 256).regs_per_thread(16);
+        let rec = gpu.launch(&Copy { src, dst }, &cfg);
+        assert_eq!(gpu.gmem.slice(dst), &data[..]);
+        // Fully coalesced: 1024 words * 8 B / 32 B per transaction, each way.
+        assert_eq!(rec.stats.dram_read_transactions, 256);
+        assert_eq!(rec.stats.dram_write_transactions, 256);
+        assert!(rec.timing.total_s > 0.0);
+        assert_eq!(gpu.trace.len(), 1);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let mut gpu = Gpu::new(GpuConfig::titan_v());
+        let src = gpu.gmem.alloc_from(&vec![7u64; 1 << 16]);
+        let dst = gpu.gmem.alloc(1 << 16);
+        let cfg = LaunchConfig::new("copy", 64, 256).regs_per_thread(32);
+        gpu.launch(&Copy { src, dst }, &cfg);
+        let u = gpu.dram_utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u} out of range");
+    }
+}

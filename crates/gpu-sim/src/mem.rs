@@ -1,0 +1,169 @@
+//! Simulated global memory (GMEM).
+//!
+//! A single flat array of 64-bit words with bump allocation. Buffers are
+//! cheap handles (`Buf`) carrying their base word address, so kernels can
+//! compute global addresses the way CUDA kernels compute pointers.
+
+/// A handle to an allocated GMEM region (word-addressed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Buf {
+    base: usize,
+    len: usize,
+}
+
+impl Buf {
+    /// Base word address.
+    #[inline]
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Length in 64-bit words.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` for zero-length buffers.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Global word address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `i` is out of bounds.
+    #[inline]
+    pub fn word(&self, i: usize) -> usize {
+        debug_assert!(i < self.len, "buffer index {i} out of bounds ({})", self.len);
+        self.base + i
+    }
+
+    /// A sub-buffer view (`offset..offset+len`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the buffer.
+    pub fn sub(&self, offset: usize, len: usize) -> Buf {
+        assert!(offset + len <= self.len, "sub-buffer out of range");
+        Buf {
+            base: self.base + offset,
+            len,
+        }
+    }
+}
+
+/// Simulated device global memory.
+#[derive(Debug, Default)]
+pub struct Gmem {
+    words: Vec<u64>,
+}
+
+impl Gmem {
+    /// Empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate `len` zeroed words.
+    pub fn alloc(&mut self, len: usize) -> Buf {
+        let base = self.words.len();
+        self.words.resize(base + len, 0);
+        Buf { base, len }
+    }
+
+    /// Allocate and initialize from host data.
+    pub fn alloc_from(&mut self, data: &[u64]) -> Buf {
+        let base = self.words.len();
+        self.words.extend_from_slice(data);
+        Buf {
+            base,
+            len: data.len(),
+        }
+    }
+
+    /// Host-side read of a whole buffer.
+    pub fn slice(&self, buf: Buf) -> &[u64] {
+        &self.words[buf.base..buf.base + buf.len]
+    }
+
+    /// Host-side write into a buffer at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write exceeds the buffer.
+    pub fn write(&mut self, buf: Buf, offset: usize, data: &[u64]) {
+        assert!(offset + data.len() <= buf.len, "write out of bounds");
+        self.words[buf.base + offset..buf.base + offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Total words allocated.
+    pub fn allocated_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Raw word access for the engine.
+    #[inline]
+    pub(crate) fn word(&self, addr: usize) -> u64 {
+        self.words[addr]
+    }
+
+    /// Raw word store for the engine.
+    #[inline]
+    pub(crate) fn set_word(&mut self, addr: usize, v: u64) {
+        self.words[addr] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_roundtrip() {
+        let mut g = Gmem::new();
+        let a = g.alloc(8);
+        let b = g.alloc_from(&[1, 2, 3]);
+        assert_eq!(a.len(), 8);
+        assert_eq!(g.slice(a), &[0; 8]);
+        assert_eq!(g.slice(b), &[1, 2, 3]);
+        assert_eq!(b.base(), 8);
+        assert_eq!(g.allocated_words(), 11);
+    }
+
+    #[test]
+    fn write_and_word_addresses() {
+        let mut g = Gmem::new();
+        let a = g.alloc(4);
+        g.write(a, 1, &[9, 9]);
+        assert_eq!(g.slice(a), &[0, 9, 9, 0]);
+        assert_eq!(a.word(2), a.base() + 2);
+    }
+
+    #[test]
+    fn sub_buffer_addressing() {
+        let mut g = Gmem::new();
+        let a = g.alloc_from(&[10, 11, 12, 13, 14, 15]);
+        let s = a.sub(2, 3);
+        assert_eq!(g.slice(s), &[12, 13, 14]);
+        assert_eq!(s.word(0), a.word(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sub_buffer_bounds_checked() {
+        let mut g = Gmem::new();
+        let a = g.alloc(4);
+        a.sub(2, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn write_bounds_checked() {
+        let mut g = Gmem::new();
+        let a = g.alloc(2);
+        g.write(a, 1, &[1, 2]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Occupancy: how many threads an SM can keep resident.
+//!
+//! §II of the paper: "if each thread occupies a large amount of these
+//! resources [registers, SMEM], fewer threads can run simultaneously on an
+//! SM; the ratio of the number of concurrently running threads over the
+//! maximum of a machine is called the occupancy rate."
+
+use crate::config::GpuConfig;
+use crate::engine::LaunchConfig;
+
+/// Result of the occupancy calculation for one launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancyInfo {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Resident threads per SM.
+    pub threads_per_sm: u32,
+    /// Occupancy rate: resident threads / max threads.
+    pub occupancy: f64,
+    /// 32-bit registers the hardware actually allocates per thread
+    /// (demand capped at `max_regs_per_thread`).
+    pub regs_allocated: u32,
+    /// Registers spilled to local memory per thread (demand beyond cap).
+    pub regs_spilled: u32,
+    /// Which resource bounds the block count.
+    pub limiter: Limiter,
+}
+
+/// The resource that limits residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    /// Register file exhausted first.
+    Registers,
+    /// Shared memory exhausted first.
+    SharedMemory,
+    /// Thread count cap reached first.
+    Threads,
+    /// Block count cap reached first.
+    Blocks,
+    /// Fewer blocks launched than one SM could hold.
+    GridSize,
+}
+
+/// Compute occupancy for a launch configuration.
+///
+/// Register demand beyond the hardware cap spills: the thread still only
+/// *allocates* `max_regs_per_thread`, and the excess becomes per-thread
+/// local memory traffic (priced by the timing model). This mirrors the
+/// paper's observation for radix-64/128 that "the compiler allocates LMEM
+/// … while the occupancy remains mostly unchanged".
+pub fn occupancy(cfg: &GpuConfig, launch: &LaunchConfig) -> OccupancyInfo {
+    let threads = launch.threads_per_block as u32;
+    let regs_demand = launch.regs_per_thread.max(1);
+    // The compiler caps allocation at the hardware per-thread limit AND at
+    // whatever lets at least one block fit the register file (the effect
+    // of `maxrregcount`); everything beyond spills to local memory.
+    let fit_cap = (cfg.regfile_words_per_sm / threads.max(1)).max(16);
+    let regs_allocated = regs_demand.min(cfg.max_regs_per_thread).min(fit_cap);
+    let regs_spilled = regs_demand - regs_allocated;
+
+    let by_regs = cfg.regfile_words_per_sm / (regs_allocated * threads).max(1);
+    let by_smem = if launch.smem_bytes_per_block == 0 {
+        u32::MAX
+    } else {
+        cfg.smem_bytes_per_sm / launch.smem_bytes_per_block as u32
+    };
+    let by_threads = cfg.max_threads_per_sm / threads.max(1);
+    let by_blocks = cfg.max_blocks_per_sm;
+
+    let mut blocks_per_sm = by_regs.min(by_smem).min(by_threads).min(by_blocks);
+    let mut limiter = if blocks_per_sm == by_regs {
+        Limiter::Registers
+    } else if blocks_per_sm == by_smem {
+        Limiter::SharedMemory
+    } else if blocks_per_sm == by_threads {
+        Limiter::Threads
+    } else {
+        Limiter::Blocks
+    };
+
+    // A small grid cannot fill the machine regardless of resources.
+    let grid_blocks_per_sm = (launch.blocks as u32).div_ceil(cfg.sm_count);
+    if grid_blocks_per_sm < blocks_per_sm {
+        blocks_per_sm = grid_blocks_per_sm;
+        limiter = Limiter::GridSize;
+    }
+
+    let threads_per_sm = blocks_per_sm * threads;
+    OccupancyInfo {
+        blocks_per_sm,
+        threads_per_sm,
+        occupancy: f64::from(threads_per_sm) / f64::from(cfg.max_threads_per_sm),
+        regs_allocated,
+        regs_spilled,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn launch(blocks: usize, threads: usize, regs: u32, smem: usize) -> LaunchConfig {
+        LaunchConfig::new("t", blocks, threads)
+            .regs_per_thread(regs)
+            .smem_bytes(smem)
+    }
+
+    #[test]
+    fn full_occupancy_with_light_kernels() {
+        let cfg = GpuConfig::titan_v();
+        let o = occupancy(&cfg, &launch(10_000, 256, 32, 0));
+        assert_eq!(o.occupancy, 1.0);
+        assert_eq!(o.regs_spilled, 0);
+        assert_eq!(o.blocks_per_sm, 8);
+    }
+
+    #[test]
+    fn register_pressure_lowers_occupancy() {
+        let cfg = GpuConfig::titan_v();
+        // 65536 regs / (176 regs * 256 thr) -> 1 block of 256 threads.
+        let o = occupancy(&cfg, &launch(10_000, 256, 176, 0));
+        assert_eq!(o.limiter, Limiter::Registers);
+        assert!(o.occupancy < 0.25, "occ = {}", o.occupancy);
+    }
+
+    #[test]
+    fn spill_beyond_register_cap() {
+        let cfg = GpuConfig::titan_v();
+        let o = occupancy(&cfg, &launch(10_000, 128, 304, 0));
+        assert_eq!(o.regs_allocated, 255);
+        assert_eq!(o.regs_spilled, 49);
+        // Occupancy pinned at the 255-reg point: 65536/(255*128) = 2 blocks.
+        assert_eq!(o.blocks_per_sm, 2);
+    }
+
+    #[test]
+    fn spilled_kernels_share_occupancy_floor() {
+        // The paper (§VI-B): radix-64 and radix-128 both spill; their
+        // occupancy "remains mostly unchanged".
+        let cfg = GpuConfig::titan_v();
+        let o64 = occupancy(&cfg, &launch(10_000, 128, 304, 0));
+        let o128 = occupancy(&cfg, &launch(10_000, 128, 560, 0));
+        assert_eq!(o64.occupancy, o128.occupancy);
+        assert!(o128.regs_spilled > o64.regs_spilled);
+    }
+
+    #[test]
+    fn smem_limits_blocks() {
+        let cfg = GpuConfig::titan_v();
+        let o = occupancy(&cfg, &launch(10_000, 128, 32, 48 * 1024));
+        assert_eq!(o.limiter, Limiter::SharedMemory);
+        assert_eq!(o.blocks_per_sm, 2);
+    }
+
+    #[test]
+    fn small_grids_underfill() {
+        let cfg = GpuConfig::titan_v();
+        let o = occupancy(&cfg, &launch(80, 256, 32, 0));
+        assert_eq!(o.limiter, Limiter::GridSize);
+        assert_eq!(o.blocks_per_sm, 1);
+        assert!((o.occupancy - 0.125).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,203 @@
+//! The timing model: counted statistics → modeled kernel time.
+//!
+//! ```text
+//! t_kernel = ((t_dram)^k + (t_comp)^k)^(1/k)  ⊔  t_l2 ⊔ t_smem   (k = 3)
+//!            + t_barrier + LAUNCH_OVERHEAD
+//! ```
+//!
+//! * `t_dram` — transaction bytes (plus register-spill traffic) over the
+//!   achieved bandwidth `peak · MAX_BW_EFF · min(1, occ/OCC_KNEE)`.
+//! * `t_comp` — weighted issue slots over peak scalar throughput, derated
+//!   when occupancy is too low to hide latency.
+//! * `t_l2`, `t_smem` — read-only-path and shared-memory floors (`⊔` = max).
+//! * `t_barrier` — serialized block-barrier cost.
+//!
+//! All constants live in [`crate::calibrate`] with their anchors.
+
+use crate::calibrate as cal;
+use crate::config::GpuConfig;
+use crate::engine::LaunchConfig;
+use crate::occupancy::{occupancy, OccupancyInfo};
+use crate::stats::{KernelStats, OpClass};
+
+/// Timing breakdown for one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelTiming {
+    /// Achieved occupancy used by the model.
+    pub occupancy: f64,
+    /// DRAM efficiency `MAX_BW_EFF · min(1, occ/OCC_KNEE)`.
+    pub bw_eff: f64,
+    /// Register-spill (LMEM) bytes added to DRAM traffic.
+    pub lmem_bytes: u64,
+    /// DRAM-bound time component, seconds.
+    pub t_dram_s: f64,
+    /// Compute-bound time component, seconds.
+    pub t_comp_s: f64,
+    /// Read-only (L2/TMEM) path floor, seconds.
+    pub t_l2_s: f64,
+    /// Shared-memory floor, seconds.
+    pub t_smem_s: f64,
+    /// Serialized barrier cost, seconds.
+    pub t_barrier_s: f64,
+    /// Total modeled time including launch overhead, seconds.
+    pub total_s: f64,
+}
+
+impl KernelTiming {
+    /// Total time in microseconds (the paper's reporting unit).
+    pub fn total_us(&self) -> f64 {
+        self.total_s * 1e6
+    }
+
+    /// Achieved DRAM bandwidth as a fraction of peak for this kernel,
+    /// given its byte count (`dram_bytes` must include spills).
+    pub fn dram_utilization(&self, dram_bytes: u64, cfg: &GpuConfig) -> f64 {
+        if self.total_s == 0.0 {
+            return 0.0;
+        }
+        dram_bytes as f64 / self.total_s / cfg.peak_dram_bw
+    }
+}
+
+/// Slot weight of one operation of the given class.
+pub fn op_slots(op: OpClass) -> f64 {
+    match op {
+        OpClass::ShoupMul => cal::SHOUP_MUL_SLOTS,
+        OpClass::NativeModMul => cal::NATIVE_MODMUL_SLOTS,
+        OpClass::ModAddSub => cal::MOD_ADDSUB_SLOTS,
+        OpClass::ComplexMul => cal::COMPLEX_MUL_SLOTS,
+        OpClass::ComplexAddSub => cal::COMPLEX_ADDSUB_SLOTS,
+        OpClass::Generic => cal::GENERIC_SLOTS,
+    }
+}
+
+/// Model the time of one launch from its statistics.
+pub fn kernel_time(cfg: &GpuConfig, launch: &LaunchConfig, stats: &KernelStats) -> KernelTiming {
+    let occ_info: OccupancyInfo = occupancy(cfg, launch);
+    let occ = occ_info.occupancy;
+
+    // --- DRAM ---
+    let bw_eff = cal::MAX_BW_EFF * (occ / cal::OCC_KNEE).min(1.0);
+    let total_threads = launch.blocks as f64 * launch.threads_per_block as f64;
+    let lmem_bytes =
+        (occ_info.regs_spilled as f64 * cal::SPILL_BYTES_PER_REG * total_threads) as u64;
+    let dram_bytes = stats.dram_bytes(cfg) + lmem_bytes;
+    // Row-activation overhead: scattered transactions sustain less of the
+    // pin bandwidth than streaming ones (see calibrate::ROW_ACTIVATION_BYTES).
+    let effective_bytes =
+        dram_bytes as f64 + stats.dram_row_activations as f64 * cal::ROW_ACTIVATION_BYTES;
+    let t_dram = if dram_bytes == 0 {
+        0.0
+    } else {
+        effective_bytes / (cfg.peak_dram_bw * bw_eff.max(1e-6))
+    };
+
+    // --- compute ---
+    let slots: f64 = OpClass::all()
+        .iter()
+        .map(|&op| stats.op(op) as f64 * op_slots(op))
+        .sum();
+    let hide = (occ / cal::COMPUTE_HIDE_KNEE).min(1.0).max(1e-6);
+    let t_comp = slots / cfg.peak_ops_per_s() / hide;
+
+    // --- read-only path & shared memory floors ---
+    let t_l2 = stats.l2_read_transactions as f64 * cfg.transaction_bytes as f64 / cfg.l2_bw;
+    let t_smem = (stats.smem_read_bytes + stats.smem_write_bytes) as f64 / cfg.smem_bw();
+
+    // --- barriers: each resident wave of blocks pays serially ---
+    let concurrent_blocks =
+        (occ_info.blocks_per_sm.max(1) as f64) * cfg.sm_count as f64;
+    let t_barrier = stats.barriers as f64 * cal::BARRIER_CYCLES
+        / cfg.clock_hz
+        / concurrent_blocks.max(1.0);
+
+    let k = cal::OVERLAP_NORM;
+    // L2 and SMEM service times share the SM's load/store path with DRAM
+    // returns, so they add to the memory side before overlap with compute.
+    let t_mem = t_dram + t_l2 + t_smem;
+    let core = (t_mem.powf(k) + t_comp.powf(k)).powf(1.0 / k);
+    let total = core + t_barrier + cal::LAUNCH_OVERHEAD_S;
+
+    KernelTiming {
+        occupancy: occ,
+        bw_eff,
+        lmem_bytes,
+        t_dram_s: t_dram,
+        t_comp_s: t_comp,
+        t_l2_s: t_l2,
+        t_smem_s: t_smem,
+        t_barrier_s: t_barrier,
+        total_s: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big_launch(regs: u32) -> LaunchConfig {
+        LaunchConfig::new("t", 100_000, 256).regs_per_thread(regs)
+    }
+
+    #[test]
+    fn bandwidth_bound_kernel_time_tracks_bytes() {
+        let cfg = GpuConfig::titan_v();
+        let mut s = KernelStats::default();
+        // 651 MB at 86.7% of 651 GB/s ≈ 1.153 ms.
+        s.dram_read_transactions = 651_000_000 / 32;
+        let t = kernel_time(&cfg, &big_launch(32), &s);
+        assert!((t.total_s - 1.153e-3).abs() < 0.05e-3, "t = {}", t.total_s);
+        assert!(t.bw_eff > 0.86);
+    }
+
+    #[test]
+    fn low_occupancy_derates_bandwidth() {
+        let cfg = GpuConfig::titan_v();
+        let mut s = KernelStats::default();
+        s.dram_read_transactions = 1 << 20;
+        let fast = kernel_time(&cfg, &big_launch(64), &s);
+        let slow = kernel_time(&cfg, &big_launch(176), &s); // occ ~0.19
+        assert!(slow.total_s > fast.total_s);
+        assert!(slow.bw_eff < 0.7);
+    }
+
+    #[test]
+    fn compute_bound_kernel_scales_with_ops() {
+        let cfg = GpuConfig::titan_v();
+        let mut s = KernelStats::default();
+        s.count_op(OpClass::NativeModMul, 100_000_000);
+        let t1 = kernel_time(&cfg, &big_launch(32), &s);
+        s.count_op(OpClass::NativeModMul, 100_000_000);
+        let t2 = kernel_time(&cfg, &big_launch(32), &s);
+        let r = (t2.total_s - cal::LAUNCH_OVERHEAD_S)
+            / (t1.total_s - cal::LAUNCH_OVERHEAD_S);
+        assert!((r - 2.0).abs() < 0.05, "ratio {r}");
+    }
+
+    #[test]
+    fn spills_add_dram_traffic() {
+        let cfg = GpuConfig::titan_v();
+        let s = KernelStats::default();
+        let launch = LaunchConfig::new("t", 1000, 128).regs_per_thread(304);
+        let t = kernel_time(&cfg, &launch, &s);
+        assert!(t.lmem_bytes > 0);
+        assert_eq!(t.lmem_bytes, (49.0 * 8.0 * 128_000.0) as u64);
+    }
+
+    #[test]
+    fn empty_kernel_costs_launch_overhead() {
+        let cfg = GpuConfig::titan_v();
+        let t = kernel_time(&cfg, &big_launch(32), &KernelStats::default());
+        assert!((t.total_s - cal::LAUNCH_OVERHEAD_S).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_helper() {
+        let cfg = GpuConfig::titan_v();
+        let mut s = KernelStats::default();
+        s.dram_read_transactions = 10_000_000;
+        let t = kernel_time(&cfg, &big_launch(32), &s);
+        let u = t.dram_utilization(s.dram_bytes(&cfg), &cfg);
+        assert!(u > 0.5 && u <= cal::MAX_BW_EFF + 1e-9, "u = {u}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Per-launch statistics: the quantities the paper's profiler reports.
+
+use crate::config::GpuConfig;
+
+/// Classes of arithmetic the timing model distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Shoup modular multiplication (2 wide multiplies + correction).
+    ShoupMul,
+    /// Native `%`-based modular multiplication (the paper's 68-instruction
+    /// sequence).
+    NativeModMul,
+    /// 64-bit modular add/sub with conditional correction.
+    ModAddSub,
+    /// Complex single-precision butterfly arithmetic (DFT path).
+    ComplexMul,
+    /// Complex add/sub.
+    ComplexAddSub,
+    /// Miscellaneous integer/address work.
+    Generic,
+}
+
+/// Number of [`OpClass`] variants (array-backed counters).
+pub const OP_CLASSES: usize = 6;
+
+impl OpClass {
+    /// Dense index for counter arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::ShoupMul => 0,
+            OpClass::NativeModMul => 1,
+            OpClass::ModAddSub => 2,
+            OpClass::ComplexMul => 3,
+            OpClass::ComplexAddSub => 4,
+            OpClass::Generic => 5,
+        }
+    }
+
+    /// All variants, in counter order.
+    pub fn all() -> [OpClass; OP_CLASSES] {
+        [
+            OpClass::ShoupMul,
+            OpClass::NativeModMul,
+            OpClass::ModAddSub,
+            OpClass::ComplexMul,
+            OpClass::ComplexAddSub,
+            OpClass::Generic,
+        ]
+    }
+}
+
+/// Counters gathered while a kernel executes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// 32-byte DRAM read transactions (coalescing-aware).
+    pub dram_read_transactions: u64,
+    /// 32-byte DRAM write transactions.
+    pub dram_write_transactions: u64,
+    /// Maximal runs of consecutive 32-byte segments across warp accesses —
+    /// a proxy for DRAM row activations. Scattered accesses (e.g. strided
+    /// column loads) create one run per segment; unit-stride warps create
+    /// a single run. The timing model charges each run a fixed overhead.
+    pub dram_row_activations: u64,
+    /// Bytes the kernel actually requested on reads (≤ transactions × 32;
+    /// the gap is coalescing waste, the paper's Fig. 6).
+    pub useful_read_bytes: u64,
+    /// Bytes requested on writes.
+    pub useful_write_bytes: u64,
+    /// Warp-level accesses served by the read-only (L2/TMEM) path.
+    pub l2_read_transactions: u64,
+    /// Shared-memory bytes read.
+    pub smem_read_bytes: u64,
+    /// Shared-memory bytes written.
+    pub smem_write_bytes: u64,
+    /// Arithmetic counts per [`OpClass`].
+    pub ops: [u64; OP_CLASSES],
+    /// Block-level barriers executed (summed over blocks).
+    pub barriers: u64,
+    /// Warp-level instructions issued (loads, stores, op bundles).
+    pub warp_instructions: u64,
+}
+
+impl KernelStats {
+    /// Record `n` operations of a class.
+    #[inline]
+    pub fn count_op(&mut self, op: OpClass, n: u64) {
+        self.ops[op.index()] += n;
+    }
+
+    /// Operations of a class.
+    #[inline]
+    pub fn op(&self, op: OpClass) -> u64 {
+        self.ops[op.index()]
+    }
+
+    /// DRAM bytes moved (transactions × 32 B), excluding register spills
+    /// (which the timing model adds separately).
+    pub fn dram_bytes(&self, cfg: &GpuConfig) -> u64 {
+        (self.dram_read_transactions + self.dram_write_transactions)
+            * cfg.transaction_bytes as u64
+    }
+
+    /// Fraction of read bytes wasted by uncoalesced access
+    /// (`0.75` in the paper's Fig. 6(a) example).
+    pub fn read_waste(&self, cfg: &GpuConfig) -> f64 {
+        let moved = self.dram_read_transactions * cfg.transaction_bytes as u64;
+        if moved == 0 {
+            return 0.0;
+        }
+        1.0 - self.useful_read_bytes as f64 / moved as f64
+    }
+
+    /// Merge another launch's counters into this one (for multi-kernel
+    /// pipelines).
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.dram_read_transactions += other.dram_read_transactions;
+        self.dram_write_transactions += other.dram_write_transactions;
+        self.dram_row_activations += other.dram_row_activations;
+        self.useful_read_bytes += other.useful_read_bytes;
+        self.useful_write_bytes += other.useful_write_bytes;
+        self.l2_read_transactions += other.l2_read_transactions;
+        self.smem_read_bytes += other.smem_read_bytes;
+        self.smem_write_bytes += other.smem_write_bytes;
+        for i in 0..OP_CLASSES {
+            self.ops[i] += other.ops[i];
+        }
+        self.barriers += other.barriers;
+        self.warp_instructions += other.warp_instructions;
+    }
+}
+
+impl std::fmt::Display for KernelStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rd {} wr {} txn, l2 {}, smem {}B, shoup {}, native {}, barriers {}",
+            self.dram_read_transactions,
+            self.dram_write_transactions,
+            self.l2_read_transactions,
+            self.smem_read_bytes + self.smem_write_bytes,
+            self.op(OpClass::ShoupMul),
+            self.op(OpClass::NativeModMul),
+            self.barriers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_indices_are_dense_and_unique() {
+        let mut seen = [false; OP_CLASSES];
+        for op in OpClass::all() {
+            assert!(!seen[op.index()], "duplicate index");
+            seen[op.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn dram_bytes_and_waste() {
+        let cfg = GpuConfig::titan_v();
+        let mut s = KernelStats::default();
+        s.dram_read_transactions = 4;
+        s.useful_read_bytes = 32; // 32 of 128 bytes useful: 75% wasted
+        assert_eq!(s.dram_bytes(&cfg), 128);
+        assert!((s.read_waste(&cfg) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waste_zero_when_no_reads() {
+        let cfg = GpuConfig::titan_v();
+        assert_eq!(KernelStats::default().read_waste(&cfg), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = KernelStats::default();
+        a.count_op(OpClass::ShoupMul, 10);
+        a.barriers = 2;
+        let mut b = KernelStats::default();
+        b.count_op(OpClass::ShoupMul, 5);
+        b.dram_write_transactions = 7;
+        a.merge(&b);
+        assert_eq!(a.op(OpClass::ShoupMul), 15);
+        assert_eq!(a.dram_write_transactions, 7);
+        assert_eq!(a.barriers, 2);
+    }
+}

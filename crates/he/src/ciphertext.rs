@@ -1,0 +1,54 @@
+//! Plaintexts and ciphertexts.
+
+use ntt_core::poly::RnsPoly;
+
+/// An encoded (but not encrypted) message: scaled integer coefficients in
+/// RNS coefficient form, tagged with the fixed-point scale.
+#[derive(Debug, Clone)]
+pub struct Plaintext {
+    pub(crate) m: RnsPoly,
+    pub(crate) scale: f64,
+}
+
+impl Plaintext {
+    /// The fixed-point scale this plaintext was encoded with.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Active prime count.
+    pub fn level(&self) -> usize {
+        self.m.level()
+    }
+
+    /// Borrow the underlying RNS polynomial.
+    pub fn poly(&self) -> &RnsPoly {
+        &self.m
+    }
+}
+
+/// A CKKS-style ciphertext: the pair `(c0, c1)` in evaluation form, such
+/// that `c0 + c1·s ≈ scale · message (mod Q_level)`.
+#[derive(Debug, Clone)]
+pub struct Ciphertext {
+    pub(crate) c0: RnsPoly,
+    pub(crate) c1: RnsPoly,
+    pub(crate) scale: f64,
+}
+
+impl Ciphertext {
+    /// Active prime count (decreases by one per rescale).
+    pub fn level(&self) -> usize {
+        self.c0.level()
+    }
+
+    /// Current fixed-point scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Borrow the ciphertext components (evaluation form).
+    pub fn components(&self) -> (&RnsPoly, &RnsPoly) {
+        (&self.c0, &self.c1)
+    }
+}

@@ -1,0 +1,536 @@
+//! The HE context: ring, gadget constants, and every scheme operation.
+
+use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::keys::{KeySet, PublicKey, RelinEntry, RelinKeys, SecretKey};
+use crate::params::HeLiteParams;
+use crate::sampling;
+use ntt_core::poly::{RingError, RnsPoly, RnsRing};
+use rand::{Rng, RngExt};
+
+/// Errors from context construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeError {
+    /// The underlying ring could not be built.
+    Ring(RingError),
+}
+
+impl std::fmt::Display for HeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeError::Ring(e) => write!(f, "ring construction: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HeError {}
+
+impl From<RingError> for HeError {
+    fn from(e: RingError) -> Self {
+        HeError::Ring(e)
+    }
+}
+
+/// The scheme context: parameters, the RNS ring, and the precomputed
+/// CRT-gadget residues `[g_j^{(level)}]_{p_i}` used by relinearization.
+#[derive(Debug)]
+pub struct HeContext {
+    params: HeLiteParams,
+    ring: RnsRing,
+    /// `gadget[level - 1][j][i] = [ (Q_l/p_j) · ((Q_l/p_j)^{-1} mod p_j) ]_{p_i}`.
+    gadget: Vec<Vec<Vec<u64>>>,
+}
+
+impl HeContext {
+    /// Build a context (generates the NTT-friendly prime chain and all
+    /// tables).
+    ///
+    /// # Errors
+    ///
+    /// Propagates ring-construction failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are internally inconsistent (see
+    /// [`HeLiteParams::validate`]).
+    pub fn new(params: HeLiteParams) -> Result<Self, HeError> {
+        params.validate();
+        let primes = ntt_math::ntt_primes(params.prime_bits, 2 * params.n() as u64, params.levels);
+        let ring = RnsRing::new(params.n(), primes.clone())?;
+        // Gadget residues per level.
+        let mut gadget = Vec::with_capacity(params.levels);
+        for level in 1..=params.levels {
+            let active = &primes[..level];
+            let mut per_j = Vec::with_capacity(level);
+            for j in 0..level {
+                // M_j = prod of active primes except p_j.
+                let m_j = ntt_math::BigUint::product(
+                    &active
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != j)
+                        .map(|(_, &p)| p)
+                        .collect::<Vec<_>>(),
+                );
+                let m_j_mod_pj = &m_j % active[j];
+                let y_j = ntt_math::inv_mod(m_j_mod_pj, active[j]).expect("coprime");
+                let residues: Vec<u64> = active
+                    .iter()
+                    .map(|&p| ntt_math::mul_mod(&m_j % p, y_j % p, p))
+                    .collect();
+                per_j.push(residues);
+            }
+            gadget.push(per_j);
+        }
+        Ok(Self {
+            params,
+            ring,
+            gadget,
+        })
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &HeLiteParams {
+        &self.params
+    }
+
+    /// The underlying RNS ring (exposes the NTT machinery).
+    pub fn ring(&self) -> &RnsRing {
+        &self.ring
+    }
+
+    /// Generate a full key set.
+    pub fn keygen<R: Rng + RngExt>(&self, rng: &mut R) -> KeySet {
+        let ring = &self.ring;
+        let eta = self.params.error_eta;
+        // Secret.
+        let mut s = sampling::ternary_poly(ring, rng);
+        s.to_evaluation(ring);
+        // Public key: b = -(a s) + e.
+        let mut a = sampling::uniform_poly(ring, rng);
+        a.to_evaluation(ring);
+        let mut e = sampling::error_poly(ring, eta, rng);
+        e.to_evaluation(ring);
+        let mut b = a.clone();
+        b.mul_pointwise(&s, ring);
+        b.negate(ring);
+        b.add_assign(&e, ring);
+
+        // s^2 for relinearization.
+        let mut s2 = s.clone();
+        s2.mul_pointwise(&s, ring);
+
+        // Relin keys per level.
+        let digits = self.params.gadget_digits();
+        let w = self.params.gadget_bits;
+        let mut entries = Vec::with_capacity(self.params.levels);
+        for level in 1..=self.params.levels {
+            let s_l = s.truncated(level);
+            let s2_l = s2.truncated(level);
+            let mut per_j = Vec::with_capacity(level);
+            for j in 0..level {
+                let mut per_d = Vec::with_capacity(digits);
+                for d in 0..digits {
+                    // g_{j,d} = B^d * g_j, as per-prime residues.
+                    let residues: Vec<u64> = self.gadget[level - 1][j]
+                        .iter()
+                        .zip(&ring.basis().primes()[..level])
+                        .map(|(&g, &p)| {
+                            let b_pow = ntt_math::pow_mod(2, u64::from(w) * d as u64, p);
+                            ntt_math::mul_mod(g % p, b_pow, p)
+                        })
+                        .collect();
+                    let mut a_jd = sampling::uniform_poly(ring, rng).truncated(level);
+                    a_jd.to_evaluation(ring);
+                    let mut e_jd = sampling::error_poly(ring, eta, rng).truncated(level);
+                    e_jd.to_evaluation(ring);
+                    // b = -(a s) + e + g_{j,d} s^2.
+                    let mut b_jd = a_jd.clone();
+                    b_jd.mul_pointwise(&s_l, ring);
+                    b_jd.negate(ring);
+                    b_jd.add_assign(&e_jd, ring);
+                    let mut gs2 = s2_l.clone();
+                    gs2.mul_scalar_residues(&residues, ring);
+                    b_jd.add_assign(&gs2, ring);
+                    per_d.push(RelinEntry { b: b_jd, a: a_jd });
+                }
+                per_j.push(per_d);
+            }
+            entries.push(per_j);
+        }
+
+        KeySet {
+            secret: SecretKey { s_eval: s },
+            public: PublicKey { b, a },
+            relin: RelinKeys { entries },
+        }
+    }
+
+    /// Encode real values as scaled integer coefficients
+    /// (*coefficient* encoding — see the crate docs for semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `N` values are supplied or any scaled value
+    /// overflows the 63-bit signed range.
+    pub fn encode(&self, values: &[f64]) -> Plaintext {
+        assert!(values.len() <= self.params.n(), "too many values");
+        let scale = self.params.scale();
+        let coeffs: Vec<i64> = values
+            .iter()
+            .map(|&v| {
+                let scaled = (v * scale).round();
+                assert!(
+                    scaled.abs() < (1i64 << 62) as f64,
+                    "encoded value overflows"
+                );
+                scaled as i64
+            })
+            .collect();
+        Plaintext {
+            m: RnsPoly::from_i64_coeffs(&self.ring, &coeffs),
+            scale,
+        }
+    }
+
+    /// Decode the first `k` coefficients back to reals (`k` = number of
+    /// coefficients that were encoded; here we return all of them).
+    pub fn decode(&self, pt: &Plaintext) -> Vec<f64> {
+        let mut m = pt.m.clone();
+        m.to_coefficient(&self.ring);
+        (0..self.params.n())
+            .map(|i| {
+                let v = m
+                    .coefficient_centered(&self.ring, i)
+                    .expect("plaintext coefficients fit i128");
+                v as f64 / pt.scale
+            })
+            .collect()
+    }
+
+    /// Encrypt under the public key.
+    pub fn encrypt<R: Rng + RngExt>(&self, pt: &Plaintext, pk: &PublicKey, rng: &mut R) -> Ciphertext {
+        let ring = &self.ring;
+        let eta = self.params.error_eta;
+        let mut u = sampling::ternary_poly(ring, rng);
+        u.to_evaluation(ring);
+        let mut e0 = sampling::error_poly(ring, eta, rng);
+        e0.to_evaluation(ring);
+        let mut e1 = sampling::error_poly(ring, eta, rng);
+        e1.to_evaluation(ring);
+        let mut m = pt.m.clone();
+        m.to_evaluation(ring);
+
+        let mut c0 = pk.b.clone();
+        c0.mul_pointwise(&u, ring);
+        c0.add_assign(&e0, ring);
+        c0.add_assign(&m, ring);
+        let mut c1 = pk.a.clone();
+        c1.mul_pointwise(&u, ring);
+        c1.add_assign(&e1, ring);
+        Ciphertext {
+            c0,
+            c1,
+            scale: pt.scale,
+        }
+    }
+
+    /// Decrypt with the secret key.
+    pub fn decrypt(&self, ct: &Ciphertext, sk: &SecretKey) -> Plaintext {
+        let ring = &self.ring;
+        let level = ct.level();
+        let s = sk.s_eval.truncated(level);
+        let mut m = ct.c1.clone();
+        m.mul_pointwise(&s, ring);
+        m.add_assign(&ct.c0, ring);
+        m.to_coefficient(ring);
+        Plaintext { m, scale: ct.scale }
+    }
+
+    /// Homomorphic addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level mismatch or incompatible scales.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        assert_eq!(a.level(), b.level(), "level mismatch");
+        assert!(
+            (a.scale / b.scale - 1.0).abs() < 1e-9,
+            "scale mismatch: {} vs {}",
+            a.scale,
+            b.scale
+        );
+        let mut c0 = a.c0.clone();
+        c0.add_assign(&b.c0, &self.ring);
+        let mut c1 = a.c1.clone();
+        c1.add_assign(&b.c1, &self.ring);
+        Ciphertext {
+            c0,
+            c1,
+            scale: a.scale,
+        }
+    }
+
+    /// Homomorphic subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level mismatch or incompatible scales.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        assert_eq!(a.level(), b.level(), "level mismatch");
+        assert!(
+            (a.scale / b.scale - 1.0).abs() < 1e-9,
+            "scale mismatch"
+        );
+        let mut c0 = a.c0.clone();
+        c0.sub_assign(&b.c0, &self.ring);
+        let mut c1 = a.c1.clone();
+        c1.sub_assign(&b.c1, &self.ring);
+        Ciphertext {
+            c0,
+            c1,
+            scale: a.scale,
+        }
+    }
+
+    /// Plaintext multiplication (no relinearization needed); rescales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is at level 1 (nothing left to rescale).
+    pub fn multiply_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let ring = &self.ring;
+        let level = ct.level();
+        assert!(level >= 2, "no prime left to rescale into");
+        let mut m = pt.m.truncated(level);
+        m.to_evaluation(ring);
+        let mut c0 = ct.c0.clone();
+        c0.mul_pointwise(&m, ring);
+        let mut c1 = ct.c1.clone();
+        c1.mul_pointwise(&m, ring);
+        let mut out = Ciphertext {
+            c0,
+            c1,
+            scale: ct.scale * pt.scale,
+        };
+        self.rescale_in_place(&mut out);
+        debug_assert_eq!(out.level(), level - 1);
+        out
+    }
+
+    /// Homomorphic multiplication: tensor, relinearize, rescale.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level mismatch or at level 1 (no prime to rescale into).
+    pub fn multiply(&self, a: &Ciphertext, b: &Ciphertext, rk: &RelinKeys) -> Ciphertext {
+        let ring = &self.ring;
+        let level = a.level();
+        assert_eq!(level, b.level(), "level mismatch");
+        assert!(level >= 2, "no prime left to rescale into");
+
+        // Tensor product (evaluation form).
+        let mut e0 = a.c0.clone();
+        e0.mul_pointwise(&b.c0, ring);
+        let mut e1a = a.c0.clone();
+        e1a.mul_pointwise(&b.c1, ring);
+        let mut e1b = a.c1.clone();
+        e1b.mul_pointwise(&b.c0, ring);
+        e1a.add_assign(&e1b, ring);
+        let mut e2 = a.c1.clone();
+        e2.mul_pointwise(&b.c1, ring);
+
+        // Relinearize e2 -> (r0, r1) using the hybrid gadget.
+        let (r0, r1) = self.key_switch(&e2, rk, level);
+        e0.add_assign(&r0, ring);
+        e1a.add_assign(&r1, ring);
+
+        let mut out = Ciphertext {
+            c0: e0,
+            c1: e1a,
+            scale: a.scale * b.scale,
+        };
+        self.rescale_in_place(&mut out);
+        out
+    }
+
+    /// Gadget key switch of `e2` (evaluation form, `level` primes):
+    /// returns the pair to add to `(c0, c1)`.
+    fn key_switch(&self, e2: &RnsPoly, rk: &RelinKeys, level: usize) -> (RnsPoly, RnsPoly) {
+        let ring = &self.ring;
+        let digits = self.params.gadget_digits();
+        let w = self.params.gadget_bits;
+        let mask = (1u64 << w) - 1;
+        let mut e2c = e2.clone();
+        e2c.to_coefficient(ring);
+
+        let mut acc0 = RnsPoly::zero_at_level(ring, level);
+        acc0.to_evaluation(ring); // zero is zero in either form
+        let mut acc1 = acc0.clone();
+        let n = self.params.n();
+        for j in 0..level {
+            let row: Vec<u64> = e2c.row(j).to_vec();
+            for d in 0..digits {
+                // Digit polynomial: small coefficients, identical residues
+                // in every active prime row.
+                let mut digit = RnsPoly::zero_at_level(ring, level);
+                let mut all_zero = true;
+                for i in 0..level {
+                    let dst = digit.row_mut(i);
+                    for k in 0..n {
+                        let v = (row[k] >> (w * d as u32)) & mask;
+                        dst[k] = v;
+                        all_zero &= v == 0;
+                    }
+                }
+                if all_zero {
+                    continue;
+                }
+                digit.to_evaluation(ring);
+                let entry = &rk.entries[level - 1][j][d];
+                let mut t0 = digit.clone();
+                t0.mul_pointwise(&entry.b, ring);
+                acc0.add_assign(&t0, ring);
+                let mut t1 = digit;
+                t1.mul_pointwise(&entry.a, ring);
+                acc1.add_assign(&t1, ring);
+            }
+        }
+        (acc0, acc1)
+    }
+
+    /// Exact RNS rescale: divide by the last active prime and drop it.
+    fn rescale_in_place(&self, ct: &mut Ciphertext) {
+        let ring = &self.ring;
+        let level = ct.level();
+        let dropped = ring.basis().primes()[level - 1] as f64;
+        for c in [&mut ct.c0, &mut ct.c1] {
+            c.to_coefficient(ring);
+            c.rescale(ring);
+            c.to_evaluation(ring);
+        }
+        ct.scale /= dropped;
+    }
+
+    /// Rough upper bound on the coefficient magnitude a level can hold:
+    /// `log2(Q_level / 2)`. Useful for noise-budget style diagnostics.
+    pub fn capacity_bits(&self, level: usize) -> f64 {
+        let q = ntt_math::BigUint::product(&self.ring.basis().primes()[..level]);
+        q.log2() - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::seeded_rng;
+
+    fn ctx() -> (HeContext, KeySet) {
+        let params = HeLiteParams {
+            log_n: 8,
+            prime_bits: 50,
+            levels: 3,
+            scale_bits: 46,
+            gadget_bits: 10,
+            error_eta: 4,
+        };
+        let ctx = HeContext::new(params).unwrap();
+        let keys = ctx.keygen(&mut seeded_rng(42));
+        (ctx, keys)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (ctx, keys) = ctx();
+        let mut rng = seeded_rng(1);
+        let values = [1.25, -2.5, 3.75, 0.0, 100.0];
+        let pt = ctx.encode(&values);
+        let ct = ctx.encrypt(&pt, &keys.public, &mut rng);
+        let out = ctx.decode(&ctx.decrypt(&ct, &keys.secret));
+        for (i, &v) in values.iter().enumerate() {
+            assert!((out[i] - v).abs() < 1e-6, "slot {i}: {} vs {v}", out[i]);
+        }
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let (ctx, keys) = ctx();
+        let mut rng = seeded_rng(2);
+        let a = ctx.encrypt(&ctx.encode(&[1.5, 2.0]), &keys.public, &mut rng);
+        let b = ctx.encrypt(&ctx.encode(&[0.25, -1.0]), &keys.public, &mut rng);
+        let sum = ctx.add(&a, &b);
+        let out = ctx.decode(&ctx.decrypt(&sum, &keys.secret));
+        assert!((out[0] - 1.75).abs() < 1e-6);
+        assert!((out[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn homomorphic_subtraction() {
+        let (ctx, keys) = ctx();
+        let mut rng = seeded_rng(3);
+        let a = ctx.encrypt(&ctx.encode(&[5.0]), &keys.public, &mut rng);
+        let b = ctx.encrypt(&ctx.encode(&[1.5]), &keys.public, &mut rng);
+        let out = ctx.decode(&ctx.decrypt(&ctx.sub(&a, &b), &keys.secret));
+        assert!((out[0] - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn homomorphic_multiplication_constants() {
+        let (ctx, keys) = ctx();
+        let mut rng = seeded_rng(4);
+        let a = ctx.encrypt(&ctx.encode(&[3.0]), &keys.public, &mut rng);
+        let b = ctx.encrypt(&ctx.encode(&[-4.0]), &keys.public, &mut rng);
+        let prod = ctx.multiply(&a, &b, &keys.relin);
+        assert_eq!(prod.level(), 2);
+        let out = ctx.decode(&ctx.decrypt(&prod, &keys.secret));
+        assert!((out[0] + 12.0).abs() < 1e-2, "got {}", out[0]);
+    }
+
+    #[test]
+    fn multiplication_is_negacyclic_convolution() {
+        // Coefficient encoding: (1 + 2x) * (3 + x) = 3 + 7x + 2x^2.
+        let (ctx, keys) = ctx();
+        let mut rng = seeded_rng(5);
+        let a = ctx.encrypt(&ctx.encode(&[1.0, 2.0]), &keys.public, &mut rng);
+        let b = ctx.encrypt(&ctx.encode(&[3.0, 1.0]), &keys.public, &mut rng);
+        let prod = ctx.multiply(&a, &b, &keys.relin);
+        let out = ctx.decode(&ctx.decrypt(&prod, &keys.secret));
+        assert!((out[0] - 3.0).abs() < 1e-2);
+        assert!((out[1] - 7.0).abs() < 1e-2);
+        assert!((out[2] - 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn multiply_plain_rescales() {
+        let (ctx, keys) = ctx();
+        let mut rng = seeded_rng(6);
+        let ct = ctx.encrypt(&ctx.encode(&[2.0]), &keys.public, &mut rng);
+        let out_ct = ctx.multiply_plain(&ct, &ctx.encode(&[5.0]));
+        assert_eq!(out_ct.level(), ct.level() - 1);
+        let out = ctx.decode(&ctx.decrypt(&out_ct, &keys.secret));
+        assert!((out[0] - 10.0).abs() < 1e-2, "got {}", out[0]);
+    }
+
+    #[test]
+    fn two_chained_multiplications() {
+        let (ctx, keys) = ctx();
+        let mut rng = seeded_rng(7);
+        let a = ctx.encrypt(&ctx.encode(&[2.0]), &keys.public, &mut rng);
+        let b = ctx.encrypt(&ctx.encode(&[3.0]), &keys.public, &mut rng);
+        let ab = ctx.multiply(&a, &b, &keys.relin); // level 2
+        let c = ctx.encrypt(&ctx.encode(&[1.0]), &keys.public, &mut rng);
+        // Bring c to ab's level by plain-multiplying with 1.0.
+        let c_dropped = ctx.multiply_plain(&c, &ctx.encode(&[1.0]));
+        assert_eq!(c_dropped.level(), ab.level());
+        let abc = ctx.multiply(&ab, &c_dropped, &keys.relin);
+        assert_eq!(abc.level(), 1);
+        let out = ctx.decode(&ctx.decrypt(&abc, &keys.secret));
+        assert!((out[0] - 6.0).abs() < 0.1, "got {}", out[0]);
+    }
+
+    #[test]
+    fn capacity_decreases_with_level() {
+        let (ctx, _) = ctx();
+        assert!(ctx.capacity_bits(3) > ctx.capacity_bits(2));
+        assert!(ctx.capacity_bits(2) > ctx.capacity_bits(1));
+    }
+}

@@ -1,0 +1,65 @@
+//! Key material: secret, public and relinearization keys.
+
+use ntt_core::poly::RnsPoly;
+
+/// The ternary secret `s`, kept in evaluation form at full level (with a
+/// coefficient-form copy for diagnostics).
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    /// `s` in evaluation (NTT) form, full level.
+    pub(crate) s_eval: RnsPoly,
+}
+
+/// Ring-LWE public key `(b, a)` with `b = -(a·s) + e`, evaluation form.
+#[derive(Debug, Clone)]
+pub struct PublicKey {
+    /// `b = -(a·s) + e`.
+    pub(crate) b: RnsPoly,
+    /// Uniform `a`.
+    pub(crate) a: RnsPoly,
+}
+
+/// One relinearization key entry: an encryption of `B^d · g_j · s²`.
+#[derive(Debug, Clone)]
+pub struct RelinEntry {
+    pub(crate) b: RnsPoly,
+    pub(crate) a: RnsPoly,
+}
+
+/// Relinearization keys for every level: `relin[level][j][digit]`.
+///
+/// The hybrid gadget is the RNS decomposition (index `j` over active
+/// primes) tensored with a base-`2^w` digit decomposition (index `d`),
+/// which keeps key-switching noise at `O(np · digits · 2^w)` — far below
+/// the encoding scale.
+#[derive(Debug, Clone)]
+pub struct RelinKeys {
+    /// `entries[level - 1][j][d]` relinearizes at that level.
+    pub(crate) entries: Vec<Vec<Vec<RelinEntry>>>,
+}
+
+impl RelinKeys {
+    /// Number of levels covered.
+    pub fn levels(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total key-material entries (each is a pair of RNS polynomials).
+    pub fn entry_count(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|l| l.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+}
+
+/// All keys produced by key generation.
+#[derive(Debug, Clone)]
+pub struct KeySet {
+    /// The secret key (keep private).
+    pub secret: SecretKey,
+    /// The public encryption key.
+    pub public: PublicKey,
+    /// Relinearization keys for homomorphic multiplication.
+    pub relin: RelinKeys,
+}

@@ -1,0 +1,54 @@
+//! `he-lite`: a small RNS homomorphic-encryption layer (CKKS-style).
+//!
+//! The paper motivates NTT acceleration with the structure of RNS-based HE
+//! schemes (§I, §III-B): ciphertexts are pairs of degree-N polynomials over
+//! `Z_Q`, `Q = Π p_i`, and every homomorphic multiplication is dominated by
+//! batches of N-point NTTs — 34–50% of runtime in the systems the paper
+//! cites. This crate implements that workload end to end so the examples
+//! and benchmarks can measure exactly where NTT time goes:
+//!
+//! * ternary secrets, public-key (Ring-LWE) encryption with small errors;
+//! * homomorphic add / subtract / multiply;
+//! * relinearization with hybrid RNS ⊗ digit gadget decomposition;
+//! * CKKS-style rescaling (drop the last prime, divide the scale);
+//! * fixed-point *coefficient* encoding of real vectors.
+//!
+//! Scope notes (documented simplifications vs a production CKKS):
+//! encoding is per-coefficient (no canonical-embedding slots, so
+//! multiplication is negacyclic convolution of the encoded vectors, not
+//! element-wise), there is no bootstrapping, and security parameters are
+//! demo-sized. The arithmetic and the NTT workload shape are the real
+//! thing.
+//!
+//! # Example
+//!
+//! ```
+//! use he_lite::{HeLiteParams, HeContext};
+//!
+//! let params = HeLiteParams::demo();
+//! let ctx = HeContext::new(params)?;
+//! let mut rng = he_lite::sampling::seeded_rng(7);
+//! let keys = ctx.keygen(&mut rng);
+//!
+//! // Encrypt 2.5 and 3.0 (as constant polynomials), multiply, decrypt.
+//! let a = ctx.encrypt(&ctx.encode(&[2.5]), &keys.public, &mut rng);
+//! let b = ctx.encrypt(&ctx.encode(&[3.0]), &keys.public, &mut rng);
+//! let prod = ctx.multiply(&a, &b, &keys.relin);
+//! let out = ctx.decode(&ctx.decrypt(&prod, &keys.secret));
+//! assert!((out[0] - 7.5).abs() < 1e-3, "got {}", out[0]);
+//! # Ok::<(), he_lite::HeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ciphertext;
+pub mod context;
+pub mod keys;
+pub mod params;
+pub mod sampling;
+
+pub use ciphertext::{Ciphertext, Plaintext};
+pub use context::{HeContext, HeError};
+pub use keys::{KeySet, PublicKey, RelinKeys, SecretKey};
+pub use params::HeLiteParams;

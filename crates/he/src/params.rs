@@ -1,0 +1,125 @@
+//! Parameters for the lite HE scheme.
+
+/// Scheme parameters.
+///
+/// `levels` is the RNS prime count `np`; one prime is consumed per
+/// multiplication (rescale), so a fresh ciphertext supports
+/// `levels - 1` multiplications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HeLiteParams {
+    /// `log2 N` — ring degree exponent.
+    pub log_n: u32,
+    /// Bits per RNS prime (the paper's 60-bit chain by default).
+    pub prime_bits: u32,
+    /// Number of RNS primes (`np`).
+    pub levels: usize,
+    /// Fixed-point encoding scale exponent (`delta = 2^scale_bits`).
+    pub scale_bits: u32,
+    /// Gadget digit width in bits for relinearization.
+    pub gadget_bits: u32,
+    /// Width parameter of the centered-binomial error sampler
+    /// (variance = `error_eta / 2`).
+    pub error_eta: u32,
+}
+
+impl HeLiteParams {
+    /// Small interactive parameters: `N = 2^12`, 3 primes of 59 bits.
+    pub fn demo() -> Self {
+        Self {
+            log_n: 12,
+            prime_bits: 59,
+            levels: 3,
+            scale_bits: 55,
+            gadget_bits: 10,
+            error_eta: 6,
+        }
+    }
+
+    /// A bootstrappable-scale parameter point from the paper
+    /// (`N = 2^14`, `np = 21`) — heavy; used by benches, not tests.
+    pub fn paper_scale() -> Self {
+        Self {
+            log_n: 14,
+            prime_bits: 60,
+            levels: 21,
+            scale_bits: 50,
+            gadget_bits: 12,
+            error_eta: 6,
+        }
+    }
+
+    /// Ring degree `N`.
+    pub fn n(&self) -> usize {
+        1 << self.log_n
+    }
+
+    /// Encoding scale `delta`.
+    pub fn scale(&self) -> f64 {
+        (self.scale_bits as f64).exp2()
+    }
+
+    /// Gadget digits per prime: `ceil(prime_bits / gadget_bits)`.
+    pub fn gadget_digits(&self) -> usize {
+        self.prime_bits.div_ceil(self.gadget_bits) as usize
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range fields (degree, prime size, scale).
+    pub fn validate(&self) {
+        assert!((4..=17).contains(&self.log_n), "log_n out of range");
+        assert!(
+            (30..=62).contains(&self.prime_bits),
+            "prime_bits out of range"
+        );
+        assert!(self.levels >= 1, "need at least one prime");
+        assert!(
+            self.scale_bits < self.prime_bits,
+            "scale must fit below one prime"
+        );
+        assert!(
+            (1..=30).contains(&self.gadget_bits),
+            "gadget_bits out of range"
+        );
+        assert!(self.error_eta >= 1, "error_eta must be positive");
+    }
+}
+
+impl std::fmt::Display for HeLiteParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "N=2^{}, {} x {}-bit primes, delta=2^{}",
+            self.log_n, self.levels, self.prime_bits, self.scale_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_params_are_valid() {
+        HeLiteParams::demo().validate();
+        HeLiteParams::paper_scale().validate();
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let p = HeLiteParams::demo();
+        assert_eq!(p.n(), 4096);
+        assert_eq!(p.gadget_digits(), 6);
+        assert_eq!(p.scale(), (1u64 << 55) as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must fit")]
+    fn oversized_scale_rejected() {
+        let mut p = HeLiteParams::demo();
+        p.scale_bits = 62;
+        p.validate();
+    }
+}

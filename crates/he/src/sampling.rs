@@ -1,0 +1,100 @@
+//! Randomness for keys, encryption and errors.
+//!
+//! All sampling is routed through a caller-provided RNG so tests and
+//! examples are reproducible with seeded generators.
+
+use ntt_core::poly::{RnsPoly, RnsRing};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// A seeded deterministic RNG for reproducible examples and tests.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Uniform polynomial over the full RNS basis (independent residues).
+pub fn uniform_poly<R: Rng + RngExt>(ring: &RnsRing, rng: &mut R) -> RnsPoly {
+    let mut p = RnsPoly::zero(ring);
+    for i in 0..ring.np() {
+        let modulus = ring.basis().primes()[i];
+        for v in p.row_mut(i) {
+            *v = rng.random_range(0..modulus);
+        }
+    }
+    p
+}
+
+/// Ternary polynomial with i.i.d. coefficients in `{-1, 0, 1}`.
+pub fn ternary_poly<R: Rng + RngExt>(ring: &RnsRing, rng: &mut R) -> RnsPoly {
+    let n = ring.degree();
+    let coeffs: Vec<i64> = (0..n).map(|_| rng.random_range(-1..=1)).collect();
+    RnsPoly::from_i64_coeffs(ring, &coeffs)
+}
+
+/// Small error polynomial from a centered binomial distribution of width
+/// `eta` (variance `eta / 2`), the standard lattice-crypto error shape.
+pub fn error_poly<R: Rng + RngExt>(ring: &RnsRing, eta: u32, rng: &mut R) -> RnsPoly {
+    let n = ring.degree();
+    let coeffs: Vec<i64> = (0..n)
+        .map(|_| {
+            let mut s = 0i64;
+            for _ in 0..eta {
+                s += i64::from(rng.random::<bool>());
+                s -= i64::from(rng.random::<bool>());
+            }
+            s
+        })
+        .collect();
+    RnsPoly::from_i64_coeffs(ring, &coeffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> RnsRing {
+        RnsRing::new(64, ntt_math::ntt_primes(40, 128, 3)).unwrap()
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let r = ring();
+        let a = uniform_poly(&r, &mut seeded_rng(1));
+        let b = uniform_poly(&r, &mut seeded_rng(1));
+        let c = uniform_poly(&r, &mut seeded_rng(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ternary_coefficients_in_range() {
+        let r = ring();
+        let t = ternary_poly(&r, &mut seeded_rng(3));
+        for i in 0..r.degree() {
+            let v = t.coefficient_centered(&r, i).unwrap();
+            assert!((-1..=1).contains(&v), "coefficient {v}");
+        }
+    }
+
+    #[test]
+    fn error_is_small_and_centered() {
+        let r = ring();
+        let eta = 6;
+        let e = error_poly(&r, eta, &mut seeded_rng(4));
+        let mut sum = 0i128;
+        for i in 0..r.degree() {
+            let v = e.coefficient_centered(&r, i).unwrap();
+            assert!(v.unsigned_abs() <= eta as u128, "error {v} too large");
+            sum += v;
+        }
+        // Mean should be near zero (loose bound for 64 samples).
+        assert!(sum.abs() < 64);
+    }
+
+    #[test]
+    fn uniform_residues_differ_across_primes() {
+        let r = ring();
+        let u = uniform_poly(&r, &mut seeded_rng(5));
+        assert_ne!(u.row(0), u.row(1));
+    }
+}

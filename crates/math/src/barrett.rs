@@ -1,0 +1,182 @@
+//! Barrett reduction for a fixed 64-bit modulus.
+//!
+//! Barrett reduction (Barrett 1986, the paper's reference \[4\]) replaces a
+//! division by `p` with two multiplications by a precomputed reciprocal
+//! `mu = floor(2^128 / p)` (stored as a 128-bit value split in two words).
+//!
+//! We use the standard two-word variant that handles any 128-bit input
+//! `x < p^2`, which covers every product of reduced operands.
+
+
+
+/// A Barrett reducer for a fixed modulus `p < 2^63`.
+///
+/// # Example
+///
+/// ```
+/// use ntt_math::Barrett;
+/// let p = 0x0FFF_FFFF_0000_0001u64; // any modulus < 2^63
+/// let b = Barrett::new(p);
+/// assert_eq!(b.mul(p - 1, p - 1), ntt_math::mul_mod(p - 1, p - 1, p));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Barrett {
+    p: u64,
+    /// floor(2^128 / p), high 64 bits.
+    mu_hi: u64,
+    /// floor(2^128 / p), low 64 bits.
+    mu_lo: u64,
+}
+
+impl Barrett {
+    /// Create a reducer for modulus `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 2` or `p >= 2^63`.
+    pub fn new(p: u64) -> Self {
+        assert!(p >= 2, "modulus must be at least 2");
+        assert!(p < (1 << 63), "modulus must be below 2^63");
+        // floor(2^128 / p) computed with 128-bit arithmetic:
+        // 2^128 / p = ((2^128 - 1) / p) when p is not a power of two; adjust
+        // for the exact quotient by checking the remainder.
+        let max = u128::MAX; // 2^128 - 1
+        let q = max / u128::from(p);
+        let r = max % u128::from(p);
+        let mu = if r == u128::from(p) - 1 { q + 1 } else { q };
+        Self {
+            p,
+            mu_hi: (mu >> 64) as u64,
+            mu_lo: mu as u64,
+        }
+    }
+
+    /// The modulus this reducer was built for.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// Reduce a 128-bit value `x < p^2` to `x mod p`.
+    #[inline]
+    pub fn reduce_u128(&self, x: u128) -> u64 {
+        // q = floor(x * mu / 2^128), computed from the three cross products
+        // that can influence the high 128 bits.
+        let x_hi = (x >> 64) as u64;
+        let x_lo = x as u64;
+        // x * mu = (x_hi*2^64 + x_lo) * (mu_hi*2^64 + mu_lo)
+        // We need bits 128.. of the 256-bit product.
+        let lo_lo = u128::from(x_lo) * u128::from(self.mu_lo);
+        let lo_hi = u128::from(x_lo) * u128::from(self.mu_hi);
+        let hi_lo = u128::from(x_hi) * u128::from(self.mu_lo);
+        let hi_hi = u128::from(x_hi) * u128::from(self.mu_hi);
+        let mid = (lo_lo >> 64) + (lo_hi & 0xFFFF_FFFF_FFFF_FFFF) + (hi_lo & 0xFFFF_FFFF_FFFF_FFFF);
+        let q = hi_hi + (lo_hi >> 64) + (hi_lo >> 64) + (mid >> 64);
+        // r = x - q*p, guaranteed < 2p; one conditional subtraction finishes.
+        let r = x.wrapping_sub(q.wrapping_mul(u128::from(self.p))) as u64;
+        if r >= self.p {
+            r - self.p
+        } else {
+            r
+        }
+    }
+
+    /// `(a * b) mod p` for `a, b < p`.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.p && b < self.p);
+        self.reduce_u128(u128::from(a) * u128::from(b))
+    }
+
+    /// Reduce a single word `a` (any `u64`) to `a mod p`.
+    #[inline]
+    pub fn reduce(&self, a: u64) -> u64 {
+        self.reduce_u128(u128::from(a))
+    }
+
+    /// `base^exp mod p` using Barrett multiplication throughout.
+    pub fn pow(&self, base: u64, mut exp: u64) -> u64 {
+        let mut base = self.reduce(base);
+        let mut acc = 1u64 % self.p;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+}
+
+impl std::fmt::Display for Barrett {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Barrett(p = {})", self.p)
+    }
+}
+
+/// Convenience free function: one-shot Barrett multiply (builds the reducer).
+///
+/// Prefer constructing a [`Barrett`] once when the modulus is reused.
+pub fn barrett_mul(a: u64, b: u64, p: u64) -> u64 {
+    Barrett::new(p).mul(a % p, b % p)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::modops;
+    use super::*;
+
+    #[test]
+    fn matches_native_small() {
+        let p = 97;
+        let b = Barrett::new(p);
+        for x in 0..p {
+            for y in 0..p {
+                assert_eq!(b.mul(x, y), modops::mul_mod(x, y, p), "{x}*{y} mod {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_native_large_modulus() {
+        // 59-to-62-bit moduli as used for HE prime chains.
+        for p in [
+            (1u64 << 59) + 21,
+            (1u64 << 60) - 93,
+            (1u64 << 62) - 57,
+            0x7FFF_FFFF_FFFF_FFE7,
+        ] {
+            let b = Barrett::new(p);
+            let samples = [0u64, 1, 2, p / 2, p - 2, p - 1, 0x1234_5678_9ABC_DEF0 % p];
+            for &x in &samples {
+                for &y in &samples {
+                    assert_eq!(b.mul(x, y), modops::mul_mod(x, y, p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_u128_handles_full_range() {
+        let p = (1u64 << 61) - 1;
+        let b = Barrett::new(p);
+        let x = u128::from(p - 1) * u128::from(p - 1);
+        assert_eq!(b.reduce_u128(x), (x % u128::from(p)) as u64);
+        assert_eq!(b.reduce_u128(0), 0);
+        assert_eq!(b.reduce_u128(u128::from(p)), 0);
+    }
+
+    #[test]
+    fn pow_matches_modops() {
+        let p = (1u64 << 59) + 21; // not necessarily prime; pow is still well-defined
+        let b = Barrett::new(p);
+        assert_eq!(b.pow(3, 1000), modops::pow_mod(3, 1000, p));
+    }
+
+    #[test]
+    #[should_panic(expected = "below 2^63")]
+    fn rejects_oversized_modulus() {
+        Barrett::new(1 << 63);
+    }
+}

@@ -1,0 +1,476 @@
+//! A minimal unsigned big integer.
+//!
+//! Ciphertext moduli in bootstrappable HE are products of dozens of 60-bit
+//! primes (`Q ≈ 2^1200` and beyond) — too large for `u128`. This module
+//! implements just enough multi-precision arithmetic for CRT reconstruction
+//! and `log2 Q` accounting: schoolbook add/sub/compare, multiplication and
+//! division by a single 64-bit word, and full multiplication (used by
+//! tests). Little-endian base-2^64 limbs, no allocation tricks.
+
+use std::cmp::Ordering;
+
+/// An arbitrary-precision unsigned integer (little-endian 64-bit limbs).
+///
+/// # Example
+///
+/// ```
+/// use ntt_math::BigUint;
+/// let q = BigUint::product(&[(1u64 << 60) - 93, (1u64 << 60) - 173]);
+/// assert_eq!(q.bits(), 120);
+/// assert_eq!(&q % ((1u64 << 60) - 93), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Invariant: no trailing zero limbs (canonical form); empty == 0.
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        Self { limbs: vec![1] }
+    }
+
+    /// Construct from a single word.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            Self { limbs: vec![v] }
+        }
+    }
+
+    /// Construct from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let mut s = Self {
+            limbs: vec![v as u64, (v >> 64) as u64],
+        };
+        s.normalize();
+        s
+    }
+
+    /// Product of a slice of words — the RNS modulus `Q = Π p_i`.
+    pub fn product(factors: &[u64]) -> Self {
+        let mut acc = Self::one();
+        for &f in factors {
+            acc = acc.mul_u64(f);
+        }
+        acc
+    }
+
+    /// `true` iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (0 for the value 0). This is `ceil(log2(x+1))`,
+    /// i.e. `bits(Q)` is the paper's `log Q` rounded up for powers of two.
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
+        }
+    }
+
+    /// Approximate `log2` as `f64` (uses the top 128 bits).
+    pub fn log2(&self) -> f64 {
+        match self.limbs.len() {
+            0 => f64::NEG_INFINITY,
+            1 => (self.limbs[0] as f64).log2(),
+            n => {
+                let top = (u128::from(self.limbs[n - 1]) << 64) | u128::from(self.limbs[n - 2]);
+                (top as f64).log2() + 64.0 * (n as f64 - 2.0)
+            }
+        }
+    }
+
+    /// Value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Value as `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(u128::from(self.limbs[0])),
+            2 => Some((u128::from(self.limbs[1]) << 64) | u128::from(self.limbs[0])),
+            _ => None,
+        }
+    }
+
+    /// Centered lift: interpret `self` (a residue mod `m`) as a signed value
+    /// in `(-m/2, m/2]`, returning it as `i128` if it fits.
+    ///
+    /// Used to read small signed coefficients back from CRT reconstruction.
+    pub fn to_i128_centered(&self, m: &BigUint) -> Option<i128> {
+        debug_assert!(self < m, "residue must be reduced mod m");
+        let double = self.add(self);
+        if &double > m {
+            // negative: self - m
+            let mag = m.sub(self);
+            mag.to_u128().and_then(|v| {
+                if v <= i128::MAX as u128 {
+                    Some(-(v as i128))
+                } else {
+                    None
+                }
+            })
+        } else {
+            self.to_u128().and_then(|v| {
+                if v <= i128::MAX as u128 {
+                    Some(v as i128)
+                } else {
+                    None
+                }
+            })
+        }
+    }
+
+    /// Sum `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Difference `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self` (the type is unsigned).
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(self >= other, "BigUint subtraction would underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Product with a single word.
+    pub fn mul_u64(&self, f: u64) -> BigUint {
+        if f == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u64;
+        for &l in &self.limbs {
+            let prod = u128::from(l) * u128::from(f) + u128::from(carry);
+            out.push(prod as u64);
+            carry = (prod >> 64) as u64;
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        BigUint { limbs: out }
+    }
+
+    /// Full product `self * other` (schoolbook; setup/test use only).
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = u128::from(out[i + j])
+                    + u128::from(a) * u128::from(b)
+                    + u128::from(carry);
+                out[i + j] = cur as u64;
+                carry = (cur >> 64) as u64;
+            }
+            out[i + other.limbs.len()] = carry;
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Quotient and remainder by a single word divisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn div_rem_u64(&self, d: u64) -> (BigUint, u64) {
+        assert!(d != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u64;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (u128::from(rem) << 64) | u128::from(self.limbs[i]);
+            out[i] = (cur / u128::from(d)) as u64;
+            rem = (cur % u128::from(d)) as u64;
+        }
+        let mut q = BigUint { limbs: out };
+        q.normalize();
+        (q, rem)
+    }
+
+    /// Remainder mod another big integer, by repeated conditional
+    /// subtraction after aligning magnitudes (shift-and-subtract division).
+    pub fn rem(&self, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "division by zero");
+        if self < m {
+            return self.clone();
+        }
+        let mut r = self.clone();
+        let shift = self.bits() - m.bits();
+        for s in (0..=shift).rev() {
+            let shifted = m.shl(s);
+            if r >= shifted {
+                r = r.sub(&shifted);
+            }
+        }
+        debug_assert!(&r < m);
+        r
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: u32) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let word_shift = (bits / 64) as usize;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; word_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        Self::from_u128(v)
+    }
+}
+
+impl std::ops::Rem<u64> for &BigUint {
+    type Output = u64;
+
+    fn rem(self, d: u64) -> u64 {
+        self.div_rem_u64(d).1
+    }
+}
+
+impl std::fmt::Display for BigUint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Peel 19 decimal digits at a time.
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(CHUNK);
+            digits.push(r);
+            cur = q;
+        }
+        write!(f, "{}", digits.pop().expect("nonzero has digits"))?;
+        for d in digits.iter().rev() {
+            write!(f, "{d:019}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_bits() {
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+        assert_eq!(BigUint::from_u64(255).bits(), 8);
+        assert_eq!(BigUint::from_u128(1u128 << 100).bits(), 101);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = BigUint::from_u128(u128::MAX);
+        let b = BigUint::from_u64(u64::MAX);
+        let s = a.add(&b);
+        assert_eq!(s.sub(&b), a);
+        assert_eq!(s.sub(&a), b);
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = BigUint::from_u128(u128::MAX);
+        let one = BigUint::one();
+        let s = a.add(&one);
+        assert_eq!(s.bits(), 129);
+        assert_eq!(s.sub(&one).to_u128(), Some(u128::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        BigUint::one().sub(&BigUint::from_u64(2));
+    }
+
+    #[test]
+    fn mul_u64_matches_u128() {
+        let a = BigUint::from_u64(0xFFFF_FFFF_FFFF_FFFF);
+        let prod = a.mul_u64(0xFFFF_FFFF_FFFF_FFFF);
+        assert_eq!(
+            prod.to_u128(),
+            Some(u128::from(u64::MAX) * u128::from(u64::MAX))
+        );
+    }
+
+    #[test]
+    fn full_mul_matches_mul_u64_chain() {
+        let a = BigUint::product(&[u64::MAX, u64::MAX - 1, 12345]);
+        let b = BigUint::from_u64(999_999_937);
+        assert_eq!(a.mul(&b), a.mul_u64(999_999_937));
+    }
+
+    #[test]
+    fn div_rem_roundtrip() {
+        let q0 = BigUint::product(&[(1 << 60) - 93, (1 << 60) - 173, (1 << 59) + 21]);
+        let d = (1u64 << 60) - 93;
+        let (q, r) = q0.div_rem_u64(d);
+        assert_eq!(r, 0);
+        assert_eq!(q.mul_u64(d), q0);
+        let (_, r2) = q0.add(&BigUint::from_u64(5)).div_rem_u64(d);
+        assert_eq!(r2, 5);
+    }
+
+    #[test]
+    fn rem_big_matches_div_rem_for_word_modulus() {
+        let a = BigUint::product(&[0xDEAD_BEEF, 0xCAFE_BABE, 0x1234_5678, 0x9ABC_DEF1]);
+        let m = 999_999_937u64;
+        assert_eq!(
+            a.rem(&BigUint::from_u64(m)).to_u64().unwrap(),
+            a.div_rem_u64(m).1
+        );
+    }
+
+    #[test]
+    fn shl_matches_mul_by_power_of_two() {
+        let a = BigUint::from_u64(0b1011);
+        assert_eq!(a.shl(1), a.mul_u64(2));
+        assert_eq!(a.shl(64), a.mul(&BigUint::from_u128(1u128 << 64)));
+        assert_eq!(a.shl(100).bits(), a.bits() + 100);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = BigUint::from_u128(1u128 << 90);
+        let b = BigUint::from_u64(u64::MAX);
+        assert!(a > b);
+        assert!(b < a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(BigUint::zero().to_string(), "0");
+        assert_eq!(BigUint::from_u64(12345).to_string(), "12345");
+        let big = BigUint::from_u128(123_456_789_012_345_678_901_234_567_890u128);
+        assert_eq!(big.to_string(), "123456789012345678901234567890");
+    }
+
+    #[test]
+    fn centered_lift() {
+        let m = BigUint::from_u64(101);
+        assert_eq!(BigUint::from_u64(5).to_i128_centered(&m), Some(5));
+        assert_eq!(BigUint::from_u64(96).to_i128_centered(&m), Some(-5));
+        assert_eq!(BigUint::from_u64(50).to_i128_centered(&m), Some(50));
+        assert_eq!(BigUint::from_u64(51).to_i128_centered(&m), Some(-50));
+    }
+
+    #[test]
+    fn log2_tracks_bits() {
+        let q = BigUint::product(&ntt_math_primes());
+        let lg = q.log2();
+        assert!((lg - (q.bits() as f64)).abs() < 1.0);
+    }
+
+    fn ntt_math_primes() -> Vec<u64> {
+        crate::prime::ntt_primes(60, 1 << 15, 21)
+    }
+}

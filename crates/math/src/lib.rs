@@ -1,0 +1,53 @@
+//! Modular arithmetic for NTT-based homomorphic encryption.
+//!
+//! This crate provides the integer substrate that the paper
+//! *"Accelerating Number Theoretic Transformations for Bootstrappable
+//! Homomorphic Encryption on GPUs"* (IISWC 2020) builds on:
+//!
+//! * [`wide`] — portable 64×64→128-bit multiplication helpers.
+//! * [`modops`] — plain modular operations (add/sub/mul/pow/inverse) using
+//!   the "native" `u128 %` reduction the paper benchmarks against.
+//! * [`barrett`] — Barrett reduction for a fixed 64-bit modulus.
+//! * [`shoup`] — Shoup's modular multiplication with a per-multiplicand
+//!   precomputed companion (the paper's Algorithm 4), including the lazy
+//!   `[0, 2p)` variant used by Harvey-style butterflies.
+//! * [`mont`] — Montgomery-form arithmetic (an alternative reduction used
+//!   for ablation benchmarks).
+//! * [`prime`] — deterministic Miller–Rabin for `u64` and generation of
+//!   NTT-friendly primes `p ≡ 1 (mod 2N)`.
+//! * [`root`] — primitive roots and 2N-th roots of unity.
+//! * [`bigint`] — a minimal unsigned big integer, sufficient for CRT
+//!   reconstruction and `log2 Q` computations.
+//!
+//! # Example
+//!
+//! ```
+//! use ntt_math::{prime::ntt_prime, root::primitive_root_of_unity, shoup::ShoupMul};
+//!
+//! let n = 1 << 10;
+//! let p = ntt_prime(60, 2 * n).expect("prime exists");
+//! assert_eq!(p % (2 * n as u64), 1);
+//! let psi = primitive_root_of_unity(2 * n as u64, p).unwrap();
+//! let w = ShoupMul::new(psi, p);
+//! // Multiplying by psi with Shoup's method matches the native reduction.
+//! assert_eq!(w.mul(12345), (12345u128 * psi as u128 % p as u128) as u64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barrett;
+pub mod bigint;
+pub mod modops;
+pub mod mont;
+pub mod prime;
+pub mod root;
+pub mod shoup;
+pub mod wide;
+
+pub use barrett::Barrett;
+pub use bigint::BigUint;
+pub use modops::{add_mod, inv_mod, mul_mod, neg_mod, pow_mod, sub_mod};
+pub use prime::{is_prime, ntt_prime, ntt_primes};
+pub use root::{min_primitive_root, primitive_root_of_unity};
+pub use shoup::ShoupMul;

@@ -1,0 +1,197 @@
+//! Plain modular operations with "native" reduction.
+//!
+//! These use Rust's `u128 %` operator, the software analogue of the native
+//! modulo instruction sequence the paper measures (68 machine instructions,
+//! ~500 cycles on the Titan V). They are the correctness oracle for the
+//! optimized reducers in [`crate::barrett`], [`crate::shoup`] and
+//! [`crate::mont`].
+//!
+//! All functions require operands already reduced mod `p` unless stated
+//! otherwise, and `p >= 2`.
+
+/// `(a + b) mod p`.
+///
+/// Both operands must be `< p`; `p` may be up to `2^63` so the sum cannot
+/// overflow after the conditional subtraction.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(ntt_math::add_mod(5, 6, 7), 4);
+/// ```
+#[inline(always)]
+pub fn add_mod(a: u64, b: u64, p: u64) -> u64 {
+    debug_assert!(a < p && b < p);
+    let s = a + b;
+    if s >= p {
+        s - p
+    } else {
+        s
+    }
+}
+
+/// `(a - b) mod p` for `a, b < p`.
+#[inline(always)]
+pub fn sub_mod(a: u64, b: u64, p: u64) -> u64 {
+    debug_assert!(a < p && b < p);
+    if a >= b {
+        a - b
+    } else {
+        a + p - b
+    }
+}
+
+/// `(-a) mod p` for `a < p`.
+#[inline(always)]
+pub fn neg_mod(a: u64, p: u64) -> u64 {
+    debug_assert!(a < p);
+    if a == 0 {
+        0
+    } else {
+        p - a
+    }
+}
+
+/// `(a * b) mod p` via a 128-bit product and native reduction.
+///
+/// This is the expensive baseline the paper's Figure 1 measures against
+/// Shoup's multiplication.
+#[inline(always)]
+pub fn mul_mod(a: u64, b: u64, p: u64) -> u64 {
+    debug_assert!(p >= 2);
+    (u128::from(a) * u128::from(b) % u128::from(p)) as u64
+}
+
+/// `base^exp mod p` by square-and-multiply.
+///
+/// # Example
+///
+/// ```
+/// // Fermat: a^(p-1) = 1 mod p for prime p.
+/// assert_eq!(ntt_math::pow_mod(3, 16, 17), 1);
+/// ```
+pub fn pow_mod(base: u64, mut exp: u64, p: u64) -> u64 {
+    debug_assert!(p >= 2);
+    let mut base = base % p;
+    let mut acc: u64 = 1 % p;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, p);
+        }
+        base = mul_mod(base, base, p);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse of `a` mod `p` for **prime** `p`, via Fermat's little
+/// theorem. Returns `None` when `a ≡ 0 (mod p)`.
+///
+/// # Example
+///
+/// ```
+/// let inv = ntt_math::inv_mod(3, 17).unwrap();
+/// assert_eq!(3 * inv % 17, 1);
+/// ```
+pub fn inv_mod(a: u64, p: u64) -> Option<u64> {
+    if a % p == 0 {
+        return None;
+    }
+    Some(pow_mod(a, p - 2, p))
+}
+
+/// Reduce an arbitrary `u64` into `[0, p)`.
+#[inline(always)]
+pub fn reduce(a: u64, p: u64) -> u64 {
+    a % p
+}
+
+/// Centered remainder: maps `a mod p` to the representative in
+/// `(-p/2, p/2]` returned as `i64`.
+///
+/// Used when reading small signed values (noise, plaintext coefficients)
+/// back out of residue form.
+///
+/// # Panics
+///
+/// Panics if `p >= 2^63` (the centered value would not fit an `i64`).
+#[inline]
+pub fn center(a: u64, p: u64) -> i64 {
+    assert!(p < (1u64 << 63), "modulus too large for centered lift");
+    let a = a % p;
+    if a > p / 2 {
+        -((p - a) as i64)
+    } else {
+        a as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: u64 = (1 << 59) - 55; // any prime-ish modulus shape; exactness checked below
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let p = 97;
+        for a in 0..p {
+            for b in 0..p {
+                let s = add_mod(a, b, p);
+                assert_eq!(sub_mod(s, b, p), a);
+            }
+        }
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        let p = 101;
+        for a in 0..p {
+            assert_eq!(add_mod(a, neg_mod(a, p), p), 0);
+        }
+    }
+
+    #[test]
+    fn mul_matches_naive() {
+        let p = 1_000_003;
+        for a in (0..p).step_by(7919) {
+            for b in (0..p).step_by(104729) {
+                assert_eq!(mul_mod(a, b, p), a * b % p);
+            }
+        }
+    }
+
+    #[test]
+    fn pow_mod_edge_cases() {
+        assert_eq!(pow_mod(0, 0, 7), 1, "0^0 defined as 1");
+        assert_eq!(pow_mod(5, 0, 7), 1);
+        assert_eq!(pow_mod(5, 1, 7), 5);
+        assert_eq!(pow_mod(2, 10, 1025), 1024);
+    }
+
+    #[test]
+    fn inv_mod_works_for_prime() {
+        let p = 65537;
+        for a in [1u64, 2, 3, 12345, 65536] {
+            let inv = inv_mod(a, p).unwrap();
+            assert_eq!(mul_mod(a, inv, p), 1);
+        }
+        assert_eq!(inv_mod(0, p), None);
+        assert_eq!(inv_mod(p, p), None, "multiples of p have no inverse");
+    }
+
+    #[test]
+    fn center_maps_to_half_open_interval() {
+        let p = 11;
+        assert_eq!(center(0, p), 0);
+        assert_eq!(center(5, p), 5);
+        assert_eq!(center(6, p), -5);
+        assert_eq!(center(10, p), -1);
+    }
+
+    #[test]
+    fn large_modulus_mul() {
+        let a = P - 1;
+        assert_eq!(mul_mod(a, a, P), (a as u128 * a as u128 % P as u128) as u64);
+    }
+}

@@ -1,0 +1,154 @@
+//! Montgomery-form modular arithmetic for odd 64-bit moduli.
+//!
+//! Montgomery multiplication is the third classic division-free reduction
+//! (after Barrett and Shoup). The paper's NTT kernels use Shoup because the
+//! twiddle operand is fixed; Montgomery is included here as an ablation
+//! baseline for the `modmul` criterion bench — it needs *no* per-twiddle
+//! companion but pays a domain conversion at the boundaries.
+
+
+
+/// Montgomery context for an odd modulus `p < 2^63` with `R = 2^64`.
+///
+/// # Example
+///
+/// ```
+/// use ntt_math::mont::Montgomery;
+/// let p = (1u64 << 61) - 1;
+/// let m = Montgomery::new(p);
+/// let a = m.to_mont(123456789);
+/// let b = m.to_mont(987654321);
+/// let ab = m.from_mont(m.mul(a, b));
+/// assert_eq!(ab, ntt_math::mul_mod(123456789, 987654321, p));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Montgomery {
+    p: u64,
+    /// `-p^{-1} mod 2^64`.
+    neg_p_inv: u64,
+    /// `R^2 mod p` with `R = 2^64`, used for the to-Montgomery conversion.
+    r2: u64,
+}
+
+impl Montgomery {
+    /// Build a context for odd modulus `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is even, `p < 3`, or `p >= 2^63`.
+    pub fn new(p: u64) -> Self {
+        assert!(p % 2 == 1, "Montgomery requires an odd modulus");
+        assert!(p >= 3 && p < (1 << 63), "modulus out of range");
+        // Newton iteration for the inverse of p mod 2^64: five steps double
+        // the bit precision each time starting from 5 correct bits.
+        let mut inv: u64 = p; // p ≡ p^{-1} mod 8 for odd p (3 bits correct)
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(p.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(p.wrapping_mul(inv), 1);
+        let r2 = {
+            // 2^128 mod p, via repeated doubling of 2^64 mod p.
+            let r = (u128::from(u64::MAX) + 1) % u128::from(p); // 2^64 mod p
+            (r * r % u128::from(p)) as u64
+        };
+        Self {
+            p,
+            neg_p_inv: inv.wrapping_neg(),
+            r2,
+        }
+    }
+
+    /// The modulus.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// Montgomery reduction: for `t < p * 2^64`, returns `t * 2^-64 mod p`.
+    #[inline(always)]
+    pub fn redc(&self, t: u128) -> u64 {
+        let m = (t as u64).wrapping_mul(self.neg_p_inv);
+        let t2 = (t + u128::from(m) * u128::from(self.p)) >> 64;
+        let r = t2 as u64;
+        if r >= self.p {
+            r - self.p
+        } else {
+            r
+        }
+    }
+
+    /// Convert into Montgomery form: `a -> a * 2^64 mod p`.
+    #[inline]
+    pub fn to_mont(&self, a: u64) -> u64 {
+        debug_assert!(a < self.p);
+        self.redc(u128::from(a) * u128::from(self.r2))
+    }
+
+    /// Convert out of Montgomery form: `a * 2^64 mod p -> a`.
+    #[inline]
+    pub fn from_mont(&self, a: u64) -> u64 {
+        self.redc(u128::from(a))
+    }
+
+    /// Product of two Montgomery-form operands, result in Montgomery form.
+    #[inline(always)]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        self.redc(u128::from(a) * u128::from(b))
+    }
+
+    /// `base^exp mod p` with `base` in ordinary form; returns ordinary form.
+    pub fn pow(&self, base: u64, mut exp: u64) -> u64 {
+        let mut b = self.to_mont(base % self.p);
+        let mut acc = self.to_mont(1);
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, b);
+            }
+            b = self.mul(b, b);
+            exp >>= 1;
+        }
+        self.from_mont(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::modops;
+    use super::*;
+
+    #[test]
+    fn roundtrip_conversion() {
+        let p = (1u64 << 59) + 21;
+        let m = Montgomery::new(p);
+        for a in [0u64, 1, 2, p / 2, p - 1] {
+            assert_eq!(m.from_mont(m.to_mont(a)), a);
+        }
+    }
+
+    #[test]
+    fn mul_matches_native() {
+        for p in [97u64, 65537, (1 << 61) - 1, (1 << 62) - 57] {
+            let m = Montgomery::new(p);
+            let xs = [0u64, 1, 2, p / 3, p - 1];
+            for &a in &xs {
+                for &b in &xs {
+                    let got = m.from_mont(m.mul(m.to_mont(a), m.to_mont(b)));
+                    assert_eq!(got, modops::mul_mod(a, b, p), "a={a} b={b} p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_modops() {
+        let p = (1u64 << 61) - 1;
+        let m = Montgomery::new(p);
+        assert_eq!(m.pow(3, 100_000), modops::pow_mod(3, 100_000, p));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd modulus")]
+    fn rejects_even_modulus() {
+        Montgomery::new(1 << 40);
+    }
+}

@@ -1,0 +1,224 @@
+//! Primality testing and NTT-friendly prime generation.
+//!
+//! HE schemes need chains of primes `p_i ≡ 1 (mod 2N)` so that the 2N-th
+//! root of unity exists mod each `p_i` (enabling the merged negacyclic NTT).
+//! The paper uses 60-bit primes (`2^59 < p < 2^60`) and, for the word-size
+//! ablation, 30-bit primes.
+
+use crate::modops::{mul_mod, pow_mod};
+
+/// Deterministic Miller–Rabin for `u64`.
+///
+/// The witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}` is proven
+/// sufficient for all `n < 3.3 * 10^24`, which covers `u64`.
+///
+/// # Example
+///
+/// ```
+/// assert!(ntt_math::is_prime((1 << 61) - 1)); // Mersenne prime M61
+/// assert!(!ntt_math::is_prime(1 << 61));
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    // n - 1 = d * 2^s with d odd
+    let s = (n - 1).trailing_zeros();
+    let d = (n - 1) >> s;
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// The largest prime `p ≡ 1 (mod modulus_step)` with exactly `bits` bits
+/// (i.e. `2^(bits-1) <= p < 2^bits`), or `None` if none exists.
+///
+/// `modulus_step` is `2N` for an N-point negacyclic NTT.
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `3..=62` (62 is the lazy-butterfly bound) or
+/// if `modulus_step` is zero or not a power of two.
+///
+/// # Example
+///
+/// ```
+/// let p = ntt_math::ntt_prime(60, 1 << 18).unwrap(); // N = 2^17
+/// assert!(ntt_math::is_prime(p));
+/// assert_eq!(p % (1 << 18), 1);
+/// assert_eq!(64 - p.leading_zeros(), 60);
+/// ```
+pub fn ntt_prime(bits: u32, modulus_step: u64) -> Option<u64> {
+    assert!((3..=62).contains(&bits), "bits must be in 3..=62");
+    assert!(
+        modulus_step.is_power_of_two(),
+        "modulus step must be a power of two (2N)"
+    );
+    let hi = 1u64 << bits;
+    let lo = 1u64 << (bits - 1);
+    // Start at the largest candidate ≡ 1 (mod step) below 2^bits.
+    let mut cand = (hi - 1) / modulus_step * modulus_step + 1;
+    while cand >= lo.max(modulus_step + 1) {
+        if is_prime(cand) {
+            return Some(cand);
+        }
+        cand -= modulus_step;
+    }
+    None
+}
+
+/// Generate `count` distinct NTT-friendly primes of the given bit size,
+/// descending from the top of the range.
+///
+/// This is the RNS prime chain: `np` coprimes whose product bounds the
+/// ciphertext modulus `Q`.
+///
+/// # Panics
+///
+/// Panics (via [`ntt_prime`] preconditions) on invalid `bits`/`step`, or if
+/// fewer than `count` such primes exist in the bit range.
+///
+/// # Example
+///
+/// ```
+/// let primes = ntt_math::ntt_primes(60, 1 << 15, 21); // N = 2^14, np = 21
+/// assert_eq!(primes.len(), 21);
+/// for w in primes.windows(2) {
+///     assert!(w[0] > w[1], "descending and distinct");
+/// }
+/// ```
+pub fn ntt_primes(bits: u32, modulus_step: u64, count: usize) -> Vec<u64> {
+    assert!((3..=62).contains(&bits), "bits must be in 3..=62");
+    assert!(
+        modulus_step.is_power_of_two(),
+        "modulus step must be a power of two (2N)"
+    );
+    let mut primes = Vec::with_capacity(count);
+    let hi = 1u64 << bits;
+    let lo = 1u64 << (bits - 1);
+    let mut cand = (hi - 1) / modulus_step * modulus_step + 1;
+    while primes.len() < count && cand >= lo.max(modulus_step + 1) {
+        if is_prime(cand) {
+            primes.push(cand);
+        }
+        cand -= modulus_step;
+    }
+    assert_eq!(
+        primes.len(),
+        count,
+        "not enough {bits}-bit primes ≡ 1 mod {modulus_step}"
+    );
+    primes
+}
+
+/// Euler's totient-style factorization helper: the distinct prime factors
+/// of `n` (trial division; `n` here is always `p - 1` with smooth structure,
+/// so this is fast enough for setup-time use).
+pub fn distinct_prime_factors(mut n: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut d = 2u64;
+    while d * d <= n {
+        if n % d == 0 {
+            out.push(d);
+            while n % d == 0 {
+                n /= d;
+            }
+        }
+        d += if d == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_classified() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 65537];
+        for &p in &primes {
+            assert!(is_prime(p), "{p} is prime");
+        }
+        let composites = [0u64, 1, 4, 6, 9, 15, 21, 25, 91, 561, 1105, 6601];
+        for &c in &composites {
+            assert!(!is_prime(c), "{c} is composite (or <2)");
+        }
+    }
+
+    #[test]
+    fn strong_pseudoprimes_rejected() {
+        // Known strong pseudoprimes to small bases.
+        for &c in &[3215031751u64, 3825123056546413051] {
+            assert!(!is_prime(c), "{c} must be rejected");
+        }
+    }
+
+    #[test]
+    fn large_known_primes() {
+        assert!(is_prime((1 << 61) - 1));
+        assert!(is_prime(0xFFFF_FFFF_0000_0001)); // Solinas prime 2^64-2^32+1
+        assert!(!is_prime((1 << 61) - 3));
+    }
+
+    #[test]
+    fn ntt_prime_has_required_structure() {
+        for log_n in [10u32, 14, 17] {
+            let step = 1u64 << (log_n + 1);
+            let p = ntt_prime(60, step).unwrap();
+            assert!(is_prime(p));
+            assert_eq!(p % step, 1);
+            assert_eq!(64 - p.leading_zeros(), 60);
+        }
+    }
+
+    #[test]
+    fn prime_chain_is_distinct_and_structured() {
+        let step = 1u64 << 15;
+        let chain = ntt_primes(59, step, 10);
+        let mut seen = std::collections::HashSet::new();
+        for &p in &chain {
+            assert!(is_prime(p));
+            assert_eq!(p % step, 1);
+            assert!(seen.insert(p), "duplicate prime {p}");
+        }
+    }
+
+    #[test]
+    fn thirty_bit_primes_exist() {
+        // The paper's word-size ablation needs 30-bit primes for N = 2^17.
+        let chain = ntt_primes(30, 1 << 18, 4);
+        assert_eq!(chain.len(), 4);
+        for &p in &chain {
+            assert!(p < (1 << 30) && p >= (1 << 29));
+        }
+    }
+
+    #[test]
+    fn factorization_helper() {
+        assert_eq!(distinct_prime_factors(1), Vec::<u64>::new());
+        assert_eq!(distinct_prime_factors(2 * 2 * 3 * 7), vec![2, 3, 7]);
+        assert_eq!(distinct_prime_factors(65537), vec![65537]);
+    }
+}

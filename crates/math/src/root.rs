@@ -1,0 +1,190 @@
+//! Primitive roots and roots of unity modulo a prime.
+//!
+//! NTT with merged negacyclic twiddles needs `psi`, a primitive 2N-th root
+//! of unity mod `p` (`psi^(2N) ≡ 1`, `psi^N ≡ -1`). Such a root exists iff
+//! `2N | p - 1`, which is exactly the structure [`crate::prime::ntt_prime`]
+//! guarantees.
+
+use crate::modops::{inv_mod, pow_mod};
+use crate::prime::{distinct_prime_factors, is_prime};
+
+/// Smallest generator of the multiplicative group `(Z/pZ)^*` for prime `p`.
+///
+/// Setup-time routine: tries candidates `2, 3, ...` and checks
+/// `g^((p-1)/q) != 1` for every distinct prime factor `q` of `p - 1`.
+///
+/// # Errors
+///
+/// Returns [`RootError::NotPrime`] if `p` fails the primality test.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(ntt_math::min_primitive_root(17).unwrap(), 3);
+/// ```
+pub fn min_primitive_root(p: u64) -> Result<u64, RootError> {
+    if !is_prime(p) {
+        return Err(RootError::NotPrime { p });
+    }
+    if p == 2 {
+        return Ok(1);
+    }
+    let factors = distinct_prime_factors(p - 1);
+    'cand: for g in 2..p {
+        for &q in &factors {
+            if pow_mod(g, (p - 1) / q, p) == 1 {
+                continue 'cand;
+            }
+        }
+        return Ok(g);
+    }
+    unreachable!("every prime has a primitive root")
+}
+
+/// A primitive `order`-th root of unity mod prime `p`.
+///
+/// `order` must be a power of two dividing `p - 1` (the NTT case). The
+/// returned `psi` satisfies `psi^order ≡ 1` and `psi^(order/2) ≡ -1`.
+///
+/// # Errors
+///
+/// * [`RootError::NotPrime`] if `p` is not prime.
+/// * [`RootError::OrderDoesNotDivide`] if `order ∤ p - 1`.
+/// * [`RootError::OrderNotPowerOfTwo`] if `order` is not a power of two.
+///
+/// # Example
+///
+/// ```
+/// let p = ntt_math::ntt_prime(60, 1 << 11).unwrap();
+/// let psi = ntt_math::primitive_root_of_unity(1 << 11, p).unwrap();
+/// assert_eq!(ntt_math::pow_mod(psi, 1 << 11, p), 1);
+/// assert_eq!(ntt_math::pow_mod(psi, 1 << 10, p), p - 1); // psi^N = -1
+/// ```
+pub fn primitive_root_of_unity(order: u64, p: u64) -> Result<u64, RootError> {
+    if !order.is_power_of_two() {
+        return Err(RootError::OrderNotPowerOfTwo { order });
+    }
+    if !is_prime(p) {
+        return Err(RootError::NotPrime { p });
+    }
+    if (p - 1) % order != 0 {
+        return Err(RootError::OrderDoesNotDivide { order, p });
+    }
+    let g = min_primitive_root(p)?;
+    let psi = pow_mod(g, (p - 1) / order, p);
+    debug_assert_eq!(pow_mod(psi, order, p), 1);
+    debug_assert!(order < 2 || pow_mod(psi, order / 2, p) == p - 1);
+    Ok(psi)
+}
+
+/// Inverse of a root of unity: `psi^{-1} mod p`.
+///
+/// # Errors
+///
+/// Returns [`RootError::NoInverse`] when `psi ≡ 0 (mod p)`.
+pub fn inverse_root(psi: u64, p: u64) -> Result<u64, RootError> {
+    inv_mod(psi, p).ok_or(RootError::NoInverse { value: psi, p })
+}
+
+/// Errors from root-of-unity computations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootError {
+    /// The supplied modulus is not prime.
+    NotPrime {
+        /// The offending modulus.
+        p: u64,
+    },
+    /// The requested order does not divide `p - 1`.
+    OrderDoesNotDivide {
+        /// Requested multiplicative order.
+        order: u64,
+        /// The prime modulus.
+        p: u64,
+    },
+    /// The requested order is not a power of two.
+    OrderNotPowerOfTwo {
+        /// Requested multiplicative order.
+        order: u64,
+    },
+    /// The value has no inverse mod `p`.
+    NoInverse {
+        /// The non-invertible value.
+        value: u64,
+        /// The modulus.
+        p: u64,
+    },
+}
+
+impl std::fmt::Display for RootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RootError::NotPrime { p } => write!(f, "{p} is not prime"),
+            RootError::OrderDoesNotDivide { order, p } => {
+                write!(f, "order {order} does not divide p - 1 for p = {p}")
+            }
+            RootError::OrderNotPowerOfTwo { order } => {
+                write!(f, "order {order} is not a power of two")
+            }
+            RootError::NoInverse { value, p } => {
+                write!(f, "{value} has no inverse mod {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RootError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::ntt_prime;
+
+    #[test]
+    fn primitive_root_of_17() {
+        assert_eq!(min_primitive_root(17).unwrap(), 3);
+        assert_eq!(min_primitive_root(2).unwrap(), 1);
+        assert_eq!(min_primitive_root(7).unwrap(), 3);
+    }
+
+    #[test]
+    fn rejects_composite() {
+        assert_eq!(min_primitive_root(15), Err(RootError::NotPrime { p: 15 }));
+    }
+
+    #[test]
+    fn root_of_unity_has_exact_order() {
+        let p = ntt_prime(59, 1 << 12).unwrap();
+        let order = 1u64 << 12;
+        let psi = primitive_root_of_unity(order, p).unwrap();
+        assert_eq!(pow_mod(psi, order, p), 1);
+        // No smaller power-of-two order: psi^(order/2) = -1, not 1.
+        assert_eq!(pow_mod(psi, order / 2, p), p - 1);
+    }
+
+    #[test]
+    fn inverse_root_multiplies_to_one() {
+        let p = ntt_prime(60, 1 << 10).unwrap();
+        let psi = primitive_root_of_unity(1 << 10, p).unwrap();
+        let inv = inverse_root(psi, p).unwrap();
+        assert_eq!(crate::modops::mul_mod(psi, inv, p), 1);
+    }
+
+    #[test]
+    fn order_validation() {
+        let p = 17;
+        assert_eq!(
+            primitive_root_of_unity(3, p),
+            Err(RootError::OrderNotPowerOfTwo { order: 3 })
+        );
+        assert_eq!(
+            primitive_root_of_unity(32, p),
+            Err(RootError::OrderDoesNotDivide { order: 32, p })
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = RootError::OrderDoesNotDivide { order: 8, p: 17 };
+        assert!(e.to_string().contains("does not divide"));
+    }
+}

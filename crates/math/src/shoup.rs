@@ -1,0 +1,210 @@
+//! Shoup's modular multiplication (the paper's Algorithm 4).
+//!
+//! When one operand `w < p` is known in advance (twiddle factors are), we can
+//! precompute the companion word `w' = floor(w * 2^64 / p)`. A product is
+//! then
+//!
+//! ```text
+//! q = hi64(b * w')            // estimate of floor(b*w / p), off by at most 1
+//! r = (b*w - q*p) mod 2^64    // in [0, 2p)
+//! if r >= p { r -= p }
+//! ```
+//!
+//! — two `mul_hi`-class multiplies and no division. The catch, and the core
+//! of the paper's memory-bandwidth story, is that **every twiddle factor
+//! needs its own companion word**, doubling the precomputed-table bytes.
+//!
+//! The lazy variant [`ShoupMul::mul_lazy`] skips the final conditional
+//! subtraction and returns a value in `[0, 2p)`; combined with the Harvey
+//! butterfly (operands in `[0, 4p)`, requiring `p < 2^62`) it removes most
+//! corrections from the NTT inner loop.
+
+use crate::wide::mul_hi;
+
+/// Largest modulus usable with the lazy `[0, 4p)` butterfly: `p < 2^62`.
+pub const MAX_LAZY_MODULUS: u64 = 1 << 62;
+
+/// A multiplicand `w` with its precomputed Shoup companion for modulus `p`.
+///
+/// # Example
+///
+/// ```
+/// use ntt_math::ShoupMul;
+/// let p = (1u64 << 61) - 1;
+/// let w = ShoupMul::new(12345678, p);
+/// assert_eq!(w.mul(987654321), ntt_math::mul_mod(987654321, 12345678, p));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShoupMul {
+    /// The fixed multiplicand, `w < p`.
+    w: u64,
+    /// `floor(w * 2^64 / p)` — the table entry that doubles NTT table sizes.
+    w_shoup: u64,
+    /// The modulus.
+    p: u64,
+}
+
+impl ShoupMul {
+    /// Precompute the companion for multiplicand `w` and modulus `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= p` or `p < 2`.
+    #[inline]
+    pub fn new(w: u64, p: u64) -> Self {
+        assert!(p >= 2, "modulus must be at least 2");
+        assert!(w < p, "multiplicand must be reduced mod p");
+        Self {
+            w,
+            w_shoup: precompute(w, p),
+            p,
+        }
+    }
+
+    /// Rebuild from raw parts (e.g. values loaded from a simulated GPU
+    /// memory). The caller must guarantee `w_shoup == floor(w*2^64/p)`;
+    /// this is checked only in debug builds.
+    #[inline]
+    pub fn from_parts(w: u64, w_shoup: u64, p: u64) -> Self {
+        debug_assert_eq!(w_shoup, precompute(w % p, p));
+        Self { w, w_shoup, p }
+    }
+
+    /// The multiplicand `w`.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.w
+    }
+
+    /// The precomputed companion `floor(w * 2^64 / p)`.
+    #[inline]
+    pub fn companion(&self) -> u64 {
+        self.w_shoup
+    }
+
+    /// The modulus `p`.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// `(b * w) mod p`, fully reduced. Accepts any `b < 2^64` as long as
+    /// `p <= 2^63` (the lazy result fits before the final correction).
+    #[inline(always)]
+    pub fn mul(&self, b: u64) -> u64 {
+        let r = self.mul_lazy(b);
+        if r >= self.p {
+            r - self.p
+        } else {
+            r
+        }
+    }
+
+    /// `(b * w) mod p` in `[0, 2p)` — the Harvey lazy product.
+    #[inline(always)]
+    pub fn mul_lazy(&self, b: u64) -> u64 {
+        mul_shoup_lazy(b, self.w, self.w_shoup, self.p)
+    }
+}
+
+impl std::fmt::Display for ShoupMul {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (mod {})", self.w, self.p)
+    }
+}
+
+/// Compute the Shoup companion `floor(w * 2^64 / p)` for `w < p`.
+#[inline]
+pub fn precompute(w: u64, p: u64) -> u64 {
+    debug_assert!(w < p);
+    ((u128::from(w) << 64) / u128::from(p)) as u64
+}
+
+/// Free-function lazy Shoup product: `(b * w) mod p` in `[0, 2p)`.
+///
+/// `w_shoup` must equal [`precompute`]`(w, p)`. Used directly by kernels
+/// that keep `(w, w_shoup)` as plain words in simulated memory.
+#[inline(always)]
+pub fn mul_shoup_lazy(b: u64, w: u64, w_shoup: u64, p: u64) -> u64 {
+    let q = mul_hi(b, w_shoup);
+    b.wrapping_mul(w).wrapping_sub(q.wrapping_mul(p))
+}
+
+/// Free-function fully reduced Shoup product.
+#[inline(always)]
+pub fn mul_shoup(b: u64, w: u64, w_shoup: u64, p: u64) -> u64 {
+    let r = mul_shoup_lazy(b, w, w_shoup, p);
+    if r >= p {
+        r - p
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modops::mul_mod;
+
+    #[test]
+    fn matches_native_exhaustive_small() {
+        let p = 257;
+        for w in 0..p {
+            let s = ShoupMul::new(w, p);
+            for b in 0..p {
+                assert_eq!(s.mul(b), mul_mod(b, w, p), "b={b} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_native_large() {
+        let p = (1u64 << 59) + 21; // 59-bit, below the 2^62 lazy bound
+        let ws = [1u64, 2, p - 1, p / 2, 0x0123_4567_89AB_CDEF % p];
+        let bs = [0u64, 1, p - 1, p / 3, 0xFEDC_BA98_7654_3210 % p];
+        for &w in &ws {
+            let s = ShoupMul::new(w, p);
+            for &b in &bs {
+                assert_eq!(s.mul(b), mul_mod(b, w, p));
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_result_is_within_2p() {
+        let p = (1u64 << 61) - 1;
+        let s = ShoupMul::new(p - 1, p);
+        for b in [0u64, 1, p - 1, p, 2 * p - 1, u64::MAX % (2 * p)] {
+            let r = s.mul_lazy(b);
+            assert!(r < 2 * p, "lazy result {r} out of [0, 2p)");
+            assert_eq!(r % p, mul_mod(b % p, p - 1, p));
+        }
+    }
+
+    #[test]
+    fn lazy_accepts_unreduced_operand_up_to_beta() {
+        // Harvey's analysis allows any b < 2^64 when p < 2^62.
+        let p = (1u64 << 62) - 57;
+        let w = 0x3FFF_FFFF_FFFF_F00D % p;
+        let s = ShoupMul::new(w, p);
+        for b in [u64::MAX, u64::MAX - 1, 1u64 << 63, 4 * p - 1] {
+            let r = s.mul_lazy(b);
+            assert!(r < 2 * p);
+            assert_eq!(r % p, mul_mod(b % p, w, p));
+        }
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let p = 0x1FFF_FFFF_FFFF_FFFF;
+        let s = ShoupMul::new(42, p);
+        let s2 = ShoupMul::from_parts(s.value(), s.companion(), s.modulus());
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    #[should_panic(expected = "reduced mod p")]
+    fn rejects_unreduced_multiplicand() {
+        ShoupMul::new(11, 11);
+    }
+}

@@ -1,0 +1,81 @@
+//! Portable 64×64→128-bit multiplication helpers.
+//!
+//! On the GPU the paper targets, a 64-bit multiply producing a 128-bit result
+//! is four 32-bit `mad` instructions; on x86-64/aarch64 it is a single `mul`.
+//! We route everything through `u128` and let the compiler pick.
+
+/// Full 64×64→128-bit product, returned as `(high, low)` 64-bit halves.
+///
+/// # Example
+///
+/// ```
+/// let (hi, lo) = ntt_math::wide::mul_wide(u64::MAX, u64::MAX);
+/// assert_eq!((hi, lo), (u64::MAX - 1, 1));
+/// ```
+#[inline(always)]
+pub fn mul_wide(a: u64, b: u64) -> (u64, u64) {
+    let prod = u128::from(a) * u128::from(b);
+    ((prod >> 64) as u64, prod as u64)
+}
+
+/// High 64 bits of the 128-bit product `a * b`.
+#[inline(always)]
+pub fn mul_hi(a: u64, b: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) >> 64) as u64
+}
+
+/// Low 64 bits of the product `a * b` (wrapping multiplication).
+#[inline(always)]
+pub fn mul_lo(a: u64, b: u64) -> u64 {
+    a.wrapping_mul(b)
+}
+
+/// `(a * b) >> shift` for `shift` in `64..=127`, without losing precision.
+///
+/// # Panics
+///
+/// Panics if `shift` is not in `64..=127`.
+#[inline]
+pub fn mul_shift(a: u64, b: u64, shift: u32) -> u64 {
+    assert!((64..=127).contains(&shift), "shift must be in 64..=127");
+    ((u128::from(a) * u128::from(b)) >> shift) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_wide_small() {
+        assert_eq!(mul_wide(3, 4), (0, 12));
+        assert_eq!(mul_wide(1 << 63, 2), (1, 0));
+    }
+
+    #[test]
+    fn mul_hi_matches_u128() {
+        let a = 0xDEAD_BEEF_CAFE_BABE;
+        let b = 0x1234_5678_9ABC_DEF0;
+        assert_eq!(mul_hi(a, b), ((a as u128 * b as u128) >> 64) as u64);
+    }
+
+    #[test]
+    fn mul_lo_wraps() {
+        assert_eq!(mul_lo(u64::MAX, 2), u64::MAX - 1);
+    }
+
+    #[test]
+    fn mul_shift_is_exact() {
+        let a = 0xFFFF_FFFF_0000_0001;
+        let b = 0x8000_0000_0000_0000;
+        for shift in [64u32, 65, 100, 127] {
+            let expect = ((a as u128 * b as u128) >> shift) as u64;
+            assert_eq!(mul_shift(a, b, shift), expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shift must be in 64..=127")]
+    fn mul_shift_rejects_small_shift() {
+        mul_shift(1, 1, 63);
+    }
+}

@@ -1,0 +1,233 @@
+//! Device-side layout of a batched NTT problem.
+//!
+//! A batch is `np` polynomials of degree `N`, one per RNS prime, stored
+//! row-major in GMEM, plus the per-prime twiddle tables (values and Shoup
+//! companions, bit-reversed order) — the precomputed data whose size
+//! drives the paper's bandwidth analysis. Prime moduli travel as host
+//! constants (CMEM in the paper's terms: broadcast, no DRAM traffic).
+
+use gpu_sim::{Buf, Gpu};
+use ntt_core::poly::RingError;
+use ntt_core::NttTable;
+
+/// A batched NTT problem resident in simulated GMEM.
+#[derive(Debug)]
+pub struct DeviceBatch {
+    n: usize,
+    log_n: u32,
+    np: usize,
+    moduli: Vec<u64>,
+    /// Host copies of the tables (for verification and OT construction).
+    tables: Vec<NttTable>,
+    /// `np × n` data words (in-place transform target).
+    pub data: Buf,
+    /// `np × n` forward twiddle values, bit-reversed order.
+    pub twiddles: Buf,
+    /// `np × n` Shoup companions.
+    pub companions: Buf,
+    /// Pristine input copy (host side) for verification.
+    input: Vec<Vec<u64>>,
+}
+
+impl DeviceBatch {
+    /// Upload a batch with caller-provided per-prime input rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table construction failures ([`RingError`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != np` or any row length differs from `N`.
+    pub fn upload(
+        gpu: &mut Gpu,
+        log_n: u32,
+        prime_bits: u32,
+        rows: Vec<Vec<u64>>,
+    ) -> Result<Self, RingError> {
+        let n = 1usize << log_n;
+        let np = rows.len();
+        assert!(np > 0, "batch needs at least one prime");
+        let primes = ntt_math::ntt_primes(prime_bits, 2 * n as u64, np);
+        let tables = primes
+            .iter()
+            .map(|&p| NttTable::new(n, p).map_err(RingError::from))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let mut data_host = Vec::with_capacity(np * n);
+        let mut tw_host = Vec::with_capacity(np * n);
+        let mut twc_host = Vec::with_capacity(np * n);
+        for (row, table) in rows.iter().zip(&tables) {
+            assert_eq!(row.len(), n, "row length must equal N");
+            data_host.extend_from_slice(row);
+            tw_host.extend_from_slice(table.forward_values());
+            twc_host.extend_from_slice(table.forward_companions());
+        }
+        let data = gpu.gmem.alloc_from(&data_host);
+        let twiddles = gpu.gmem.alloc_from(&tw_host);
+        let companions = gpu.gmem.alloc_from(&twc_host);
+        Ok(Self {
+            n,
+            log_n,
+            np,
+            moduli: primes,
+            tables,
+            data,
+            twiddles,
+            companions,
+            input: rows,
+        })
+    }
+
+    /// Convenience batch with deterministic pseudo-input
+    /// (`x_i = (i * 0x9E3779B97F4A7C15) mod p` per prime).
+    ///
+    /// # Errors
+    ///
+    /// Propagates table construction failures.
+    pub fn sequential(
+        gpu: &mut Gpu,
+        log_n: u32,
+        np: usize,
+        prime_bits: u32,
+    ) -> Result<Self, RingError> {
+        let n = 1usize << log_n;
+        let primes = ntt_math::ntt_primes(prime_bits, 2 * n as u64, np);
+        let rows = primes
+            .iter()
+            .map(|&p| {
+                (0..n as u64)
+                    .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % p)
+                    .collect()
+            })
+            .collect();
+        Self::upload(gpu, log_n, prime_bits, rows)
+    }
+
+    /// Transform size `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `log2 N`.
+    #[inline]
+    pub fn log_n(&self) -> u32 {
+        self.log_n
+    }
+
+    /// Batch size `np`.
+    #[inline]
+    pub fn np(&self) -> usize {
+        self.np
+    }
+
+    /// The prime moduli (host constants; CMEM-like broadcast access).
+    #[inline]
+    pub fn moduli(&self) -> &[u64] {
+        &self.moduli
+    }
+
+    /// Host-side table for prime `i` (verification, OT table building).
+    #[inline]
+    pub fn table(&self, i: usize) -> &NttTable {
+        &self.tables[i]
+    }
+
+    /// The pristine input rows.
+    #[inline]
+    pub fn input(&self) -> &[Vec<u64>] {
+        &self.input
+    }
+
+    /// Reset device data to the pristine input (transforms run in place).
+    pub fn reset_data(&self, gpu: &mut Gpu) {
+        for (i, row) in self.input.iter().enumerate() {
+            gpu.gmem.write(self.data, i * self.n, row);
+        }
+    }
+
+    /// Download the (transformed) data rows from the device.
+    pub fn download(&self, gpu: &Gpu) -> Vec<Vec<u64>> {
+        (0..self.np)
+            .map(|i| gpu.gmem.slice(self.data.sub(i * self.n, self.n)).to_vec())
+            .collect()
+    }
+
+    /// The expected forward-NTT output (scalar reference, bit-reversed
+    /// order), computed on the host.
+    pub fn expected_ntt(&self) -> Vec<Vec<u64>> {
+        self.input
+            .iter()
+            .zip(&self.tables)
+            .map(|(row, table)| {
+                let mut a = row.clone();
+                ntt_core::ct::ntt(&mut a, table);
+                a
+            })
+            .collect()
+    }
+
+    /// Per-prime twiddle-table bytes (values + companions) on the device.
+    pub fn table_bytes(&self) -> usize {
+        self.np * self.n * 16
+    }
+
+    /// Data bytes (one batch of polynomials).
+    pub fn data_bytes(&self) -> usize {
+        self.np * self.n * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuConfig;
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let mut gpu = Gpu::new(GpuConfig::titan_v());
+        let b = DeviceBatch::sequential(&mut gpu, 6, 3, 59).unwrap();
+        assert_eq!(b.n(), 64);
+        assert_eq!(b.np(), 3);
+        let rows = b.download(&gpu);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(&rows[0], &b.input()[0]);
+        // Moduli are distinct NTT-friendly primes.
+        for &p in b.moduli() {
+            assert!(ntt_math::is_prime(p));
+            assert_eq!(p % 128, 1);
+        }
+    }
+
+    #[test]
+    fn reset_restores_input() {
+        let mut gpu = Gpu::new(GpuConfig::titan_v());
+        let b = DeviceBatch::sequential(&mut gpu, 5, 2, 60).unwrap();
+        // Clobber device data, then reset.
+        gpu.gmem.write(b.data, 0, &vec![7u64; 32]);
+        b.reset_data(&mut gpu);
+        assert_eq!(b.download(&gpu), b.input());
+    }
+
+    #[test]
+    fn expected_ntt_matches_reference_shape() {
+        let mut gpu = Gpu::new(GpuConfig::titan_v());
+        let b = DeviceBatch::sequential(&mut gpu, 4, 2, 60).unwrap();
+        let exp = b.expected_ntt();
+        assert_eq!(exp.len(), 2);
+        assert_eq!(exp[0].len(), 16);
+        // Forward NTT is invertible: applying intt recovers the input.
+        let mut back = exp[1].clone();
+        ntt_core::ct::intt(&mut back, b.table(1));
+        assert_eq!(back, b.input()[1]);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut gpu = Gpu::new(GpuConfig::titan_v());
+        let b = DeviceBatch::sequential(&mut gpu, 10, 4, 60).unwrap();
+        assert_eq!(b.data_bytes(), 4 * 1024 * 8);
+        assert_eq!(b.table_bytes(), 4 * 1024 * 16);
+    }
+}

@@ -1,0 +1,687 @@
+//! Complex DFT kernels — the paper's comparison path (Fig. 3(b), 5, 11(b)).
+//!
+//! The DFT mirrors every NTT implementation point with three differences
+//! the paper's analysis hinges on:
+//!
+//! 1. elements are single-precision complex (two `f32`s packed into one
+//!    64-bit word — same element width as the NTT's residues);
+//! 2. twiddles need **no Shoup companions** (half the table traffic per
+//!    entry) and **one table is shared by the entire batch** (DFTs of any
+//!    batch use the same roots of unity, unlike per-prime NTT tables);
+//! 3. the butterfly is cheap floating-point arithmetic, and threads hold
+//!    no modulus/companion state (lower register pressure, higher
+//!    occupancy — the paper's Fig. 4(c) vs 5(c) contrast).
+//!
+//! All kernels realize the identical Cooley–Tukey dataflow graph as their
+//! NTT twins, so outputs are bit-exact reproducible against a scalar
+//! reference executing the same f32 operations.
+
+use crate::report::RunReport;
+use gpu_sim::{Buf, Gpu, LaunchConfig, OpClass, WarpCtx, WarpKernel};
+use ntt_core::bitrev::bit_reverse;
+
+/// Pack a complex value into one GMEM word.
+#[inline]
+pub fn pack(re: f32, im: f32) -> u64 {
+    (u64::from(re.to_bits()) << 32) | u64::from(im.to_bits())
+}
+
+/// Unpack a GMEM word into (re, im).
+#[inline]
+pub fn unpack(w: u64) -> (f32, f32) {
+    (f32::from_bits((w >> 32) as u32), f32::from_bits(w as u32))
+}
+
+/// Packed complex multiply.
+#[inline]
+fn cmul(a: u64, b: u64) -> u64 {
+    let (ar, ai) = unpack(a);
+    let (br, bi) = unpack(b);
+    pack(ar * br - ai * bi, ar * bi + ai * br)
+}
+
+/// Packed complex add.
+#[inline]
+fn cadd(a: u64, b: u64) -> u64 {
+    let (ar, ai) = unpack(a);
+    let (br, bi) = unpack(b);
+    pack(ar + br, ai + bi)
+}
+
+/// Packed complex subtract.
+#[inline]
+fn csub(a: u64, b: u64) -> u64 {
+    let (ar, ai) = unpack(a);
+    let (br, bi) = unpack(b);
+    pack(ar - br, ai - bi)
+}
+
+/// Modeled registers for a radix-`r` DFT thread: same ~4/point footprint
+/// as the NTT but without the prime/companion working set — the source of
+/// the occupancy gap in Fig. 4(c)/5(c).
+pub fn dft_regs_per_thread(r: usize) -> u32 {
+    4 * r as u32 + 16
+}
+
+/// A batched DFT problem in GMEM: `np` sequences plus ONE shared table.
+#[derive(Debug)]
+pub struct DftBatch {
+    n: usize,
+    np: usize,
+    /// `np × n` packed complex data words.
+    pub data: Buf,
+    /// `n` packed twiddles `psi^{bitrev(i)}`, `psi = exp(-iπ/N)` — shared.
+    pub table: Buf,
+    input: Vec<Vec<u64>>,
+    table_host: Vec<u64>,
+}
+
+impl DftBatch {
+    /// Build a batch with deterministic pseudo-random complex input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `np == 0`.
+    pub fn sequential(gpu: &mut Gpu, log_n: u32, np: usize) -> Self {
+        assert!(np > 0, "batch needs at least one sequence");
+        let n = 1usize << log_n;
+        let table_host: Vec<u64> = (0..n)
+            .map(|i| {
+                let r = bit_reverse(i, log_n) as f64;
+                let theta = -std::f64::consts::PI * r / n as f64;
+                pack(theta.cos() as f32, theta.sin() as f32)
+            })
+            .collect();
+        let input: Vec<Vec<u64>> = (0..np)
+            .map(|b| {
+                (0..n)
+                    .map(|i| {
+                        let x = (i as f64 * 0.37 + b as f64).sin() as f32;
+                        let y = (i as f64 * 0.11 - b as f64).cos() as f32;
+                        pack(x, y)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut data_host = Vec::with_capacity(np * n);
+        for row in &input {
+            data_host.extend_from_slice(row);
+        }
+        let data = gpu.gmem.alloc_from(&data_host);
+        let table = gpu.gmem.alloc_from(&table_host);
+        Self {
+            n,
+            np,
+            data,
+            table,
+            input,
+            table_host,
+        }
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Batch size.
+    #[inline]
+    pub fn np(&self) -> usize {
+        self.np
+    }
+
+    /// Restore pristine input on the device.
+    pub fn reset_data(&self, gpu: &mut Gpu) {
+        for (i, row) in self.input.iter().enumerate() {
+            gpu.gmem.write(self.data, i * self.n, row);
+        }
+    }
+
+    /// Scalar reference output (same f32 dataflow ⇒ bit-exact).
+    pub fn expected(&self) -> Vec<Vec<u64>> {
+        self.input
+            .iter()
+            .map(|row| {
+                let mut a = row.clone();
+                let n = self.n;
+                let mut t = n / 2;
+                let mut m = 1;
+                while m < n {
+                    for i in 0..m {
+                        let w = self.table_host[m + i];
+                        let j1 = 2 * i * t;
+                        for j in j1..j1 + t {
+                            let u = a[j];
+                            let v = cmul(a[j + t], w);
+                            a[j] = cadd(u, v);
+                            a[j + t] = csub(u, v);
+                        }
+                    }
+                    m *= 2;
+                    t /= 2;
+                }
+                a
+            })
+            .collect()
+    }
+
+    /// Verify device data against the reference (bit-exact).
+    pub fn verify(&self, gpu: &Gpu) -> bool {
+        (0..self.np).all(|i| {
+            gpu.gmem.slice(self.data.sub(i * self.n, self.n)) == &self.expected()[i][..]
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Radix-2 baseline (Fig. 3(b))
+// ---------------------------------------------------------------------------
+
+struct DftStageKernel {
+    data: Buf,
+    table: Buf,
+    n: usize,
+    np: usize,
+    m: usize,
+}
+
+impl WarpKernel for DftStageKernel {
+    fn phases(&self) -> usize {
+        1
+    }
+
+    fn run_warp(&self, ctx: &mut WarpCtx<'_>) {
+        let half_n = self.n / 2;
+        let total = self.np * half_n;
+        let t = self.n / (2 * self.m);
+        let lanes = ctx.lanes();
+        let mut addr_a = vec![None; lanes];
+        let mut addr_b = vec![None; lanes];
+        let mut addr_w = vec![None; lanes];
+        let mut active = 0u64;
+        for l in 0..lanes {
+            let gt = ctx.global_thread(l);
+            if gt >= total {
+                continue;
+            }
+            active += 1;
+            let pr = gt / half_n;
+            let b = gt % half_n;
+            let i = b / t;
+            let k = b % t;
+            let x = i * 2 * t + k;
+            addr_a[l] = Some(self.data.word(pr * self.n + x));
+            addr_b[l] = Some(self.data.word(pr * self.n + x + t));
+            addr_w[l] = Some(self.table.word(self.m + i));
+        }
+        if active == 0 {
+            return;
+        }
+        let (a, b) = ctx.gmem_load2(&addr_a, &addr_b);
+        let w = ctx.gmem_load_cached(&addr_w);
+        let mut out_a = vec![None; lanes];
+        let mut out_b = vec![None; lanes];
+        for l in 0..lanes {
+            let (Some(av), Some(bv), Some(wv)) = (a[l], b[l], w[l]) else {
+                continue;
+            };
+            let v = cmul(bv, wv);
+            out_a[l] = Some((addr_a[l].expect("active"), cadd(av, v)));
+            out_b[l] = Some((addr_b[l].expect("active"), csub(av, v)));
+        }
+        ctx.count_op(OpClass::ComplexMul, active);
+        ctx.count_op(OpClass::ComplexAddSub, 2 * active);
+        ctx.gmem_store2(&out_a, &out_b);
+    }
+}
+
+/// Run the batched DFT as `log2 N` radix-2 stage launches.
+pub fn run_radix2(gpu: &mut Gpu, batch: &DftBatch) -> RunReport {
+    let n = batch.n();
+    let blocks = (batch.np() * n / 2).div_ceil(256);
+    let mut m = 1;
+    let mut launches = 0;
+    while m < n {
+        let kernel = DftStageKernel {
+            data: batch.data,
+            table: batch.table,
+            n,
+            np: batch.np(),
+            m,
+        };
+        let cfg = LaunchConfig::new(format!("dft-radix2-m{m}"), blocks, 256).regs_per_thread(32);
+        gpu.launch(&kernel, &cfg);
+        launches += 1;
+        m *= 2;
+    }
+    RunReport::from_trace("dft radix-2", gpu, launches)
+}
+
+// ---------------------------------------------------------------------------
+// Register-based high radix (Fig. 5)
+// ---------------------------------------------------------------------------
+
+struct DftPassKernel {
+    data: Buf,
+    table: Buf,
+    n: usize,
+    np: usize,
+    m0: usize,
+    r: usize,
+}
+
+impl WarpKernel for DftPassKernel {
+    fn phases(&self) -> usize {
+        1
+    }
+
+    fn run_warp(&self, ctx: &mut WarpCtx<'_>) {
+        let items_per_prime = self.n / self.r;
+        let total = self.np * items_per_prime;
+        let sigma = self.n / (self.m0 * self.r);
+        let seg_len = self.n / self.m0;
+        let lanes = ctx.lanes();
+        let mut base = vec![0usize; lanes];
+        let mut i0 = vec![0usize; lanes];
+        let mut live = vec![false; lanes];
+        let mut active = 0u64;
+        for l in 0..lanes {
+            let gt = ctx.global_thread(l);
+            if gt >= total {
+                continue;
+            }
+            live[l] = true;
+            active += 1;
+            let pr = gt / items_per_prime;
+            let item = gt % items_per_prime;
+            i0[l] = item / sigma;
+            base[l] = pr * self.n + i0[l] * seg_len + (item % sigma);
+        }
+        if active == 0 {
+            return;
+        }
+        let mut vals = vec![vec![0u64; self.r]; lanes];
+        for s in 0..self.r {
+            let addrs: Vec<Option<usize>> = (0..lanes)
+                .map(|l| live[l].then(|| self.data.word(base[l] + s * sigma)))
+                .collect();
+            let loaded = ctx.gmem_load(&addrs);
+            for l in 0..lanes {
+                if let Some(v) = loaded[l] {
+                    vals[l][s] = v;
+                }
+            }
+        }
+        let mut m_loc = 1;
+        let mut t_loc = self.r / 2;
+        while m_loc < self.r {
+            for i_loc in 0..m_loc {
+                let w_addrs: Vec<Option<usize>> = (0..lanes)
+                    .map(|l| {
+                        live[l].then(|| self.table.word(m_loc * (self.m0 + i0[l]) + i_loc))
+                    })
+                    .collect();
+                let w = ctx.gmem_load_cached(&w_addrs);
+                let j1 = 2 * i_loc * t_loc;
+                for j in j1..j1 + t_loc {
+                    for l in 0..lanes {
+                        if !live[l] {
+                            continue;
+                        }
+                        let u = vals[l][j];
+                        let v = cmul(vals[l][j + t_loc], w[l].expect("active"));
+                        vals[l][j] = cadd(u, v);
+                        vals[l][j + t_loc] = csub(u, v);
+                    }
+                    ctx.count_op(OpClass::ComplexMul, active);
+                    ctx.count_op(OpClass::ComplexAddSub, 2 * active);
+                }
+            }
+            m_loc *= 2;
+            t_loc /= 2;
+        }
+        for s in 0..self.r {
+            let writes: Vec<Option<(usize, u64)>> = (0..lanes)
+                .map(|l| live[l].then(|| (self.data.word(base[l] + s * sigma), vals[l][s])))
+                .collect();
+            ctx.gmem_store(&writes);
+        }
+    }
+}
+
+/// Run the batched DFT with radix-`r` register passes.
+///
+/// # Panics
+///
+/// Panics if `r` is not a power of two in `2..=N`.
+pub fn run_high_radix(gpu: &mut Gpu, batch: &DftBatch, r: usize) -> RunReport {
+    let n = batch.n();
+    assert!(r.is_power_of_two() && r >= 2 && r <= n, "invalid radix");
+    let mut m0 = 1usize;
+    let mut launches = 0;
+    while m0 < n {
+        let r_pass = r.min(n / m0);
+        let kernel = DftPassKernel {
+            data: batch.data,
+            table: batch.table,
+            n,
+            np: batch.np(),
+            m0,
+            r: r_pass,
+        };
+        let blocks = (batch.np() * n / r_pass).div_ceil(64);
+        let cfg = LaunchConfig::new(format!("dft-radix{r}-m{m0}"), blocks, 64)
+            .regs_per_thread(dft_regs_per_thread(r_pass));
+        gpu.launch(&kernel, &cfg);
+        launches += 1;
+        m0 *= r_pass;
+    }
+    RunReport::from_trace(format!("dft high-radix-{r}"), gpu, launches)
+}
+
+// ---------------------------------------------------------------------------
+// Two-kernel SMEM implementation (Fig. 11(b))
+// ---------------------------------------------------------------------------
+
+struct DftTwoStepKernel {
+    data: Buf,
+    table: Buf,
+    n: usize,
+    r: usize,
+    t: usize,
+    levels: Vec<usize>,
+    c: usize,
+    /// Kernel-1 (strided columns, `tw_base = 1`) vs Kernel-2 (rows).
+    strided: bool,
+}
+
+impl DftTwoStepKernel {
+    fn threads_per_group(&self) -> usize {
+        self.r / self.t
+    }
+
+    fn groups_per_prime(&self) -> usize {
+        self.n / self.r
+    }
+
+    fn split_tid(&self, tid: usize) -> (usize, usize) {
+        if self.strided {
+            (tid % self.c, tid / self.c)
+        } else {
+            (tid / self.threads_per_group(), tid % self.threads_per_group())
+        }
+    }
+
+    fn elem_addr(&self, prime: usize, group: usize, e: usize) -> usize {
+        let off = if self.strided {
+            group + e * self.groups_per_prime()
+        } else {
+            group * self.r + e
+        };
+        self.data.word(prime * self.n + off)
+    }
+
+    fn m_before(&self, level: usize) -> usize {
+        self.levels[..level].iter().product()
+    }
+
+    fn item_elem(&self, level: usize, item: usize, s: usize) -> usize {
+        let m = self.m_before(level);
+        let size = self.levels[level];
+        let sigma = self.r / (m * size);
+        (item / sigma) * (self.r / m) + (item % sigma) + s * sigma
+    }
+
+    fn twiddle_index(&self, level: usize, item: usize, m_loc: usize, i_loc: usize, group: usize) -> usize {
+        let m = self.m_before(level);
+        let size = self.levels[level];
+        let sigma = self.r / (m * size);
+        let base = if self.strided { 1 } else { self.groups_per_prime() + group };
+        m_loc * (m * base + item / sigma) + i_loc
+    }
+}
+
+impl WarpKernel for DftTwoStepKernel {
+    fn phases(&self) -> usize {
+        2 * self.levels.len()
+    }
+
+    fn run_warp(&self, ctx: &mut WarpCtx<'_>) {
+        let lanes = ctx.lanes();
+        let tpg = self.threads_per_group();
+        let blocks_per_prime = self.groups_per_prime() / self.c;
+        let prime = ctx.block / blocks_per_prime;
+        let block_in_prime = ctx.block % blocks_per_prime;
+        let phase = ctx.phase;
+        let n_levels = self.levels.len();
+
+        if phase == 0 {
+            let size = self.levels[0];
+            for b in 0..self.t / size {
+                for s in 0..size {
+                    let addrs: Vec<Option<usize>> = (0..lanes)
+                        .map(|l| {
+                            let (c, u) = self.split_tid(ctx.thread_in_block(l));
+                            let group = block_in_prime * self.c + c;
+                            let e = self.item_elem(0, u + b * tpg, s);
+                            Some(self.elem_addr(prime, group, e))
+                        })
+                        .collect();
+                    let vals = ctx.gmem_load(&addrs);
+                    for l in 0..lanes {
+                        ctx.regs(l)[b * size + s] = vals[l].expect("active");
+                    }
+                }
+            }
+            return;
+        }
+
+        if phase % 2 == 1 {
+            let level = (phase - 1) / 2;
+            let size = self.levels[level];
+            let subs = self.t / size;
+            // Compute.
+            for b in 0..subs {
+                let mut m_loc = 1;
+                let mut t_loc = size / 2;
+                while m_loc < size {
+                    for i_loc in 0..m_loc {
+                        let w_addrs: Vec<Option<usize>> = (0..lanes)
+                            .map(|l| {
+                                let (c, u) = self.split_tid(ctx.thread_in_block(l));
+                                let group = block_in_prime * self.c + c;
+                                let idx =
+                                    self.twiddle_index(level, u + b * tpg, m_loc, i_loc, group);
+                                Some(self.table.word(idx))
+                            })
+                            .collect();
+                        let w = ctx.gmem_load_cached(&w_addrs);
+                        let j1 = 2 * i_loc * t_loc;
+                        for j in j1..j1 + t_loc {
+                            for l in 0..lanes {
+                                let (s_lo, s_hi) = (b * size + j, b * size + j + t_loc);
+                                let regs = ctx.regs(l);
+                                let u_val = regs[s_lo];
+                                let v = cmul(regs[s_hi], w[l].expect("active"));
+                                regs[s_lo] = cadd(u_val, v);
+                                regs[s_hi] = csub(u_val, v);
+                            }
+                            ctx.count_op(OpClass::ComplexMul, lanes as u64);
+                            ctx.count_op(OpClass::ComplexAddSub, 2 * lanes as u64);
+                        }
+                    }
+                    m_loc *= 2;
+                    t_loc /= 2;
+                }
+            }
+            // Store.
+            let last = level + 1 == n_levels;
+            for b in 0..subs {
+                for s in 0..size {
+                    let writes: Vec<Option<(usize, u64)>> = (0..lanes)
+                        .map(|l| {
+                            let (c, u) = self.split_tid(ctx.thread_in_block(l));
+                            let e = self.item_elem(level, u + b * tpg, s);
+                            let v = ctx.regs(l)[b * size + s];
+                            if last {
+                                let group = block_in_prime * self.c + c;
+                                Some((self.elem_addr(prime, group, e), v))
+                            } else {
+                                Some((c * self.r + e, v))
+                            }
+                        })
+                        .collect();
+                    if last {
+                        ctx.gmem_store(&writes);
+                    } else {
+                        ctx.smem_store(&writes);
+                    }
+                }
+            }
+        } else {
+            let level = phase / 2;
+            let size = self.levels[level];
+            for b in 0..self.t / size {
+                for s in 0..size {
+                    let addrs: Vec<Option<usize>> = (0..lanes)
+                        .map(|l| {
+                            let (c, u) = self.split_tid(ctx.thread_in_block(l));
+                            let e = self.item_elem(level, u + b * tpg, s);
+                            Some(c * self.r + e)
+                        })
+                        .collect();
+                    let vals = ctx.smem_load(&addrs);
+                    for l in 0..lanes {
+                        ctx.regs(l)[b * size + s] = vals[l].expect("active");
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn dft_level_sizes(r: usize, t: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut rem = r;
+    while rem > 1 {
+        let s = t.min(rem);
+        out.push(s);
+        rem /= s;
+    }
+    out
+}
+
+/// Run the two-kernel SMEM DFT with Kernel-1 size `n1` and `t`-point
+/// per-thread DFTs.
+///
+/// # Panics
+///
+/// Panics on invalid `n1`/`t` (not powers of two, or out of range).
+pub fn run_smem(gpu: &mut Gpu, batch: &DftBatch, n1: usize, t: usize) -> RunReport {
+    let n = batch.n();
+    assert!(n1.is_power_of_two() && n1 >= 2 && n1 <= n / 2, "invalid N1");
+    assert!(t.is_power_of_two() && t >= 2, "invalid per-thread size");
+    for (strided, r) in [(true, n1), (false, n / n1)] {
+        let t_k = t.min(r);
+        let tpg = r / t_k;
+        let c = (256 / tpg).max(1).min(n / r);
+        let kernel = DftTwoStepKernel {
+            data: batch.data,
+            table: batch.table,
+            n,
+            r,
+            t: t_k,
+            levels: dft_level_sizes(r, t_k),
+            c,
+            strided,
+        };
+        let blocks = batch.np() * (n / r) / c;
+        let cfg = LaunchConfig::new(
+            format!("dft-smem-{}-{r}", if strided { "k1" } else { "k2" }),
+            blocks,
+            c * tpg,
+        )
+        .regs_per_thread(dft_regs_per_thread(t_k))
+        .smem_bytes(c * r * 8)
+        .reg_slots(t_k);
+        gpu.launch(&kernel, &cfg);
+    }
+    RunReport::from_trace(format!("dft smem {}x{} t{}", n1, n / n1, t), gpu, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuConfig;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let w = pack(1.5, -2.25);
+        assert_eq!(unpack(w), (1.5, -2.25));
+        let z = pack(0.0, 0.0);
+        assert_eq!(unpack(z), (0.0, 0.0));
+    }
+
+    #[test]
+    fn complex_ops_on_packed_words() {
+        let i = pack(0.0, 1.0);
+        assert_eq!(unpack(cmul(i, i)), (-1.0, 0.0));
+        assert_eq!(unpack(cadd(pack(1.0, 2.0), pack(3.0, 4.0))), (4.0, 6.0));
+        assert_eq!(unpack(csub(pack(1.0, 2.0), pack(3.0, 4.0))), (-2.0, -2.0));
+    }
+
+    #[test]
+    fn radix2_dft_bit_exact() {
+        let mut gpu = Gpu::new(GpuConfig::titan_v());
+        let batch = DftBatch::sequential(&mut gpu, 8, 3);
+        let rep = run_radix2(&mut gpu, &batch);
+        assert!(batch.verify(&gpu));
+        assert_eq!(rep.launches.len(), 8);
+    }
+
+    #[test]
+    fn high_radix_dft_bit_exact() {
+        for r in [4usize, 16, 32] {
+            let mut gpu = Gpu::new(GpuConfig::titan_v());
+            let batch = DftBatch::sequential(&mut gpu, 9, 2);
+            run_high_radix(&mut gpu, &batch, r);
+            assert!(batch.verify(&gpu), "radix {r}");
+        }
+    }
+
+    #[test]
+    fn smem_dft_bit_exact() {
+        for t in [2usize, 4, 8] {
+            let mut gpu = Gpu::new(GpuConfig::titan_v());
+            let batch = DftBatch::sequential(&mut gpu, 10, 2);
+            run_smem(&mut gpu, &batch, 32, t);
+            assert!(batch.verify(&gpu), "t={t}");
+        }
+    }
+
+    #[test]
+    fn dft_table_traffic_is_batch_independent() {
+        // The paper's core DFT-vs-NTT contrast: one shared table.
+        let mut gpu = Gpu::new(GpuConfig::titan_v());
+        let b1 = DftBatch::sequential(&mut gpu, 10, 1);
+        let r1 = run_radix2(&mut gpu, &b1);
+        let mut gpu2 = Gpu::new(GpuConfig::titan_v());
+        let b4 = DftBatch::sequential(&mut gpu2, 10, 4);
+        let r4 = run_radix2(&mut gpu2, &b4);
+        // Data traffic quadruples; unique table DRAM fetches do not.
+        let d1 = r1.merged_stats().useful_write_bytes;
+        let d4 = r4.merged_stats().useful_write_bytes;
+        assert_eq!(d4, 4 * d1);
+        // DRAM reads grow by ~4x data but table adds only a constant.
+        let reads1 = r1.merged_stats().dram_read_transactions;
+        let reads4 = r4.merged_stats().dram_read_transactions;
+        assert!(reads4 < 4 * reads1 + 1024);
+    }
+
+    #[test]
+    fn dft_occupancy_beats_ntt_at_radix_32() {
+        // Fig. 4(c)/5(c): NTT's extra register state costs occupancy.
+        assert!(dft_regs_per_thread(32) < crate::high_radix::ntt_regs_per_thread(32));
+    }
+}

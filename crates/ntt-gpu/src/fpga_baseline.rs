@@ -1,0 +1,87 @@
+//! Analytic model of the FCCM'20 FPGA NTT accelerator (paper §VIII, \[20\]).
+//!
+//! The paper compares its best GPU configuration against Kim et al.,
+//! *"Hardware Architecture of a Number Theoretic Transform for a
+//! Bootstrappable RNS-based Homomorphic Encryption Scheme"* (FCCM 2020):
+//! a deeply pipelined butterfly-array design that also generates some
+//! twiddles on the fly. We model it as `B` butterfly units at clock `f`
+//! processing one butterfly per unit per cycle with perfect pipelining —
+//! generous to the FPGA, since it ignores fill/drain and memory stalls.
+//!
+//! The defaults (`B = 48`, `f = 250 MHz`) are derived by inverting the
+//! paper's reported speedups (6.56×/6.48× at `N = 2^17`, `np = 36/42`)
+//! against the modeled GPU times, and are consistent with the resource
+//! envelope of a large FPGA of that generation.
+
+/// Pipelined butterfly-array NTT accelerator model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaNtt {
+    /// Parallel butterfly units.
+    pub butterfly_units: u32,
+    /// Pipeline clock in Hz.
+    pub clock_hz: f64,
+}
+
+impl FpgaNtt {
+    /// The §VIII comparator configuration.
+    pub fn fccm20() -> Self {
+        Self {
+            butterfly_units: 48,
+            clock_hz: 250.0e6,
+        }
+    }
+
+    /// Butterflies in a batched N-point NTT: `np · N/2 · log2 N`.
+    pub fn butterflies(n: usize, np: usize) -> u64 {
+        (np as u64) * (n as u64 / 2) * n.trailing_zeros() as u64
+    }
+
+    /// Modeled execution time for `np` N-point NTTs, seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    pub fn time_s(&self, n: usize, np: usize) -> f64 {
+        assert!(n.is_power_of_two(), "N must be a power of two");
+        Self::butterflies(n, np) as f64
+            / (self.butterfly_units as f64 * self.clock_hz)
+    }
+
+    /// Time in microseconds.
+    pub fn time_us(&self, n: usize, np: usize) -> f64 {
+        self.time_s(n, np) * 1e6
+    }
+}
+
+impl Default for FpgaNtt {
+    fn default() -> Self {
+        Self::fccm20()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn butterfly_count() {
+        assert_eq!(FpgaNtt::butterflies(8, 1), 12);
+        assert_eq!(FpgaNtt::butterflies(1 << 17, 36), 36 * (1 << 16) * 17);
+    }
+
+    #[test]
+    fn time_scales_linearly_with_batch() {
+        let f = FpgaNtt::fccm20();
+        let t36 = f.time_s(1 << 17, 36);
+        let t42 = f.time_s(1 << 17, 42);
+        assert!((t42 / t36 - 42.0 / 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn magnitude_is_milliseconds_at_bootstrappable_sizes() {
+        // ~40M butterflies over 12G butterflies/s ≈ 3.3 ms.
+        let f = FpgaNtt::fccm20();
+        let t = f.time_s(1 << 17, 36);
+        assert!(t > 1e-3 && t < 10e-3, "t = {t}");
+    }
+}

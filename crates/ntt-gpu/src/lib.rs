@@ -1,0 +1,55 @@
+//! The paper's GPU NTT/DFT kernels, running on the `gpu-sim` substrate.
+//!
+//! Implements every implementation point of *"Accelerating NTT for
+//! Bootstrappable HE on GPUs"* (IISWC 2020):
+//!
+//! * [`radix2`] — the baseline: one kernel launch per Cooley–Tukey stage,
+//!   batched over the `np` RNS primes, with Shoup or native modular
+//!   multiplication (paper Fig. 1, Table II baseline).
+//! * [`high_radix`] — register-based radix-2^k passes (paper §V/VI-B,
+//!   Fig. 4/5).
+//! * [`smem`] — the two-kernel shared-memory implementation with
+//!   block-merged coalescing, twiddle preloading, and configurable
+//!   per-thread NTT size (paper §VI-C, Fig. 7/9/11/12, Table II).
+//! * [`ot`] — on-the-fly twiddling applied to the last 1–2 stages
+//!   (paper §VII).
+//! * [`dft`] — the complex (2×f32) DFT counterparts of all of the above
+//!   (paper Fig. 3(b)/5/11(b)).
+//! * [`fpga_baseline`] — an analytic model of the FCCM'20 FPGA NTT
+//!   accelerator the paper compares against in §VIII.
+//! * [`batch`] — device-side layout of polynomial data and twiddle tables.
+//! * [`report`] — run summaries (time, traffic, utilization) used by the
+//!   figure harness.
+//!
+//! Every kernel is *functionally* executed: results are bit-exact equal to
+//! `ntt_core::ct::ntt` (asserted throughout the test suite), while the
+//! simulator counts the traffic the paper profiles.
+//!
+//! # Example
+//!
+//! ```
+//! use ntt_gpu::{batch::DeviceBatch, radix2};
+//! use gpu_sim::{Gpu, GpuConfig};
+//!
+//! let mut gpu = Gpu::new(GpuConfig::titan_v());
+//! // A small batched NTT: N = 2^10, np = 2.
+//! let batch = DeviceBatch::sequential(&mut gpu, 10, 2, 60)?;
+//! let run = radix2::run(&mut gpu, &batch, radix2::ModMul::Shoup);
+//! assert!(run.verify(&gpu, &batch), "radix-2 output matches scalar NTT");
+//! # Ok::<(), ntt_core::RingError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod dft;
+pub mod fpga_baseline;
+pub mod high_radix;
+pub mod ot;
+pub mod radix2;
+pub mod report;
+pub mod smem;
+
+pub use batch::DeviceBatch;
+pub use report::RunReport;

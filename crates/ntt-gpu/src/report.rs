@@ -1,0 +1,96 @@
+//! Run summaries: what a profiler would report for a whole transform.
+
+use crate::batch::DeviceBatch;
+use gpu_sim::{Gpu, KernelStats, LaunchRecord};
+
+/// Aggregated result of running one batched transform (a sequence of
+/// kernel launches) on the simulator.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Human-readable implementation name.
+    pub name: String,
+    /// One record per kernel launch, in order.
+    pub launches: Vec<LaunchRecord>,
+}
+
+impl RunReport {
+    /// Collect the trailing `count` launches from the GPU trace.
+    pub fn from_trace(name: impl Into<String>, gpu: &Gpu, count: usize) -> Self {
+        let start = gpu.trace.len().saturating_sub(count);
+        Self {
+            name: name.into(),
+            launches: gpu.trace[start..].to_vec(),
+        }
+    }
+
+    /// Total modeled time, seconds.
+    pub fn total_s(&self) -> f64 {
+        self.launches.iter().map(|l| l.timing.total_s).sum()
+    }
+
+    /// Total modeled time, microseconds (the paper's unit).
+    pub fn total_us(&self) -> f64 {
+        self.total_s() * 1e6
+    }
+
+    /// Per-NTT time (total / np), microseconds.
+    pub fn per_ntt_us(&self, np: usize) -> f64 {
+        self.total_us() / np as f64
+    }
+
+    /// Total DRAM traffic including spills, bytes.
+    pub fn dram_bytes(&self, gpu: &Gpu) -> u64 {
+        self.launches
+            .iter()
+            .map(|l| l.dram_bytes(&gpu.config))
+            .sum()
+    }
+
+    /// DRAM traffic in megabytes (the paper's Fig. 4(b)/12(c) unit).
+    pub fn dram_mb(&self, gpu: &Gpu) -> f64 {
+        self.dram_bytes(gpu) as f64 / (1 << 20) as f64
+    }
+
+    /// Achieved DRAM bandwidth utilization over the run (fraction of peak).
+    pub fn dram_utilization(&self, gpu: &Gpu) -> f64 {
+        let t = self.total_s();
+        if t == 0.0 {
+            return 0.0;
+        }
+        self.dram_bytes(gpu) as f64 / t / gpu.config.peak_dram_bw
+    }
+
+    /// Lowest occupancy across the launches (the binding constraint).
+    pub fn min_occupancy(&self) -> f64 {
+        self.launches
+            .iter()
+            .map(|l| l.timing.occupancy)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Merged statistics across all launches.
+    pub fn merged_stats(&self) -> KernelStats {
+        let mut s = KernelStats::default();
+        for l in &self.launches {
+            s.merge(&l.stats);
+        }
+        s
+    }
+
+    /// Check the device data against the scalar reference NTT output.
+    pub fn verify(&self, gpu: &Gpu, batch: &DeviceBatch) -> bool {
+        batch.download(gpu) == batch.expected_ntt()
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:.1} us over {} launches",
+            self.name,
+            self.total_us(),
+            self.launches.len()
+        )
+    }
+}

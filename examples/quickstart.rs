@@ -1,0 +1,48 @@
+//! Quickstart: forward/inverse NTT and negacyclic polynomial products.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ntt_warp::core::{ct, NegacyclicRing, NttTable, Polynomial};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. A raw transform round-trip -----------------------------------
+    let n = 1 << 12;
+    let table = NttTable::new_with_bits(n, 60)?;
+    println!(
+        "NTT over Z_p[X]/(X^{} + 1), p = {} ({} bits)",
+        n,
+        table.modulus(),
+        64 - table.modulus().leading_zeros()
+    );
+
+    let input: Vec<u64> = (0..n as u64).map(|i| i * i % table.modulus()).collect();
+    let mut data = input.clone();
+    ct::ntt(&mut data, &table); // natural order -> bit-reversed evaluations
+    ct::intt(&mut data, &table); // and back
+    assert_eq!(data, input);
+    println!("forward + inverse round-trip: exact");
+
+    // --- 2. Polynomial multiplication via the ring API --------------------
+    let ring = NegacyclicRing::new_with_bits(8, 60)?;
+    let a = Polynomial::from_coeffs(vec![1, 2, 3], 8); // 1 + 2x + 3x^2
+    let b = Polynomial::from_coeffs(vec![5, 0, 7], 8); // 5 + 7x^2
+    let c = ring.multiply(&a, &b);
+    println!("(1 + 2x + 3x^2)(5 + 7x^2) = {:?}", &c.coeffs()[..5]);
+    assert_eq!(&c.coeffs()[..5], &[5, 10, 22, 14, 21]);
+
+    // The ring is negacyclic: X^N = -1.
+    let x7 = Polynomial::monomial(7, 1, 8);
+    let wrap = ring.multiply(&x7, &x7); // x^14 = -x^6
+    assert_eq!(wrap.coeffs()[6], ring.modulus() - 1);
+    println!("x^7 * x^7 = -x^6 (mod X^8 + 1): verified");
+
+    // --- 3. The table sizes that drive the paper's analysis --------------
+    let params = ntt_warp::core::HeParams::paper_default(17);
+    println!(
+        "\npaper parameters {params}:\n  polynomial: {:.1} MB, twiddle tables: {:.1} MB \
+         (vs 128 KB shared memory per SM)",
+        params.polynomial_bytes() as f64 / (1 << 20) as f64,
+        params.twiddle_table_bytes() as f64 / (1 << 20) as f64,
+    );
+    Ok(())
+}

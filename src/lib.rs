@@ -1,0 +1,45 @@
+//! # ntt-warp
+//!
+//! A Rust reproduction of *"Accelerating Number Theoretic Transformations
+//! for Bootstrappable Homomorphic Encryption on GPUs"* (Kim, Jung, Park &
+//! Ahn, IISWC 2020).
+//!
+//! This façade crate re-exports the workspace members:
+//!
+//! * [`math`] — modular arithmetic (Shoup / Barrett / Montgomery), primes,
+//!   roots of unity, big integers ([`ntt_math`]).
+//! * [`core`] — reference NTT/iNTT/DFT transforms, twiddle tables,
+//!   on-the-fly twiddling, RNS/CRT, polynomial rings ([`ntt_core`]).
+//! * [`sim`] — the warp-level GPU functional + performance simulator
+//!   ([`gpu_sim`]).
+//! * [`gpu`] — the paper's GPU kernels running on the simulator
+//!   ([`ntt_gpu`]).
+//! * [`he`] — a small RNS-HE (CKKS-style) layer exercising the NTT
+//!   ([`he_lite`]).
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record of every table and
+//! figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ntt_warp::core::{NegacyclicRing, Polynomial};
+//!
+//! // A negacyclic ring Z_p[X]/(X^1024 + 1) with an NTT-friendly prime.
+//! let ring = NegacyclicRing::new_with_bits(1024, 60)?;
+//! let a = Polynomial::from_coeffs(vec![1, 2, 3], ring.degree());
+//! let b = Polynomial::from_coeffs(vec![5, 0, 7], ring.degree());
+//! let c = ring.multiply(&a, &b);
+//! // (1 + 2x + 3x^2)(5 + 7x^2) = 5 + 10x + 22x^2 + 14x^3 + 21x^4
+//! assert_eq!(&c.coeffs()[..5], &[5, 10, 22, 14, 21]);
+//! # Ok::<(), ntt_warp::core::RingError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use gpu_sim as sim;
+pub use he_lite as he;
+pub use ntt_core as core;
+pub use ntt_gpu as gpu;
+pub use ntt_math as math;

@@ -1,0 +1,141 @@
+//! End-to-end homomorphic-encryption tests over the NTT stack.
+
+use ntt_warp::he::{sampling, HeContext, HeLiteParams};
+use proptest::prelude::*;
+
+fn small_params() -> HeLiteParams {
+    HeLiteParams {
+        log_n: 7,
+        prime_bits: 50,
+        levels: 3,
+        scale_bits: 46,
+        gadget_bits: 10,
+        error_eta: 4,
+    }
+}
+
+fn ctx_and_keys(seed: u64) -> (HeContext, ntt_warp::he::KeySet) {
+    let ctx = HeContext::new(small_params()).expect("context builds");
+    let keys = ctx.keygen(&mut sampling::seeded_rng(seed));
+    (ctx, keys)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn encrypt_decrypt_preserves_values(
+        values in proptest::collection::vec(-100.0f64..100.0, 1..8),
+        seed in any::<u64>()
+    ) {
+        let (ctx, keys) = ctx_and_keys(seed);
+        let mut rng = sampling::seeded_rng(seed ^ 0xABCD);
+        let ct = ctx.encrypt(&ctx.encode(&values), &keys.public, &mut rng);
+        let out = ctx.decode(&ctx.decrypt(&ct, &keys.secret));
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert!((out[i] - v).abs() < 1e-5, "slot {i}: {} vs {v}", out[i]);
+        }
+    }
+
+    #[test]
+    fn addition_is_homomorphic(
+        a in -50.0f64..50.0,
+        b in -50.0f64..50.0,
+        seed in any::<u64>()
+    ) {
+        let (ctx, keys) = ctx_and_keys(seed);
+        let mut rng = sampling::seeded_rng(seed.wrapping_mul(3));
+        let ca = ctx.encrypt(&ctx.encode(&[a]), &keys.public, &mut rng);
+        let cb = ctx.encrypt(&ctx.encode(&[b]), &keys.public, &mut rng);
+        let out = ctx.decode(&ctx.decrypt(&ctx.add(&ca, &cb), &keys.secret));
+        prop_assert!((out[0] - (a + b)).abs() < 1e-4);
+        let out = ctx.decode(&ctx.decrypt(&ctx.sub(&ca, &cb), &keys.secret));
+        prop_assert!((out[0] - (a - b)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn multiplication_is_homomorphic(
+        a in -10.0f64..10.0,
+        b in -10.0f64..10.0,
+        seed in any::<u64>()
+    ) {
+        let (ctx, keys) = ctx_and_keys(seed);
+        let mut rng = sampling::seeded_rng(seed.wrapping_add(17));
+        let ca = ctx.encrypt(&ctx.encode(&[a]), &keys.public, &mut rng);
+        let cb = ctx.encrypt(&ctx.encode(&[b]), &keys.public, &mut rng);
+        let prod = ctx.multiply(&ca, &cb, &keys.relin);
+        prop_assert_eq!(prod.level(), ca.level() - 1);
+        let out = ctx.decode(&ctx.decrypt(&prod, &keys.secret));
+        prop_assert!(
+            (out[0] - a * b).abs() < 1e-2,
+            "{} * {} = {} (expected {})", a, b, out[0], a * b
+        );
+    }
+
+    #[test]
+    fn plain_multiplication_matches(
+        a in -10.0f64..10.0,
+        k in -10.0f64..10.0,
+        seed in any::<u64>()
+    ) {
+        let (ctx, keys) = ctx_and_keys(seed);
+        let mut rng = sampling::seeded_rng(!seed);
+        let ca = ctx.encrypt(&ctx.encode(&[a]), &keys.public, &mut rng);
+        let out_ct = ctx.multiply_plain(&ca, &ctx.encode(&[k]));
+        let out = ctx.decode(&ctx.decrypt(&out_ct, &keys.secret));
+        prop_assert!((out[0] - a * k).abs() < 1e-2);
+    }
+}
+
+#[test]
+fn polynomial_products_respect_negacyclic_ring() {
+    // Encrypted (1 + x^(N-1)) squared = 1 + 2x^(N-1) + x^(2N-2)
+    //                                 = 1 + 2x^(N-1) - x^(N-2).
+    let (ctx, keys) = ctx_and_keys(99);
+    let n = ctx.params().n();
+    let mut coeffs = vec![0.0f64; n];
+    coeffs[0] = 1.0;
+    coeffs[n - 1] = 1.0;
+    let mut rng = sampling::seeded_rng(100);
+    let ct = ctx.encrypt(&ctx.encode(&coeffs), &keys.public, &mut rng);
+    let sq = ctx.multiply(&ct, &ct, &keys.relin);
+    let out = ctx.decode(&ctx.decrypt(&sq, &keys.secret));
+    assert!((out[0] - 1.0).abs() < 1e-2);
+    assert!((out[n - 1] - 2.0).abs() < 1e-2);
+    assert!((out[n - 2] + 1.0).abs() < 1e-2, "negacyclic wrap sign");
+}
+
+#[test]
+fn noise_stays_within_capacity_over_a_circuit() {
+    let (ctx, keys) = ctx_and_keys(7);
+    let mut rng = sampling::seeded_rng(8);
+    // ((2 * 3) + (1 + 1)) via one mult and adds at matching levels.
+    let c2 = ctx.encrypt(&ctx.encode(&[2.0]), &keys.public, &mut rng);
+    let c3 = ctx.encrypt(&ctx.encode(&[3.0]), &keys.public, &mut rng);
+    let c1 = ctx.encrypt(&ctx.encode(&[1.0]), &keys.public, &mut rng);
+    let prod = ctx.multiply(&c2, &c3, &keys.relin); // level-1, 6.0
+    let sum = ctx.add(&c1, &c1); // level-full, 2.0
+    // Bring the sum down a level to match.
+    let sum_down = ctx.multiply_plain(&sum, &ctx.encode(&[1.0]));
+    let total = ctx.add(&prod, &sum_down);
+    let out = ctx.decode(&ctx.decrypt(&total, &keys.secret));
+    assert!((out[0] - 8.0).abs() < 1e-2, "got {}", out[0]);
+    assert!(ctx.capacity_bits(total.level()) > 0.0);
+}
+
+#[test]
+fn decryption_with_wrong_key_fails() {
+    let (ctx, keys) = ctx_and_keys(1);
+    let (_, wrong) = ctx_and_keys(2);
+    let mut rng = sampling::seeded_rng(3);
+    let ct = ctx.encrypt(&ctx.encode(&[5.0]), &keys.public, &mut rng);
+    let pt = ctx.decrypt(&ct, &wrong.secret);
+    // Wrong key yields uniform-looking residues mod Q (~2^150): either the
+    // centered lift overflows i128 (decode panics) or the value is garbage
+    // orders of magnitude away from 5.0.
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.decode(&pt)));
+    match out {
+        Err(_) => {} // coefficient too large to even represent
+        Ok(v) => assert!((v[0] - 5.0).abs() > 1.0, "wrong key should not decrypt"),
+    }
+}
