@@ -72,5 +72,9 @@ fn bench_roundtrip_and_multiply(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_forward_variants, bench_roundtrip_and_multiply);
+criterion_group!(
+    benches,
+    bench_forward_variants,
+    bench_roundtrip_and_multiply
+);
 criterion_main!(benches);

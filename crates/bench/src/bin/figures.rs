@@ -74,7 +74,11 @@ fn print_rows(rows: &[ex::Measurement], np: usize) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let run = |name: &str| wanted.is_empty() || wanted.contains(&name);
     let s = if quick { quick_scale() } else { paper_scale() };
 
@@ -304,10 +308,7 @@ fn main() {
     }
 
     if run("wordsize") {
-        header(
-            "SIV: 32b vs 64b word size at Q = 2^1200",
-            "difference ~5%",
-        );
+        header("SIV: 32b vs 64b word size at Q = 2^1200", "difference ~5%");
         let rows = ex::wordsize(s.log_n);
         for m in &rows {
             println!("{:<16} {:>10.1} us", m.label, m.time_us);

@@ -150,7 +150,11 @@ pub fn fig7(log_n: u32, np: usize, k1_sizes: &[usize]) -> Vec<Measurement> {
             out.push(Measurement {
                 label: format!(
                     "K1={n1} {}",
-                    if coalesced { "coalesced" } else { "uncoalesced" }
+                    if coalesced {
+                        "coalesced"
+                    } else {
+                        "uncoalesced"
+                    }
                 ),
                 time_us: k1_us,
                 per_ntt_us: k1_us / np as f64,

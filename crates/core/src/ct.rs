@@ -223,7 +223,9 @@ mod tests {
     fn matches_naive_with_bitreversal() {
         for n in [4usize, 8, 32, 128] {
             let t = table(n);
-            let a: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37) % t.modulus()).collect();
+            let a: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9E37) % t.modulus())
+                .collect();
             let mut fast = a.clone();
             ntt(&mut fast, &t);
             let slow = naive_ntt(&a, t.psi(), t.modulus());

@@ -135,7 +135,10 @@ impl DftTable {
     ///
     /// Panics if `n` is not a power of two ≥ 2.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "N must be a power of two >= 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "N must be a power of two >= 2"
+        );
         let log_n = n.trailing_zeros();
         let mut psi_rev = vec![Complex::zero(); n];
         let mut ipsi_rev = vec![Complex::zero(); n];
@@ -267,8 +270,7 @@ pub fn naive_dft(a: &[Complex]) -> Vec<Complex> {
         .map(|k| {
             let mut acc = Complex::zero();
             for (i, &x) in a.iter().enumerate() {
-                let theta =
-                    -std::f64::consts::PI * (i as f64) * (2.0 * k as f64 + 1.0) / n as f64;
+                let theta = -std::f64::consts::PI * (i as f64) * (2.0 * k as f64 + 1.0) / n as f64;
                 acc = acc + x * Complex::from_angle(theta);
             }
             acc

@@ -20,7 +20,10 @@ use ntt_math::modops::{add_mod, mul_mod, pow_mod, sub_mod};
 /// Panics if `a` is empty or its length is not a power of two.
 pub fn naive_ntt(a: &[u64], psi: u64, p: u64) -> Vec<u64> {
     let n = a.len() as u64;
-    assert!(n > 0 && n.is_power_of_two(), "length must be a power of two");
+    assert!(
+        n > 0 && n.is_power_of_two(),
+        "length must be a power of two"
+    );
     (0..n)
         .map(|k| {
             let mut acc = 0u64;
@@ -38,7 +41,10 @@ pub fn naive_ntt(a: &[u64], psi: u64, p: u64) -> Vec<u64> {
 /// Inverts [`naive_ntt`]: `a[n] = N^{-1} · psi^{-n} Σ_k X[k] ψ^{-2nk}`.
 pub fn naive_intt(x: &[u64], psi: u64, p: u64) -> Vec<u64> {
     let n = x.len() as u64;
-    assert!(n > 0 && n.is_power_of_two(), "length must be a power of two");
+    assert!(
+        n > 0 && n.is_power_of_two(),
+        "length must be a power of two"
+    );
     let n_inv = ntt_math::inv_mod(n % p, p).expect("N invertible mod p");
     let psi_inv = ntt_math::inv_mod(psi, p).expect("psi invertible mod p");
     (0..n)
@@ -82,7 +88,10 @@ pub fn negacyclic_convolution(a: &[u64], b: &[u64], p: u64) -> Vec<u64> {
 /// paths that skip the negacyclic merge.
 pub fn naive_cyclic_ntt(a: &[u64], w: u64, p: u64) -> Vec<u64> {
     let n = a.len() as u64;
-    assert!(n > 0 && n.is_power_of_two(), "length must be a power of two");
+    assert!(
+        n > 0 && n.is_power_of_two(),
+        "length must be a power of two"
+    );
     (0..n)
         .map(|k| {
             let mut acc = 0u64;

@@ -59,7 +59,10 @@ impl OtTable {
     ///
     /// Panics if `base` is not a power of two ≥ 2.
     pub fn new(table: &NttTable, base: usize) -> Self {
-        assert!(base.is_power_of_two() && base >= 2, "base must be a power of two >= 2");
+        assert!(
+            base.is_power_of_two() && base >= 2,
+            "base must be a power of two >= 2"
+        );
         let p = table.modulus();
         let psi = table.psi();
         let n = table.n();

@@ -63,9 +63,7 @@ pub struct Polynomial {
 impl Polynomial {
     /// The zero polynomial of degree bound `n`.
     pub fn zero(n: usize) -> Self {
-        Self {
-            coeffs: vec![0; n],
-        }
+        Self { coeffs: vec![0; n] }
     }
 
     /// From explicit low-order coefficients, zero-padded to length `n`.
@@ -303,8 +301,16 @@ impl RnsRing {
     /// coefficient form.
     pub fn multiply(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
         assert_eq!(a.level(), b.level(), "level mismatch");
-        assert_eq!(a.repr(), Representation::Coefficient, "lhs must be coefficients");
-        assert_eq!(b.repr(), Representation::Coefficient, "rhs must be coefficients");
+        assert_eq!(
+            a.repr(),
+            Representation::Coefficient,
+            "lhs must be coefficients"
+        );
+        assert_eq!(
+            b.repr(),
+            Representation::Coefficient,
+            "rhs must be coefficients"
+        );
         let mut na = a.clone();
         let mut nb = b.clone();
         na.to_evaluation(self);
@@ -487,7 +493,11 @@ impl RnsPoly {
     pub fn mul_pointwise(&mut self, other: &RnsPoly, ring: &RnsRing) {
         assert_eq!(self.level, other.level, "level mismatch");
         assert_eq!(self.repr, Representation::Evaluation, "lhs not in NTT form");
-        assert_eq!(other.repr, Representation::Evaluation, "rhs not in NTT form");
+        assert_eq!(
+            other.repr,
+            Representation::Evaluation,
+            "rhs not in NTT form"
+        );
         for i in 0..self.level {
             let p = ring.basis().primes()[i];
             let base = i * self.n;
@@ -505,7 +515,10 @@ impl RnsPoly {
     ///
     /// Panics if `level` is 0 or exceeds the current level.
     pub fn truncated(&self, level: usize) -> RnsPoly {
-        assert!(level >= 1 && level <= self.level, "invalid truncation level");
+        assert!(
+            level >= 1 && level <= self.level,
+            "invalid truncation level"
+        );
         RnsPoly {
             n: self.n,
             level,
@@ -521,7 +534,10 @@ impl RnsPoly {
     ///
     /// Panics if fewer residues than active levels are supplied.
     pub fn mul_scalar_residues(&mut self, residues: &[u64], ring: &RnsRing) {
-        assert!(residues.len() >= self.level, "residue per active prime required");
+        assert!(
+            residues.len() >= self.level,
+            "residue per active prime required"
+        );
         for i in 0..self.level {
             let p = ring.basis().primes()[i];
             let s = residues[i] % p;

@@ -124,7 +124,10 @@ pub fn radix_pass(a: &mut [u64], table: &NttTable, m0: usize, r: usize) {
 pub fn high_radix_ntt(a: &mut [u64], table: &NttTable, r: usize) {
     let n = a.len();
     assert_eq!(n, table.n(), "input length must equal table N");
-    assert!(r.is_power_of_two() && r >= 2, "radix must be a power of two >= 2");
+    assert!(
+        r.is_power_of_two() && r >= 2,
+        "radix must be a power of two >= 2"
+    );
     let mut m0 = 1usize;
     while m0 < n {
         let r_pass = r.min(n / m0);
@@ -175,7 +178,9 @@ mod tests {
     }
 
     fn sample(n: usize, p: u64) -> Vec<u64> {
-        (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B9) % p).collect()
+        (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E3779B9) % p)
+            .collect()
     }
 
     #[test]

@@ -215,10 +215,7 @@ mod tests {
         let rec = b.reconstruct(&b.decompose(&big));
         assert_eq!(rec, big);
         // And centered: Q - 12345 ≡ -12345.
-        assert_eq!(
-            rec.to_i128_centered(b.modulus()),
-            Some(-12345i128)
-        );
+        assert_eq!(rec.to_i128_centered(b.modulus()), Some(-12345i128));
     }
 
     #[test]
@@ -248,10 +245,7 @@ mod tests {
             .zip(b.primes())
             .map(|((&a, &c), &p)| ntt_math::mul_mod(a, c, p))
             .collect();
-        assert_eq!(
-            b.reconstruct(&prod).to_u128(),
-            Some(x as u128 * y as u128)
-        );
+        assert_eq!(b.reconstruct(&prod).to_u128(), Some(x as u128 * y as u128));
     }
 
     #[test]

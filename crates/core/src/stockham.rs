@@ -114,7 +114,9 @@ mod tests {
     fn equals_ct_up_to_bit_reversal() {
         let n = 1024;
         let t = table(n);
-        let a: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(2654435761) % t.modulus()).collect();
+        let a: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(2654435761) % t.modulus())
+            .collect();
         let sorted = stockham_ntt(&a, &t);
         let mut ct_out = a.clone();
         ct::ntt(&mut ct_out, &t);

@@ -61,7 +61,10 @@ impl NttTable {
     ///
     /// Panics if `n` is not a power of two ≥ 2.
     pub fn new(n: usize, p: u64) -> Result<Self, RootError> {
-        assert!(n.is_power_of_two() && n >= 2, "N must be a power of two >= 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "N must be a power of two >= 2"
+        );
         let psi = primitive_root_of_unity(2 * n as u64, p)?;
         Ok(Self::with_root(n, p, psi))
     }
@@ -74,8 +77,8 @@ impl NttTable {
     /// Returns [`RootError::NotPrime`] if no prime of that size exists
     /// (practically impossible for the supported ranges).
     pub fn new_with_bits(n: usize, prime_bits: u32) -> Result<Self, RootError> {
-        let p = ntt_math::ntt_prime(prime_bits, 2 * n as u64)
-            .ok_or(RootError::NotPrime { p: 0 })?;
+        let p =
+            ntt_math::ntt_prime(prime_bits, 2 * n as u64).ok_or(RootError::NotPrime { p: 0 })?;
         Self::new(n, p)
     }
 

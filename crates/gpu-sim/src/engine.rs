@@ -217,8 +217,14 @@ impl<'a> WarpCtx<'a> {
                 gmem.word(addr)
             })
         };
-        let va = addrs_a.iter().map(|a| read(self.gmem, a, &mut useful)).collect();
-        let vb = addrs_b.iter().map(|a| read(self.gmem, a, &mut useful)).collect();
+        let va = addrs_a
+            .iter()
+            .map(|a| read(self.gmem, a, &mut useful))
+            .collect();
+        let vb = addrs_b
+            .iter()
+            .map(|a| read(self.gmem, a, &mut useful))
+            .collect();
         self.stats.useful_read_bytes += useful;
         (va, vb)
     }
@@ -355,7 +361,10 @@ impl<'a> WarpCtx<'a> {
             }
         }
         self.stats.smem_read_bytes += 8 * n;
-        addrs.iter().map(|a| a.map(|addr| self.smem[addr])).collect()
+        addrs
+            .iter()
+            .map(|a| a.map(|addr| self.smem[addr]))
+            .collect()
     }
 
     /// Warp-wide shared-memory store (unique addresses counted once).

@@ -37,7 +37,11 @@ impl Buf {
     /// Panics (debug builds) if `i` is out of bounds.
     #[inline]
     pub fn word(&self, i: usize) -> usize {
-        debug_assert!(i < self.len, "buffer index {i} out of bounds ({})", self.len);
+        debug_assert!(
+            i < self.len,
+            "buffer index {i} out of bounds ({})",
+            self.len
+        );
         self.base + i
     }
 

@@ -105,11 +105,9 @@ pub fn kernel_time(cfg: &GpuConfig, launch: &LaunchConfig, stats: &KernelStats) 
     let t_smem = (stats.smem_read_bytes + stats.smem_write_bytes) as f64 / cfg.smem_bw();
 
     // --- barriers: each resident wave of blocks pays serially ---
-    let concurrent_blocks =
-        (occ_info.blocks_per_sm.max(1) as f64) * cfg.sm_count as f64;
-    let t_barrier = stats.barriers as f64 * cal::BARRIER_CYCLES
-        / cfg.clock_hz
-        / concurrent_blocks.max(1.0);
+    let concurrent_blocks = (occ_info.blocks_per_sm.max(1) as f64) * cfg.sm_count as f64;
+    let t_barrier =
+        stats.barriers as f64 * cal::BARRIER_CYCLES / cfg.clock_hz / concurrent_blocks.max(1.0);
 
     let k = cal::OVERLAP_NORM;
     // L2 and SMEM service times share the SM's load/store path with DRAM
@@ -169,8 +167,7 @@ mod tests {
         let t1 = kernel_time(&cfg, &big_launch(32), &s);
         s.count_op(OpClass::NativeModMul, 100_000_000);
         let t2 = kernel_time(&cfg, &big_launch(32), &s);
-        let r = (t2.total_s - cal::LAUNCH_OVERHEAD_S)
-            / (t1.total_s - cal::LAUNCH_OVERHEAD_S);
+        let r = (t2.total_s - cal::LAUNCH_OVERHEAD_S) / (t1.total_s - cal::LAUNCH_OVERHEAD_S);
         assert!((r - 2.0).abs() < 0.05, "ratio {r}");
     }
 

@@ -97,8 +97,7 @@ impl KernelStats {
     /// DRAM bytes moved (transactions × 32 B), excluding register spills
     /// (which the timing model adds separately).
     pub fn dram_bytes(&self, cfg: &GpuConfig) -> u64 {
-        (self.dram_read_transactions + self.dram_write_transactions)
-            * cfg.transaction_bytes as u64
+        (self.dram_read_transactions + self.dram_write_transactions) * cfg.transaction_bytes as u64
     }
 
     /// Fraction of read bytes wasted by uncoalesced access

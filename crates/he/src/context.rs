@@ -208,7 +208,12 @@ impl HeContext {
     }
 
     /// Encrypt under the public key.
-    pub fn encrypt<R: Rng + RngExt>(&self, pt: &Plaintext, pk: &PublicKey, rng: &mut R) -> Ciphertext {
+    pub fn encrypt<R: Rng + RngExt>(
+        &self,
+        pt: &Plaintext,
+        pk: &PublicKey,
+        rng: &mut R,
+    ) -> Ciphertext {
         let ring = &self.ring;
         let eta = self.params.error_eta;
         let mut u = sampling::ternary_poly(ring, rng);
@@ -277,10 +282,7 @@ impl HeContext {
     /// Panics on level mismatch or incompatible scales.
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
         assert_eq!(a.level(), b.level(), "level mismatch");
-        assert!(
-            (a.scale / b.scale - 1.0).abs() < 1e-9,
-            "scale mismatch"
-        );
+        assert!((a.scale / b.scale - 1.0).abs() < 1e-9, "scale mismatch");
         let mut c0 = a.c0.clone();
         c0.sub_assign(&b.c0, &self.ring);
         let mut c1 = a.c1.clone();

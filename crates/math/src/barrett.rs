@@ -7,8 +7,6 @@
 //! We use the standard two-word variant that handles any 128-bit input
 //! `x < p^2`, which covers every product of reduced operands.
 
-
-
 /// A Barrett reducer for a fixed modulus `p < 2^63`.
 ///
 /// # Example
@@ -124,8 +122,8 @@ pub fn barrett_mul(a: u64, b: u64, p: u64) -> u64 {
 
 #[cfg(test)]
 mod tests {
-    use crate::modops;
     use super::*;
+    use crate::modops;
 
     #[test]
     fn matches_native_small() {

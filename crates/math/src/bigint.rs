@@ -209,9 +209,8 @@ impl BigUint {
         for (i, &a) in self.limbs.iter().enumerate() {
             let mut carry = 0u64;
             for (j, &b) in other.limbs.iter().enumerate() {
-                let cur = u128::from(out[i + j])
-                    + u128::from(a) * u128::from(b)
-                    + u128::from(carry);
+                let cur =
+                    u128::from(out[i + j]) + u128::from(a) * u128::from(b) + u128::from(carry);
                 out[i + j] = cur as u64;
                 carry = (cur >> 64) as u64;
             }

@@ -6,8 +6,6 @@
 //! baseline for the `modmul` criterion bench — it needs *no* per-twiddle
 //! companion but pays a domain conversion at the boundaries.
 
-
-
 /// Montgomery context for an odd modulus `p < 2^63` with `R = 2^64`.
 ///
 /// # Example
@@ -113,8 +111,8 @@ impl Montgomery {
 
 #[cfg(test)]
 mod tests {
-    use crate::modops;
     use super::*;
+    use crate::modops;
 
     #[test]
     fn roundtrip_conversion() {

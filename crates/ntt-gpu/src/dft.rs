@@ -168,9 +168,8 @@ impl DftBatch {
 
     /// Verify device data against the reference (bit-exact).
     pub fn verify(&self, gpu: &Gpu) -> bool {
-        (0..self.np).all(|i| {
-            gpu.gmem.slice(self.data.sub(i * self.n, self.n)) == &self.expected()[i][..]
-        })
+        (0..self.np)
+            .all(|i| gpu.gmem.slice(self.data.sub(i * self.n, self.n)) == &self.expected()[i][..])
     }
 }
 
@@ -318,9 +317,7 @@ impl WarpKernel for DftPassKernel {
         while m_loc < self.r {
             for i_loc in 0..m_loc {
                 let w_addrs: Vec<Option<usize>> = (0..lanes)
-                    .map(|l| {
-                        live[l].then(|| self.table.word(m_loc * (self.m0 + i0[l]) + i_loc))
-                    })
+                    .map(|l| live[l].then(|| self.table.word(m_loc * (self.m0 + i0[l]) + i_loc)))
                     .collect();
                 let w = ctx.gmem_load_cached(&w_addrs);
                 let j1 = 2 * i_loc * t_loc;
@@ -409,7 +406,10 @@ impl DftTwoStepKernel {
         if self.strided {
             (tid % self.c, tid / self.c)
         } else {
-            (tid / self.threads_per_group(), tid % self.threads_per_group())
+            (
+                tid / self.threads_per_group(),
+                tid % self.threads_per_group(),
+            )
         }
     }
 
@@ -433,11 +433,22 @@ impl DftTwoStepKernel {
         (item / sigma) * (self.r / m) + (item % sigma) + s * sigma
     }
 
-    fn twiddle_index(&self, level: usize, item: usize, m_loc: usize, i_loc: usize, group: usize) -> usize {
+    fn twiddle_index(
+        &self,
+        level: usize,
+        item: usize,
+        m_loc: usize,
+        i_loc: usize,
+        group: usize,
+    ) -> usize {
         let m = self.m_before(level);
         let size = self.levels[level];
         let sigma = self.r / (m * size);
-        let base = if self.strided { 1 } else { self.groups_per_prime() + group };
+        let base = if self.strided {
+            1
+        } else {
+            self.groups_per_prime() + group
+        };
         m_loc * (m * base + item / sigma) + i_loc
     }
 }

@@ -43,8 +43,7 @@ impl FpgaNtt {
     /// Panics if `n` is not a power of two.
     pub fn time_s(&self, n: usize, np: usize) -> f64 {
         assert!(n.is_power_of_two(), "N must be a power of two");
-        Self::butterflies(n, np) as f64
-            / (self.butterfly_units as f64 * self.clock_hz)
+        Self::butterflies(n, np) as f64 / (self.butterfly_units as f64 * self.clock_hz)
     }
 
     /// Time in microseconds.

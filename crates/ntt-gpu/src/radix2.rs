@@ -172,8 +172,10 @@ impl WarpKernel for InverseStageKernel {
         let w_addrs: Vec<Option<usize>> =
             addr_w.iter().map(|o| o.map(|i| self.itw.word(i))).collect();
         let w = ctx.gmem_load_cached(&w_addrs);
-        let c_addrs: Vec<Option<usize>> =
-            addr_w.iter().map(|o| o.map(|i| self.itwc.word(i))).collect();
+        let c_addrs: Vec<Option<usize>> = addr_w
+            .iter()
+            .map(|o| o.map(|i| self.itwc.word(i)))
+            .collect();
         let wc = ctx.gmem_load_cached(&c_addrs);
         let mut out_a = vec![None; lanes];
         let mut out_b = vec![None; lanes];
@@ -273,8 +275,7 @@ pub fn run_inverse(gpu: &mut Gpu, batch: &DeviceBatch) -> RunReport {
             moduli: batch.moduli().to_vec(),
             h,
         };
-        let cfg =
-            LaunchConfig::new(format!("iradix2-h{h}"), blocks, THREADS).regs_per_thread(REGS);
+        let cfg = LaunchConfig::new(format!("iradix2-h{h}"), blocks, THREADS).regs_per_thread(REGS);
         gpu.launch(&kernel, &cfg);
         launches += 1;
         h /= 2;
@@ -285,8 +286,8 @@ pub fn run_inverse(gpu: &mut Gpu, batch: &DeviceBatch) -> RunReport {
         np,
         n_inv,
     };
-    let cfg = LaunchConfig::new("intt-scale", (np * n).div_ceil(THREADS), THREADS)
-        .regs_per_thread(REGS);
+    let cfg =
+        LaunchConfig::new("intt-scale", (np * n).div_ceil(THREADS), THREADS).regs_per_thread(REGS);
     gpu.launch(&scale, &cfg);
     RunReport::from_trace("radix-2 inverse", gpu, launches + 1)
 }

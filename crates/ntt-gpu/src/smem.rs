@@ -20,9 +20,9 @@
 
 use crate::batch::DeviceBatch;
 use crate::ot::DeviceOt;
+use crate::radix2::ModMul;
 use crate::report::RunReport;
 use gpu_sim::{Buf, Gpu, LaunchConfig, OpClass, WarpCtx, WarpKernel};
-use crate::radix2::ModMul;
 use ntt_core::bitrev::bit_reverse;
 use ntt_math::modops::{add_mod, mul_mod, sub_mod};
 use ntt_math::shoup::mul_shoup;
@@ -177,7 +177,10 @@ impl TwoStepKernel {
             // Kernel-1: adjacent lanes take adjacent columns (coalescing).
             Orientation::Strided => (tid % self.c, tid / self.c),
             // Kernel-2: adjacent lanes walk within a row (contiguous).
-            Orientation::Contiguous => (tid / self.threads_per_group(), tid % self.threads_per_group()),
+            Orientation::Contiguous => (
+                tid / self.threads_per_group(),
+                tid % self.threads_per_group(),
+            ),
         }
     }
 
@@ -303,8 +306,7 @@ impl TwoStepKernel {
                         hc = Some(ctx.gmem_load_cached(&a3));
                     } else if self.preload && self.orientation == Orientation::Strided {
                         let (wr, cr) = self.smem_tw_region();
-                        let a0: Vec<Option<usize>> =
-                            idxs.iter().map(|&i| Some(wr + i)).collect();
+                        let a0: Vec<Option<usize>> = idxs.iter().map(|&i| Some(wr + i)).collect();
                         w = ctx.smem_load(&a0);
                         wc = if self.native {
                             vec![None; lanes]

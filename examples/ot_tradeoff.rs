@@ -12,6 +12,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|s| s.parse())
         .transpose()?
         .unwrap_or(17);
+    if !(2..=26).contains(&log_n) {
+        return Err(format!("log_n must be in 2..=26, got {log_n}").into());
+    }
     let n = 1usize << log_n;
 
     println!("OT factorization sweep for N = 2^{log_n}");

@@ -17,9 +17,9 @@
 //! * [`he`] — a small RNS-HE (CKKS-style) layer exercising the NTT
 //!   ([`he_lite`]).
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
-//! `EXPERIMENTS.md` for the paper-vs-measured record of every table and
-//! figure.
+//! See `README.md` for a tour of the workspace, the test pyramid, the
+//! benchmark targets, and the `figures` binary that regenerates every
+//! table and figure of the paper.
 //!
 //! # Quickstart
 //!

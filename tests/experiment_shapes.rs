@@ -67,8 +67,7 @@ fn coalescing_and_preload_help() {
     batch.reset_data(&mut gpu);
     let direct = smem::run(&mut gpu, &batch, &SmemConfig::new(32).preload(false));
     assert!(
-        direct.launches[0].stats.l2_read_transactions
-            > coal.launches[0].stats.l2_read_transactions,
+        direct.launches[0].stats.l2_read_transactions > coal.launches[0].stats.l2_read_transactions,
         "direct twiddle fetches generate more L2 traffic than preload"
     );
 }

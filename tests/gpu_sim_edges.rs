@@ -1,0 +1,126 @@
+//! GPU-simulator edge shapes: degenerate batches, the smallest transforms,
+//! and grids that overflow one SM (and the whole device), all asserted
+//! bit-exact against the scalar `ntt_core::ct::ntt` reference.
+//!
+//! The mainline `gpu_pipeline` suite randomizes over comfortable shapes;
+//! these tests pin the corners where indexing and partial-warp logic break
+//! first.
+
+use ntt_warp::gpu::smem::SmemConfig;
+use ntt_warp::gpu::{batch::DeviceBatch, high_radix, radix2, smem};
+use ntt_warp::sim::{Gpu, GpuConfig};
+
+/// The scalar reference, computed directly with `ntt_core::ct::ntt` on the
+/// batch's pristine input rows.
+fn reference_ntt(batch: &DeviceBatch) -> Vec<Vec<u64>> {
+    batch
+        .input()
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut a = row.clone();
+            ntt_warp::core::ct::ntt(&mut a, batch.table(i));
+            a
+        })
+        .collect()
+}
+
+#[test]
+fn single_prime_batch_np1() {
+    // np = 1: the degenerate batch. Every kernel family must handle a
+    // grid whose prime index is always zero.
+    let mut gpu = Gpu::new(GpuConfig::titan_v());
+    let batch = DeviceBatch::sequential(&mut gpu, 8, 1, 60).unwrap();
+    let want = reference_ntt(&batch);
+
+    radix2::run(&mut gpu, &batch, radix2::ModMul::Shoup);
+    assert_eq!(batch.download(&gpu), want, "radix-2 np=1");
+
+    batch.reset_data(&mut gpu);
+    high_radix::run(&mut gpu, &batch, 16);
+    assert_eq!(batch.download(&gpu), want, "high-radix-16 np=1");
+
+    batch.reset_data(&mut gpu);
+    smem::run(&mut gpu, &batch, &SmemConfig::new(16));
+    assert_eq!(batch.download(&gpu), want, "smem np=1");
+}
+
+#[test]
+fn smallest_log_n_radix2() {
+    // The smallest transforms: N = 2 (a single butterfly) up to N = 8.
+    // One warp, almost all lanes inactive — the partial-warp predication
+    // path in its purest form.
+    for log_n in [1u32, 2, 3] {
+        let mut gpu = Gpu::new(GpuConfig::titan_v());
+        let batch = DeviceBatch::sequential(&mut gpu, log_n, 2, 60).unwrap();
+        let want = reference_ntt(&batch);
+        radix2::run(&mut gpu, &batch, radix2::ModMul::Shoup);
+        assert_eq!(batch.download(&gpu), want, "radix-2 log_n={log_n}");
+    }
+}
+
+#[test]
+fn smallest_log_n_high_radix() {
+    // High-radix with the radix clamped to the transform size.
+    for (log_n, r) in [(2u32, 2usize), (2, 4), (3, 8)] {
+        let mut gpu = Gpu::new(GpuConfig::titan_v());
+        let batch = DeviceBatch::sequential(&mut gpu, log_n, 2, 60).unwrap();
+        let want = reference_ntt(&batch);
+        high_radix::run(&mut gpu, &batch, r);
+        assert_eq!(batch.download(&gpu), want, "high-radix-{r} log_n={log_n}");
+    }
+}
+
+#[test]
+fn batch_larger_than_one_sm() {
+    // np * N/2 butterfly threads > max_threads_per_sm (2048 on Titan V):
+    // the grid cannot fit on a single SM, so block scheduling across SMs
+    // (and the occupancy model behind it) must not perturb results.
+    let mut gpu = Gpu::new(GpuConfig::titan_v());
+    let cfg_threads = gpu.config.max_threads_per_sm as usize;
+    let (log_n, np) = (7u32, 40usize);
+    assert!(
+        np * (1 << log_n) / 2 > cfg_threads,
+        "shape must exceed one SM's resident threads"
+    );
+    let batch = DeviceBatch::sequential(&mut gpu, log_n, np, 60).unwrap();
+    let want = reference_ntt(&batch);
+    radix2::run(&mut gpu, &batch, radix2::ModMul::Shoup);
+    assert_eq!(batch.download(&gpu), want, "radix-2 multi-SM batch");
+}
+
+#[test]
+fn batch_larger_than_full_device_wave() {
+    // Total threads > sm_count * max_threads_per_sm (163840): the grid
+    // needs multiple scheduling waves even across all 80 SMs. Use the
+    // two-kernel SMEM implementation so the test stays fast.
+    let mut gpu = Gpu::new(GpuConfig::titan_v());
+    let device_threads = (gpu.config.sm_count * gpu.config.max_threads_per_sm) as usize;
+    let (log_n, np) = (13u32, 41usize);
+    assert!(
+        np * (1 << log_n) / 2 > device_threads,
+        "shape must exceed a full device wave"
+    );
+    let batch = DeviceBatch::sequential(&mut gpu, log_n, np, 60).unwrap();
+    let want = reference_ntt(&batch);
+    let rep = smem::run(&mut gpu, &batch, &SmemConfig::new(64));
+    assert!(rep.verify(&gpu, &batch));
+    assert_eq!(batch.download(&gpu), want, "smem full-device batch");
+}
+
+#[test]
+fn np1_smallest_and_oversubscribed_roundtrip() {
+    // Forward + inverse at the corners: iNTT(NTT(x)) = x must hold at
+    // np = 1 and at the multi-SM shape, not just comfortable sizes.
+    for (log_n, np) in [(1u32, 1usize), (7, 40)] {
+        let mut gpu = Gpu::new(GpuConfig::titan_v());
+        let batch = DeviceBatch::sequential(&mut gpu, log_n, np, 60).unwrap();
+        radix2::run(&mut gpu, &batch, radix2::ModMul::Shoup);
+        radix2::run_inverse(&mut gpu, &batch);
+        assert_eq!(
+            batch.download(&gpu),
+            batch.input(),
+            "roundtrip log_n={log_n} np={np}"
+        );
+    }
+}

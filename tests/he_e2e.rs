@@ -115,7 +115,7 @@ fn noise_stays_within_capacity_over_a_circuit() {
     let c1 = ctx.encrypt(&ctx.encode(&[1.0]), &keys.public, &mut rng);
     let prod = ctx.multiply(&c2, &c3, &keys.relin); // level-1, 6.0
     let sum = ctx.add(&c1, &c1); // level-full, 2.0
-    // Bring the sum down a level to match.
+                                 // Bring the sum down a level to match.
     let sum_down = ctx.multiply_plain(&sum, &ctx.encode(&[1.0]));
     let total = ctx.add(&prod, &sum_down);
     let out = ctx.decode(&ctx.decrypt(&total, &keys.secret));

@@ -1,0 +1,145 @@
+//! Property tests pinning every modular-multiplication strategy to the
+//! native `u128 %` reduction on random 40–62-bit primes.
+//!
+//! The paper's entire correctness story rests on Shoup / Barrett /
+//! Montgomery producing bit-identical results to the schoolbook reduction
+//! for *every* operand pair and *every* NTT-class modulus — these
+//! properties draw the modulus itself at random (not just from the
+//! NTT-friendly chains the transform tests use), so reduction bugs that
+//! depend on the magnitude or bit pattern of `p` get caught here.
+
+use ntt_warp::math::{is_prime, mont::Montgomery, shoup, Barrett, ShoupMul};
+use proptest::prelude::*;
+
+/// The largest prime at or below `start` (scanning odd candidates down).
+/// Prime gaps below 2^62 are tiny, so this terminates in a few dozen
+/// Miller–Rabin calls.
+fn prime_at_or_below(start: u64) -> u64 {
+    let mut c = start | 1;
+    loop {
+        if is_prime(c) {
+            return c;
+        }
+        c -= 2;
+    }
+}
+
+/// A prime with exactly `bits` bits, positioned pseudo-randomly in the top
+/// half of the range by `seed`.
+fn random_prime(bits: u32, seed: u64) -> u64 {
+    let lo = 1u64 << (bits - 1);
+    let hi = (1u64 << bits) - 1;
+    // Keep the scan start in [lo + 2^(bits-2), hi] so the result always has
+    // exactly `bits` bits even after scanning downward.
+    let start = lo + (lo / 2) + seed % (hi - lo - lo / 2);
+    prime_at_or_below(start)
+}
+
+/// The oracle: schoolbook 128-bit multiply-then-divide.
+fn native(a: u64, b: u64, p: u64) -> u64 {
+    ((a as u128 * b as u128) % p as u128) as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn barrett_matches_native(
+        bits in 40u32..=62,
+        seed in any::<u64>(),
+        x in any::<u64>(),
+        y in any::<u64>()
+    ) {
+        let p = random_prime(bits, seed);
+        let (a, b) = (x % p, y % p);
+        let barrett = Barrett::new(p);
+        prop_assert_eq!(barrett.mul(a, b), native(a, b, p));
+        prop_assert_eq!(barrett.reduce_u128(a as u128 * b as u128), native(a, b, p));
+        prop_assert_eq!(barrett.reduce(x), x % p);
+    }
+
+    #[test]
+    fn shoup_matches_native(
+        bits in 40u32..=62,
+        seed in any::<u64>(),
+        x in any::<u64>(),
+        y in any::<u64>()
+    ) {
+        let p = random_prime(bits, seed);
+        let (a, w) = (x % p, y % p);
+        let m = ShoupMul::new(w, p);
+        prop_assert_eq!(m.mul(a), native(a, w, p));
+        // The Harvey-lazy variant stays in [0, 2p) and agrees mod p.
+        let lazy = m.mul_lazy(a);
+        prop_assert!(lazy < 2 * p, "lazy result {lazy} outside [0, 2p)");
+        prop_assert_eq!(lazy % p, native(a, w, p));
+        // The free-function form used inside the GPU kernels agrees too.
+        prop_assert_eq!(
+            shoup::mul_shoup(a, w, m.companion(), p),
+            native(a, w, p)
+        );
+    }
+
+    #[test]
+    fn montgomery_matches_native(
+        bits in 40u32..=62,
+        seed in any::<u64>(),
+        x in any::<u64>(),
+        y in any::<u64>()
+    ) {
+        let p = random_prime(bits, seed);
+        let (a, b) = (x % p, y % p);
+        let mont = Montgomery::new(p);
+        // Round trip through the Montgomery domain is the identity.
+        prop_assert_eq!(mont.from_mont(mont.to_mont(a)), a);
+        prop_assert_eq!(
+            mont.from_mont(mont.mul(mont.to_mont(a), mont.to_mont(b))),
+            native(a, b, p)
+        );
+    }
+
+    #[test]
+    fn all_strategies_agree_with_each_other(
+        bits in 40u32..=62,
+        seed in any::<u64>(),
+        x in any::<u64>(),
+        y in any::<u64>()
+    ) {
+        let p = random_prime(bits, seed);
+        let (a, b) = (x % p, y % p);
+        let want = native(a, b, p);
+        prop_assert_eq!(Barrett::new(p).mul(a, b), want);
+        prop_assert_eq!(ShoupMul::new(b, p).mul(a), want);
+        let mont = Montgomery::new(p);
+        prop_assert_eq!(mont.from_mont(mont.mul(mont.to_mont(a), mont.to_mont(b))), want);
+        prop_assert_eq!(ntt_warp::math::mul_mod(a, b, p), want);
+    }
+}
+
+#[test]
+fn boundary_operands_at_extreme_moduli() {
+    // The lazy-butterfly bound is 62 bits: exercise the largest legal
+    // modulus plus the smallest in range, with operands at the edges.
+    for p in [
+        prime_at_or_below((1 << 62) - 1),
+        prime_at_or_below((1 << 40) - 1),
+        (1 << 40) + 15,        // smallest prime above 2^40
+        0x0FFF_FFFF_FFFC_0001, // largest 60-bit prime ≡ 1 mod 2^18
+    ] {
+        assert!(is_prime(p), "{p} must be prime");
+        let barrett = Barrett::new(p);
+        let mont = Montgomery::new(p);
+        for &a in &[0u64, 1, 2, p / 2, p - 2, p - 1] {
+            for &b in &[0u64, 1, 2, p / 2, p - 2, p - 1] {
+                let want = native(a, b, p);
+                assert_eq!(barrett.mul(a, b), want, "barrett a={a} b={b} p={p}");
+                assert_eq!(ShoupMul::new(b, p).mul(a), want, "shoup a={a} b={b} p={p}");
+                assert_eq!(
+                    mont.from_mont(mont.mul(mont.to_mont(a), mont.to_mont(b))),
+                    want,
+                    "mont a={a} b={b} p={p}"
+                );
+            }
+        }
+    }
+}

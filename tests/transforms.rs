@@ -9,7 +9,10 @@ use proptest::prelude::*;
 
 /// Random (log_n, prime_bits) pairs small enough for quadratic oracles.
 fn table_params() -> impl Strategy<Value = (u32, u32)> {
-    (2u32..=9, prop_oneof![Just(40u32), Just(50), Just(59), Just(60)])
+    (
+        2u32..=9,
+        prop_oneof![Just(40u32), Just(50), Just(59), Just(60)],
+    )
 }
 
 proptest! {
