@@ -1,0 +1,130 @@
+//! Compare two benchmark recordings and fail on regressions.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_guard <baseline.json> <current.json> [--threshold 1.25] [--only PFX1,PFX2]
+//! ```
+//!
+//! Both files may be either the repository's wrapped baseline format
+//! (`{"benchmarks": [{"id": ..., "ns_per_iter": ...}, ...]}`, e.g.
+//! `BENCH_seed.json`) or the raw JSON-lines the criterion shim appends
+//! under `CRITERION_JSON=`. Only benchmarks present in **both** files are
+//! compared; the guard exits non-zero if any of them got slower than
+//! `baseline × threshold`.
+//!
+//! Timings are wall-clock medians from short (60 ms) measurement windows,
+//! so thresholds below ~1.25 will flake on shared CI hardware.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Extract `(id, ns_per_iter)` pairs by scanning for the two keys in
+/// order. Tolerates both the wrapped and the JSON-lines layout without a
+/// full JSON parser (the shim writes one object per line; the wrapped
+/// format nests the same objects in an array).
+fn parse_benchmarks(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut pending_id: Option<String> = None;
+    let mut rest = text;
+    loop {
+        // Find whichever key comes next.
+        let next_id = rest.find("\"id\"");
+        let next_ns = rest.find("\"ns_per_iter\"");
+        match (next_id, next_ns) {
+            (Some(i), ns) if ns.is_none_or(|n| i < n) => {
+                let after = &rest[i + 4..];
+                let Some(start) = after.find('"') else { break };
+                let Some(len) = after[start + 1..].find('"') else {
+                    break;
+                };
+                pending_id = Some(after[start + 1..start + 1 + len].to_string());
+                rest = &after[start + 1 + len..];
+            }
+            (_, Some(i)) => {
+                let after = &rest[i + 13..];
+                let Some(colon) = after.find(':') else { break };
+                let num: String = after[colon + 1..]
+                    .chars()
+                    .skip_while(|c| c.is_whitespace())
+                    .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                    .collect();
+                if let (Some(id), Ok(ns)) = (pending_id.take(), num.parse::<f64>()) {
+                    out.insert(id, ns);
+                }
+                rest = &after[colon + 1..];
+            }
+            _ => break,
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut threshold = 1.25f64;
+    let mut only: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold needs a number");
+            }
+            "--only" => {
+                only = it
+                    .next()
+                    .map(|v| v.split(',').map(str::to_string).collect())
+                    .unwrap_or_default();
+            }
+            _ => files.push(a.clone()),
+        }
+    }
+    if files.len() != 2 {
+        eprintln!(
+            "usage: bench_guard <baseline.json> <current.json> [--threshold X] [--only PFX1,PFX2]"
+        );
+        return ExitCode::from(2);
+    }
+    let read = |p: &str| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {p}: {e}"));
+    let baseline = parse_benchmarks(&read(&files[0]));
+    let current = parse_benchmarks(&read(&files[1]));
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    println!(
+        "{:<52} {:>12} {:>12} {:>8}",
+        "benchmark", "baseline ns", "current ns", "ratio"
+    );
+    for (id, &base) in &baseline {
+        if !only.is_empty() && !only.iter().any(|pfx| id.starts_with(pfx.as_str())) {
+            continue;
+        }
+        let Some(&cur) = current.get(id) else {
+            continue;
+        };
+        compared += 1;
+        let ratio = cur / base;
+        let flag = if ratio > threshold {
+            regressions += 1;
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        println!("{id:<52} {base:>12.1} {cur:>12.1} {ratio:>7.2}x{flag}");
+    }
+    println!();
+    if compared == 0 {
+        eprintln!("no common benchmarks between the two files — nothing compared");
+        return ExitCode::from(2);
+    }
+    if regressions > 0 {
+        eprintln!("{regressions}/{compared} benchmarks regressed beyond {threshold}x the baseline");
+        return ExitCode::FAILURE;
+    }
+    println!("{compared} benchmarks within {threshold}x of the baseline");
+    ExitCode::SUCCESS
+}

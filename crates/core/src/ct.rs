@@ -15,7 +15,8 @@
 
 use crate::table::NttTable;
 use ntt_math::modops::{add_mod, sub_mod};
-use ntt_math::shoup::MAX_LAZY_MODULUS;
+use ntt_math::shoup::{mul_shoup, mul_shoup_lazy, MAX_LAZY_MODULUS};
+use ntt_math::Barrett;
 
 /// Forward negacyclic NTT, strict reduction. Natural-order input,
 /// bit-reversed output.
@@ -40,17 +41,21 @@ pub fn ntt(a: &mut [u64], table: &NttTable) {
     assert_eq!(a.len(), table.n(), "input length must equal table N");
     let p = table.modulus();
     let n = a.len();
+    let wv = table.forward_values();
+    let wc = table.forward_companions();
     let mut t = n / 2;
     let mut m = 1;
     while m < n {
-        for i in 0..m {
-            let w = table.forward(m + i);
-            let j1 = 2 * i * t;
-            for j in j1..j1 + t {
-                let u = a[j];
-                let v = w.mul(a[j + t]);
-                a[j] = add_mod(u, v, p);
-                a[j + t] = sub_mod(u, v, p);
+        // One bounds check per stage: slice the (value, companion) pair
+        // range `m..2m` once and zip it against the butterfly blocks.
+        let stage = wv[m..2 * m].iter().zip(&wc[m..2 * m]);
+        for (block, (&w, &wsh)) in a.chunks_exact_mut(2 * t).zip(stage) {
+            let (lo, hi) = block.split_at_mut(t);
+            for (x, y) in lo.iter_mut().zip(hi) {
+                let u = *x;
+                let v = mul_shoup(*y, w, wsh, p);
+                *x = add_mod(u, v, p);
+                *y = sub_mod(u, v, p);
             }
         }
         m *= 2;
@@ -68,20 +73,21 @@ pub fn intt(a: &mut [u64], table: &NttTable) {
     assert_eq!(a.len(), table.n(), "input length must equal table N");
     let p = table.modulus();
     let n = a.len();
+    let wv = table.inverse_values();
+    let wc = table.inverse_companions();
     let mut t = 1;
     let mut m = n;
     while m > 1 {
         let h = m / 2;
-        let mut j1 = 0;
-        for i in 0..h {
-            let w = table.inverse(h + i);
-            for j in j1..j1 + t {
-                let u = a[j];
-                let v = a[j + t];
-                a[j] = add_mod(u, v, p);
-                a[j + t] = w.mul(sub_mod(u, v, p));
+        let stage = wv[h..2 * h].iter().zip(&wc[h..2 * h]);
+        for (block, (&w, &wsh)) in a.chunks_exact_mut(2 * t).zip(stage) {
+            let (lo, hi) = block.split_at_mut(t);
+            for (x, y) in lo.iter_mut().zip(hi) {
+                let u = *x;
+                let v = *y;
+                *x = add_mod(u, v, p);
+                *y = mul_shoup(sub_mod(u, v, p), w, wsh, p);
             }
-            j1 += 2 * t;
         }
         t *= 2;
         m = h;
@@ -107,21 +113,23 @@ pub fn ntt_lazy(a: &mut [u64], table: &NttTable) {
     assert!(p < MAX_LAZY_MODULUS, "lazy NTT requires p < 2^62");
     let two_p = 2 * p;
     let n = a.len();
+    let wv = table.forward_values();
+    let wc = table.forward_companions();
     let mut t = n / 2;
     let mut m = 1;
     while m < n {
-        for i in 0..m {
-            let w = table.forward(m + i);
-            let j1 = 2 * i * t;
-            for j in j1..j1 + t {
+        let stage = wv[m..2 * m].iter().zip(&wc[m..2 * m]);
+        for (block, (&w, &wsh)) in a.chunks_exact_mut(2 * t).zip(stage) {
+            let (lo, hi) = block.split_at_mut(t);
+            for (x, y) in lo.iter_mut().zip(hi) {
                 // Harvey CT butterfly: A' = A + wB, B' = A - wB, kept in [0, 4p).
-                let mut u = a[j];
+                let mut u = *x;
                 if u >= two_p {
                     u -= two_p;
                 }
-                let v = w.mul_lazy(a[j + t]); // in [0, 2p)
-                a[j] = u + v;
-                a[j + t] = u + two_p - v;
+                let v = mul_shoup_lazy(*y, w, wsh, p); // in [0, 2p)
+                *x = u + v;
+                *y = u + two_p - v;
             }
         }
         m *= 2;
@@ -148,25 +156,26 @@ pub fn intt_lazy(a: &mut [u64], table: &NttTable) {
         }
     }
     let n = a.len();
+    let wv = table.inverse_values();
+    let wc = table.inverse_companions();
     let mut t = 1;
     let mut m = n;
     while m > 1 {
         let h = m / 2;
-        let mut j1 = 0;
-        for i in 0..h {
-            let w = table.inverse(h + i);
-            for j in j1..j1 + t {
+        let stage = wv[h..2 * h].iter().zip(&wc[h..2 * h]);
+        for (block, (&w, &wsh)) in a.chunks_exact_mut(2 * t).zip(stage) {
+            let (lo, hi) = block.split_at_mut(t);
+            for (x, y) in lo.iter_mut().zip(hi) {
                 // Harvey GS butterfly: inputs < 2p, outputs < 2p.
-                let u = a[j];
-                let v = a[j + t];
+                let u = *x;
+                let v = *y;
                 let mut s = u + v; // < 4p
                 if s >= two_p {
                     s -= two_p;
                 }
-                a[j] = s;
-                a[j + t] = w.mul_lazy(u + two_p - v);
+                *x = s;
+                *y = mul_shoup_lazy(u + two_p - v, w, wsh, p);
             }
-            j1 += 2 * t;
         }
         t *= 2;
         m = h;
@@ -198,15 +207,85 @@ pub fn reduce_from_lazy(a: &mut [u64], p: u64) {
 
 /// Element-wise product in the NTT domain: `c[i] = a[i]·b[i] mod p`.
 ///
+/// Operands must be canonical (`< p`) — enforced by a debug assertion in
+/// the Barrett product; lazy-domain values belong in
+/// [`pointwise_assign_lazy`]. Allocates the result; hot paths should
+/// prefer [`pointwise_assign`].
+///
 /// # Panics
 ///
 /// Panics on length mismatch.
 pub fn pointwise(a: &[u64], b: &[u64], p: u64) -> Vec<u64> {
+    let mut c = a.to_vec();
+    pointwise_assign(&mut c, b, p);
+    c
+}
+
+/// In-place element-wise product: `a[i] = a[i]·b[i] mod p`, fully reduced.
+///
+/// Operands must be canonical (`< p`) — enforced by a debug assertion in
+/// the Barrett product. Reduction uses a per-call Barrett reciprocal —
+/// two multiplies per element, no division.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn pointwise_assign(a: &mut [u64], b: &[u64], p: u64) {
     assert_eq!(a.len(), b.len(), "operand lengths must match");
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| ntt_math::mul_mod(x, y, p))
-        .collect()
+    let br = Barrett::new(p);
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = br.mul(*x, y);
+    }
+}
+
+/// In-place **lazy-domain** element-wise product: operands may be anywhere
+/// in `[0, 4p)` (e.g. straight out of [`ntt_lazy`]); results land in
+/// `[0, 2p)`, ready for [`intt_lazy`] with no intermediate reduction pass.
+///
+/// # Panics
+///
+/// Panics on length mismatch or if `p >= 2^62` (lazy bound).
+pub fn pointwise_assign_lazy(a: &mut [u64], b: &[u64], p: u64) {
+    assert_eq!(a.len(), b.len(), "operand lengths must match");
+    assert!(p < MAX_LAZY_MODULUS, "lazy pointwise requires p < 2^62");
+    let br = Barrett::new(p);
+    let two_p = 2 * p;
+    for (x, &y) in a.iter_mut().zip(b) {
+        let mut u = *x;
+        if u >= two_p {
+            u -= two_p;
+        }
+        let mut v = y;
+        if v >= two_p {
+            v -= two_p;
+        }
+        *x = br.mul_lazy(u, v);
+    }
+}
+
+/// Out-of-place lazy-domain element-wise product into `out` (same contract
+/// as [`pointwise_assign_lazy`]): `out[i] = a[i]·b[i] mod p` in `[0, 2p)`.
+///
+/// # Panics
+///
+/// Panics on length mismatch or if `p >= 2^62`.
+pub fn pointwise_lazy_into(out: &mut [u64], a: &[u64], b: &[u64], p: u64) {
+    assert_eq!(a.len(), b.len(), "operand lengths must match");
+    assert_eq!(out.len(), a.len(), "output length must match");
+    assert!(p < MAX_LAZY_MODULUS, "lazy pointwise requires p < 2^62");
+    let br = Barrett::new(p);
+    let two_p = 2 * p;
+    for (o, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b)) {
+        let mut u = x;
+        if u >= two_p {
+            u -= two_p;
+        }
+        let mut v = y;
+        if v >= two_p {
+            v -= two_p;
+        }
+        *o = br.mul_lazy(u, v);
+    }
 }
 
 #[cfg(test)]
@@ -312,6 +391,41 @@ mod tests {
         ntt(&mut ns, &t);
         for i in 0..n {
             assert_eq!(ns[i], (na[i] + nb[i]) % p);
+        }
+    }
+
+    #[test]
+    fn pointwise_assign_matches_allocating_pointwise() {
+        let t = table(64);
+        let p = t.modulus();
+        let a: Vec<u64> = (0..64u64).map(|i| (i * 0x9E37 + 11) % p).collect();
+        let b: Vec<u64> = (0..64u64).map(|i| (i * i + 5) % p).collect();
+        let expect: Vec<u64> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| ntt_math::mul_mod(x, y, p))
+            .collect();
+        assert_eq!(pointwise(&a, &b, p), expect);
+        let mut c = a.clone();
+        pointwise_assign(&mut c, &b, p);
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn lazy_pointwise_congruent_and_below_2p() {
+        let t = table(128);
+        let p = t.modulus();
+        // Lazy-domain operands anywhere in [0, 4p).
+        let a: Vec<u64> = (0..128u64).map(|i| (i * 0x1234_5677) % (4 * p)).collect();
+        let b: Vec<u64> = (0..128u64).map(|i| (i * i * 31 + 7) % (4 * p)).collect();
+        let mut c = a.clone();
+        pointwise_assign_lazy(&mut c, &b, p);
+        let mut d = vec![0u64; 128];
+        pointwise_lazy_into(&mut d, &a, &b, p);
+        for i in 0..128 {
+            assert!(c[i] < 2 * p);
+            assert_eq!(c[i], d[i]);
+            assert_eq!(c[i] % p, ntt_math::mul_mod(a[i] % p, b[i] % p, p));
         }
     }
 

@@ -13,6 +13,10 @@
 //! * [`ct`] — in-place Cooley–Tukey forward NTT (paper Algorithm 1) and
 //!   Gentleman–Sande inverse, with merged negacyclic twiddles; strict and
 //!   Harvey-lazy variants.
+//! * [`engine`] — the fused lazy-reduction execution engine:
+//!   [`NttExecutor`] with a reusable [`engine::Workspace`], batched
+//!   residue-parallel RNS transforms, and the `NTT_WARP_THREADS` thread
+//!   policy.
 //! * [`stockham`] — out-of-place self-sorting Stockham NTT (paper
 //!   Algorithm 3).
 //! * [`radix`] — register-style small-block NTTs (radix 2..2048) used by
@@ -49,6 +53,7 @@
 pub mod bitrev;
 pub mod ct;
 pub mod dft;
+pub mod engine;
 pub mod naive;
 pub mod ot;
 pub mod params;
@@ -59,6 +64,7 @@ pub mod stockham;
 pub mod table;
 
 pub use ct::{intt, ntt};
+pub use engine::{NttExecutor, ThreadPolicy};
 pub use ot::OtTable;
 pub use params::HeParams;
 pub use poly::{NegacyclicRing, Polynomial, RingError, RnsPoly, RnsRing};

@@ -6,6 +6,7 @@
 //! — exactly the batched workload the paper accelerates.
 
 use crate::ct;
+use crate::engine;
 use crate::rns::{RnsBasis, RnsError};
 use crate::table::NttTable;
 use ntt_math::modops::{add_mod, neg_mod, sub_mod};
@@ -170,7 +171,9 @@ impl NegacyclicRing {
         ct::intt(a, &self.table);
     }
 
-    /// Negacyclic product `a · b mod (X^N + 1, p)` via NTT.
+    /// Negacyclic product `a · b mod (X^N + 1, p)` via the fused lazy NTT
+    /// pipeline (one reduction at the very end, operands staged through the
+    /// thread-local executor workspace — no per-call clones).
     ///
     /// # Panics
     ///
@@ -178,13 +181,7 @@ impl NegacyclicRing {
     pub fn multiply(&self, a: &Polynomial, b: &Polynomial) -> Polynomial {
         assert_eq!(a.coeffs.len(), self.degree(), "degree mismatch (lhs)");
         assert_eq!(b.coeffs.len(), self.degree(), "degree mismatch (rhs)");
-        let mut na = a.coeffs.clone();
-        let mut nb = b.coeffs.clone();
-        ct::ntt(&mut na, &self.table);
-        ct::ntt(&mut nb, &self.table);
-        let mut prod = ct::pointwise(&na, &nb, self.modulus());
-        ct::intt(&mut prod, &self.table);
-        Polynomial { coeffs: prod }
+        engine::with_default_executor(|ex| ex.negacyclic_multiply(self, a, b))
     }
 
     /// Coefficient-wise sum.
@@ -292,32 +289,20 @@ impl RnsRing {
         &self.basis
     }
 
-    /// Negacyclic product of full RNS polynomials (all levels), returned in
-    /// the representation of the inputs' level count.
+    /// Negacyclic product of full RNS polynomials (all active levels) via
+    /// the fused lazy pipeline: every limb runs
+    /// `ntt_lazy → lazy pointwise → intt_lazy` with a single final
+    /// reduction, residue-parallel under the thread-local executor's
+    /// [`crate::engine::ThreadPolicy`]. The operands are staged through the
+    /// executor workspace — no clones, no per-call allocation beyond the
+    /// result.
     ///
     /// # Panics
     ///
     /// Panics if the operands disagree in level or are not in
     /// coefficient form.
     pub fn multiply(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
-        assert_eq!(a.level(), b.level(), "level mismatch");
-        assert_eq!(
-            a.repr(),
-            Representation::Coefficient,
-            "lhs must be coefficients"
-        );
-        assert_eq!(
-            b.repr(),
-            Representation::Coefficient,
-            "rhs must be coefficients"
-        );
-        let mut na = a.clone();
-        let mut nb = b.clone();
-        na.to_evaluation(self);
-        nb.to_evaluation(self);
-        na.mul_pointwise(&nb, self);
-        na.to_coefficient(self);
-        na
+        engine::with_default_executor(|ex| ex.rns_multiply(self, a, b))
     }
 }
 
@@ -346,11 +331,22 @@ impl RnsPoly {
     ///
     /// Panics if `level` is 0 or exceeds `ring.np()`.
     pub fn zero_at_level(ring: &RnsRing, level: usize) -> Self {
+        Self::zero_with_repr(ring, level, Representation::Coefficient)
+    }
+
+    /// The zero element with `level` active primes, tagged with an explicit
+    /// representation (the zero polynomial is zero in either domain, so no
+    /// transform is needed — accumulators in the NTT domain start here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is 0 or exceeds `ring.np()`.
+    pub fn zero_with_repr(ring: &RnsRing, level: usize, repr: Representation) -> Self {
         assert!(level >= 1 && level <= ring.np(), "invalid level");
         Self {
             n: ring.degree(),
             level,
-            repr: Representation::Coefficient,
+            repr,
             data: vec![0; level * ring.degree()],
         }
     }
@@ -416,27 +412,65 @@ impl RnsPoly {
         &mut self.data[i * self.n..(i + 1) * self.n]
     }
 
+    /// The flat `level × N` contiguous residue buffer (row-major; row `i`
+    /// is mod prime `i`). This is the batched-kernel view: one slice holds
+    /// every limb, so a single call can transform them all.
+    #[inline]
+    pub fn flat(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Mutable flat `level × N` residue buffer.
+    ///
+    /// Writing through this view can change which domain the values are
+    /// in; callers that do so must retag with [`RnsPoly::set_repr`].
+    #[inline]
+    pub fn flat_mut(&mut self) -> &mut [u64] {
+        &mut self.data
+    }
+
+    /// Retag the representation **without transforming** — for expert
+    /// callers that have just rewritten the raw buffer via
+    /// [`RnsPoly::flat_mut`] (e.g. refilling a reused digit polynomial with
+    /// coefficient data). Does not touch the residues.
+    #[inline]
+    pub fn set_repr(&mut self, repr: Representation) {
+        self.repr = repr;
+    }
+
+    /// Overwrite `self` with `other`'s residues and representation,
+    /// reusing the existing buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on degree or level mismatch.
+    pub fn copy_from(&mut self, other: &RnsPoly) {
+        assert_eq!(self.n, other.n, "degree mismatch");
+        assert_eq!(self.level, other.level, "level mismatch");
+        self.data.copy_from_slice(&other.data);
+        self.repr = other.repr;
+    }
+
     /// Forward-NTT every active row (no-op if already in evaluation form).
+    ///
+    /// All limbs are transformed in one batched, residue-parallel call to
+    /// the thread-local executor (lazy kernels, canonical output).
     pub fn to_evaluation(&mut self, ring: &RnsRing) {
         if self.repr == Representation::Evaluation {
             return;
         }
-        for i in 0..self.level {
-            let row = &mut self.data[i * self.n..(i + 1) * self.n];
-            ct::ntt(row, ring.ring(i).table());
-        }
+        engine::with_default_executor(|ex| ex.forward_rows(ring, &mut self.data));
         self.repr = Representation::Evaluation;
     }
 
     /// Inverse-NTT every active row (no-op if already in coefficient form).
+    ///
+    /// Batched and residue-parallel, like [`RnsPoly::to_evaluation`].
     pub fn to_coefficient(&mut self, ring: &RnsRing) {
         if self.repr == Representation::Coefficient {
             return;
         }
-        for i in 0..self.level {
-            let row = &mut self.data[i * self.n..(i + 1) * self.n];
-            ct::intt(row, ring.ring(i).table());
-        }
+        engine::with_default_executor(|ex| ex.inverse_rows(ring, &mut self.data));
         self.repr = Representation::Coefficient;
     }
 
@@ -501,10 +535,11 @@ impl RnsPoly {
         for i in 0..self.level {
             let p = ring.basis().primes()[i];
             let base = i * self.n;
-            for j in 0..self.n {
-                self.data[base + j] =
-                    ntt_math::mul_mod(self.data[base + j], other.data[base + j], p);
-            }
+            ct::pointwise_assign(
+                &mut self.data[base..base + self.n],
+                &other.data[base..base + self.n],
+                p,
+            );
         }
     }
 
@@ -538,9 +573,9 @@ impl RnsPoly {
             residues.len() >= self.level,
             "residue per active prime required"
         );
-        for i in 0..self.level {
+        for (i, &r) in residues.iter().enumerate().take(self.level) {
             let p = ring.basis().primes()[i];
-            let s = residues[i] % p;
+            let s = r % p;
             for v in self.row_mut(i) {
                 *v = ntt_math::mul_mod(*v, s, p);
             }
@@ -592,9 +627,9 @@ impl RnsPoly {
             let p = ring.basis().primes()[i];
             let inv = ntt_math::inv_mod(p_last % p, p).expect("distinct primes are coprime");
             let base = i * self.n;
-            for j in 0..self.n {
-                let diff = sub_mod(self.data[base + j], last_row[j] % p, p);
-                self.data[base + j] = ntt_math::mul_mod(diff, inv, p);
+            for (x, &lr) in self.data[base..base + self.n].iter_mut().zip(&last_row) {
+                let diff = sub_mod(*x, lr % p, p);
+                *x = ntt_math::mul_mod(diff, inv, p);
             }
         }
         self.level = last;

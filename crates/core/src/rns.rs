@@ -138,8 +138,8 @@ impl RnsBasis {
     pub fn reconstruct(&self, residues: &[u64]) -> BigUint {
         assert_eq!(residues.len(), self.len(), "residue count mismatch");
         let mut acc = BigUint::zero();
-        for i in 0..self.len() {
-            let c = ntt_math::mul_mod(residues[i] % self.primes[i], self.y_i[i], self.primes[i]);
+        for (i, &r) in residues.iter().enumerate() {
+            let c = ntt_math::mul_mod(r % self.primes[i], self.y_i[i], self.primes[i]);
             acc = acc.add(&self.m_i[i].mul_u64(c));
         }
         acc.rem(&self.modulus)

@@ -97,7 +97,7 @@ pub fn kernel_time(cfg: &GpuConfig, launch: &LaunchConfig, stats: &KernelStats) 
         .iter()
         .map(|&op| stats.op(op) as f64 * op_slots(op))
         .sum();
-    let hide = (occ / cal::COMPUTE_HIDE_KNEE).min(1.0).max(1e-6);
+    let hide = (occ / cal::COMPUTE_HIDE_KNEE).clamp(1e-6, 1.0);
     let t_comp = slots / cfg.peak_ops_per_s() / hide;
 
     // --- read-only path & shared memory floors ---
@@ -140,9 +140,11 @@ mod tests {
     #[test]
     fn bandwidth_bound_kernel_time_tracks_bytes() {
         let cfg = GpuConfig::titan_v();
-        let mut s = KernelStats::default();
         // 651 MB at 86.7% of 651 GB/s ≈ 1.153 ms.
-        s.dram_read_transactions = 651_000_000 / 32;
+        let s = KernelStats {
+            dram_read_transactions: 651_000_000 / 32,
+            ..Default::default()
+        };
         let t = kernel_time(&cfg, &big_launch(32), &s);
         assert!((t.total_s - 1.153e-3).abs() < 0.05e-3, "t = {}", t.total_s);
         assert!(t.bw_eff > 0.86);
@@ -151,8 +153,10 @@ mod tests {
     #[test]
     fn low_occupancy_derates_bandwidth() {
         let cfg = GpuConfig::titan_v();
-        let mut s = KernelStats::default();
-        s.dram_read_transactions = 1 << 20;
+        let s = KernelStats {
+            dram_read_transactions: 1 << 20,
+            ..Default::default()
+        };
         let fast = kernel_time(&cfg, &big_launch(64), &s);
         let slow = kernel_time(&cfg, &big_launch(176), &s); // occ ~0.19
         assert!(slow.total_s > fast.total_s);
@@ -191,8 +195,10 @@ mod tests {
     #[test]
     fn utilization_helper() {
         let cfg = GpuConfig::titan_v();
-        let mut s = KernelStats::default();
-        s.dram_read_transactions = 10_000_000;
+        let s = KernelStats {
+            dram_read_transactions: 10_000_000,
+            ..Default::default()
+        };
         let t = kernel_time(&cfg, &big_launch(32), &s);
         let u = t.dram_utilization(s.dram_bytes(&cfg), &cfg);
         assert!(u > 0.5 && u <= cal::MAX_BW_EFF + 1e-9, "u = {u}");

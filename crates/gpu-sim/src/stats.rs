@@ -162,9 +162,11 @@ mod tests {
     #[test]
     fn dram_bytes_and_waste() {
         let cfg = GpuConfig::titan_v();
-        let mut s = KernelStats::default();
-        s.dram_read_transactions = 4;
-        s.useful_read_bytes = 32; // 32 of 128 bytes useful: 75% wasted
+        let s = KernelStats {
+            dram_read_transactions: 4,
+            useful_read_bytes: 32, // 32 of 128 bytes useful: 75% wasted
+            ..Default::default()
+        };
         assert_eq!(s.dram_bytes(&cfg), 128);
         assert!((s.read_waste(&cfg) - 0.75).abs() < 1e-12);
     }

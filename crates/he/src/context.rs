@@ -4,7 +4,8 @@ use crate::ciphertext::{Ciphertext, Plaintext};
 use crate::keys::{KeySet, PublicKey, RelinEntry, RelinKeys, SecretKey};
 use crate::params::HeLiteParams;
 use crate::sampling;
-use ntt_core::poly::{RingError, RnsPoly, RnsRing};
+use ntt_core::engine;
+use ntt_core::poly::{Representation, RingError, RnsPoly, RnsRing};
 use rand::{Rng, RngExt};
 
 /// Errors from context construction.
@@ -104,12 +105,12 @@ impl HeContext {
         let eta = self.params.error_eta;
         // Secret.
         let mut s = sampling::ternary_poly(ring, rng);
-        s.to_evaluation(ring);
         // Public key: b = -(a s) + e.
         let mut a = sampling::uniform_poly(ring, rng);
-        a.to_evaluation(ring);
         let mut e = sampling::error_poly(ring, eta, rng);
-        e.to_evaluation(ring);
+        engine::with_default_executor(|ex| {
+            ex.forward_polys(ring, &mut [&mut s, &mut a, &mut e]);
+        });
         let mut b = a.clone();
         b.mul_pointwise(&s, ring);
         b.negate(ring);
@@ -217,13 +218,13 @@ impl HeContext {
         let ring = &self.ring;
         let eta = self.params.error_eta;
         let mut u = sampling::ternary_poly(ring, rng);
-        u.to_evaluation(ring);
         let mut e0 = sampling::error_poly(ring, eta, rng);
-        e0.to_evaluation(ring);
         let mut e1 = sampling::error_poly(ring, eta, rng);
-        e1.to_evaluation(ring);
         let mut m = pt.m.clone();
-        m.to_evaluation(ring);
+        // All four forward transforms in one batched, residue-parallel call.
+        engine::with_default_executor(|ex| {
+            ex.forward_polys(ring, &mut [&mut u, &mut e0, &mut e1, &mut m]);
+        });
 
         let mut c0 = pk.b.clone();
         c0.mul_pointwise(&u, ring);
@@ -365,51 +366,60 @@ impl HeContext {
         let mut e2c = e2.clone();
         e2c.to_coefficient(ring);
 
-        let mut acc0 = RnsPoly::zero_at_level(ring, level);
-        acc0.to_evaluation(ring); // zero is zero in either form
+        // Accumulators start as zero *in the NTT domain* — zero is zero in
+        // either representation, so no transform is spent on them.
+        let mut acc0 = RnsPoly::zero_with_repr(ring, level, Representation::Evaluation);
         let mut acc1 = acc0.clone();
+        // One digit polynomial and one product buffer, reused across every
+        // (prime, digit) pair: the loop body allocates nothing.
+        let mut digit = RnsPoly::zero_at_level(ring, level);
+        let mut prod = RnsPoly::zero_with_repr(ring, level, Representation::Evaluation);
         let n = self.params.n();
         for j in 0..level {
-            let row: Vec<u64> = e2c.row(j).to_vec();
             for d in 0..digits {
                 // Digit polynomial: small coefficients, identical residues
-                // in every active prime row.
-                let mut digit = RnsPoly::zero_at_level(ring, level);
+                // in every active prime row — fill row 0, replicate.
+                let shift = w * d as u32;
+                digit.set_repr(Representation::Coefficient);
                 let mut all_zero = true;
-                for i in 0..level {
-                    let dst = digit.row_mut(i);
-                    for k in 0..n {
-                        let v = (row[k] >> (w * d as u32)) & mask;
-                        dst[k] = v;
-                        all_zero &= v == 0;
-                    }
+                for (dst, &src) in digit.row_mut(0).iter_mut().zip(e2c.row(j)) {
+                    let v = (src >> shift) & mask;
+                    *dst = v;
+                    all_zero &= v == 0;
                 }
                 if all_zero {
                     continue;
                 }
+                for i in 1..level {
+                    digit.flat_mut().copy_within(0..n, i * n);
+                }
                 digit.to_evaluation(ring);
                 let entry = &rk.entries[level - 1][j][d];
-                let mut t0 = digit.clone();
-                t0.mul_pointwise(&entry.b, ring);
-                acc0.add_assign(&t0, ring);
-                let mut t1 = digit;
-                t1.mul_pointwise(&entry.a, ring);
-                acc1.add_assign(&t1, ring);
+                prod.copy_from(&digit);
+                prod.mul_pointwise(&entry.b, ring);
+                acc0.add_assign(&prod, ring);
+                prod.copy_from(&digit);
+                prod.mul_pointwise(&entry.a, ring);
+                acc1.add_assign(&prod, ring);
             }
         }
         (acc0, acc1)
     }
 
     /// Exact RNS rescale: divide by the last active prime and drop it.
+    /// Both components cross domains together, batching the transforms.
     fn rescale_in_place(&self, ct: &mut Ciphertext) {
         let ring = &self.ring;
         let level = ct.level();
         let dropped = ring.basis().primes()[level - 1] as f64;
-        for c in [&mut ct.c0, &mut ct.c1] {
-            c.to_coefficient(ring);
-            c.rescale(ring);
-            c.to_evaluation(ring);
-        }
+        engine::with_default_executor(|ex| {
+            ex.inverse_polys(ring, &mut [&mut ct.c0, &mut ct.c1]);
+        });
+        ct.c0.rescale(ring);
+        ct.c1.rescale(ring);
+        engine::with_default_executor(|ex| {
+            ex.forward_polys(ring, &mut [&mut ct.c0, &mut ct.c1]);
+        });
         ct.scale /= dropped;
     }
 

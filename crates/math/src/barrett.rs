@@ -79,11 +79,43 @@ impl Barrett {
         }
     }
 
+    /// Reduce a 128-bit value to the **lazy** range `[0, 2p)`, skipping the
+    /// final conditional subtraction of [`Barrett::reduce_u128`].
+    ///
+    /// The quotient estimate `q = floor(x·mu / 2^128)` undershoots
+    /// `floor(x/p)` by at most 1 as long as `x < 2^126` (the estimate error
+    /// is `x/2^128 + 1 < 5/4`), so the remainder stays below `2p`. This is
+    /// the pointwise-stage analogue of the Harvey lazy butterfly: products
+    /// of `[0, 2p)` operands for `p < 2^62` satisfy `x < 4p^2 < 2^126`.
+    #[inline]
+    pub fn reduce_u128_lazy(&self, x: u128) -> u64 {
+        debug_assert!(x < 1u128 << 126, "lazy Barrett requires x < 2^126");
+        let x_hi = (x >> 64) as u64;
+        let x_lo = x as u64;
+        let lo_lo = u128::from(x_lo) * u128::from(self.mu_lo);
+        let lo_hi = u128::from(x_lo) * u128::from(self.mu_hi);
+        let hi_lo = u128::from(x_hi) * u128::from(self.mu_lo);
+        let hi_hi = u128::from(x_hi) * u128::from(self.mu_hi);
+        let mid = (lo_lo >> 64) + (lo_hi & 0xFFFF_FFFF_FFFF_FFFF) + (hi_lo & 0xFFFF_FFFF_FFFF_FFFF);
+        let q = hi_hi + (lo_hi >> 64) + (hi_lo >> 64) + (mid >> 64);
+        x.wrapping_sub(q.wrapping_mul(u128::from(self.p))) as u64
+    }
+
     /// `(a * b) mod p` for `a, b < p`.
     #[inline]
     pub fn mul(&self, a: u64, b: u64) -> u64 {
         debug_assert!(a < self.p && b < self.p);
         self.reduce_u128(u128::from(a) * u128::from(b))
+    }
+
+    /// Lazy product: `(a * b) mod p` in `[0, 2p)` for operands already in
+    /// the lazy domain `[0, 2p)`. Requires `p < 2^62` (see
+    /// [`Barrett::reduce_u128_lazy`]); no division, no final correction.
+    #[inline]
+    pub fn mul_lazy(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(self.p < (1 << 62), "lazy product requires p < 2^62");
+        debug_assert!(a < 2 * self.p && b < 2 * self.p);
+        self.reduce_u128_lazy(u128::from(a) * u128::from(b))
     }
 
     /// Reduce a single word `a` (any `u64`) to `a mod p`.
@@ -163,6 +195,24 @@ mod tests {
         assert_eq!(b.reduce_u128(x), (x % u128::from(p)) as u64);
         assert_eq!(b.reduce_u128(0), 0);
         assert_eq!(b.reduce_u128(u128::from(p)), 0);
+    }
+
+    #[test]
+    fn lazy_product_stays_below_2p_and_is_congruent() {
+        for p in [(1u64 << 59) + 21, (1u64 << 61) - 1, (1u64 << 62) - 57] {
+            let b = Barrett::new(p);
+            let samples = [0u64, 1, p - 1, p, p + 3, 2 * p - 1];
+            for &x in &samples {
+                for &y in &samples {
+                    let r = b.mul_lazy(x, y);
+                    assert!(r < 2 * p, "lazy result {r} out of [0, 2p) for p={p}");
+                    assert_eq!(
+                        r % p,
+                        (u128::from(x) * u128::from(y) % u128::from(p)) as u64
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -94,7 +94,7 @@ pub fn pow_mod(base: u64, mut exp: u64, p: u64) -> u64 {
 /// assert_eq!(3 * inv % 17, 1);
 /// ```
 pub fn inv_mod(a: u64, p: u64) -> Option<u64> {
-    if a % p == 0 {
+    if a.is_multiple_of(p) {
         return None;
     }
     Some(pow_mod(a, p - 2, p))

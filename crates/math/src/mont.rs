@@ -36,7 +36,7 @@ impl Montgomery {
     /// Panics if `p` is even, `p < 3`, or `p >= 2^63`.
     pub fn new(p: u64) -> Self {
         assert!(p % 2 == 1, "Montgomery requires an odd modulus");
-        assert!(p >= 3 && p < (1 << 63), "modulus out of range");
+        assert!((3..(1 << 63)).contains(&p), "modulus out of range");
         // Newton iteration for the inverse of p mod 2^64: five steps double
         // the bit precision each time starting from 5 correct bits.
         let mut inv: u64 = p; // p ≡ p^{-1} mod 8 for odd p (3 bits correct)

@@ -26,7 +26,7 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
@@ -137,9 +137,9 @@ pub fn distinct_prime_factors(mut n: u64) -> Vec<u64> {
     let mut out = Vec::new();
     let mut d = 2u64;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             out.push(d);
-            while n % d == 0 {
+            while n.is_multiple_of(d) {
                 n /= d;
             }
         }
@@ -211,7 +211,7 @@ mod tests {
         let chain = ntt_primes(30, 1 << 18, 4);
         assert_eq!(chain.len(), 4);
         for &p in &chain {
-            assert!(p < (1 << 30) && p >= (1 << 29));
+            assert!(((1 << 29)..(1 << 30)).contains(&p));
         }
     }
 

@@ -67,7 +67,7 @@ pub fn primitive_root_of_unity(order: u64, p: u64) -> Result<u64, RootError> {
     if !is_prime(p) {
         return Err(RootError::NotPrime { p });
     }
-    if (p - 1) % order != 0 {
+    if !(p - 1).is_multiple_of(order) {
         return Err(RootError::OrderDoesNotDivide { order, p });
     }
     let g = min_primitive_root(p)?;

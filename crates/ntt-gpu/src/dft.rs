@@ -16,6 +16,11 @@
 //! NTT twins, so outputs are bit-exact reproducible against a scalar
 //! reference executing the same f32 operations.
 
+// Kernel code models warp lanes with explicit indices into parallel
+// per-lane arrays (live/base/vals/regs), mirroring the CUDA original;
+// iterator rewrites would obscure the lane addressing the simulator counts.
+#![allow(clippy::needless_range_loop)]
+
 use crate::report::RunReport;
 use gpu_sim::{Buf, Gpu, LaunchConfig, OpClass, WarpCtx, WarpKernel};
 use ntt_core::bitrev::bit_reverse;

@@ -8,6 +8,11 @@
 //! demand exceeds the 255-register cap and spills to local memory —
 //! reproducing Fig. 4's inverted-U.
 
+// Kernel code models warp lanes with explicit indices into parallel
+// per-lane arrays (live/base/vals/regs), mirroring the CUDA original;
+// iterator rewrites would obscure the lane addressing the simulator counts.
+#![allow(clippy::needless_range_loop)]
+
 use crate::batch::DeviceBatch;
 use crate::report::RunReport;
 use gpu_sim::{Buf, Gpu, LaunchConfig, OpClass, WarpCtx, WarpKernel};

@@ -18,6 +18,11 @@
 //! index algebra is the `tw_base` composition derived in
 //! `ntt_core::radix`.
 
+// Kernel code models warp lanes with explicit indices into parallel
+// per-lane arrays (live/base/vals/regs), mirroring the CUDA original;
+// iterator rewrites would obscure the lane addressing the simulator counts.
+#![allow(clippy::needless_range_loop)]
+
 use crate::batch::DeviceBatch;
 use crate::ot::DeviceOt;
 use crate::radix2::ModMul;

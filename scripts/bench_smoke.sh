@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Bench-regression smoke: re-measure the wall-clock benchmark suite and
+# compare against the recorded baseline, failing on > 25% regressions.
+#
+#   scripts/bench_smoke.sh [baseline.json] [threshold]
+#
+# Defaults to BENCH_seed.json and 1.25. Timings come from the vendored
+# criterion shim (60 ms budget per benchmark), so the threshold is
+# deliberately loose; this catches order-of-magnitude mistakes (a strict
+# path sneaking back into a hot loop), not single-digit noise.
+#
+# Caveat: absolute ns/iter comparisons are only meaningful when baseline
+# and current run come from comparable hosts. On much slower/faster
+# hardware, pass a locally recorded baseline (CRITERION_JSON=... cargo
+# bench) instead of the checked-in one, or raise the threshold.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-BENCH_seed.json}"
+THRESHOLD="${2:-1.25}"
+# Absolute path: cargo runs bench binaries with cwd set to the package dir.
+NOW="$(pwd)/target/bench_now.json"
+
+rm -f "$NOW"
+# The figure harness is the shape smoke; the criterion benches are the
+# timing smoke. Keep both on the same build.
+cargo build --release --quiet
+cargo run --release --quiet --bin figures -- --quick > /dev/null
+CRITERION_JSON="$NOW" cargo bench -p ntt-bench --bench cpu_ntt --bench he_ops --bench modmul
+
+# Gate on the key pipeline/HE/modmul benchmarks. The per-kernel forward-NTT
+# micro-benches (ct/stockham/high-radix, 60 ms windows at small N) swing
+# with code layout and host state and are excluded from the hard gate; run
+# bench_guard without --only to eyeball the full table.
+cargo run --release --quiet -p ntt-bench --bin bench_guard -- \
+    "$BASELINE" "$NOW" --threshold "$THRESHOLD" \
+    --only "cpu_ntt_pipeline/,rns_multiply,he_lite,modmul_"
