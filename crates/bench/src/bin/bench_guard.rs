@@ -1,20 +1,36 @@
-//! Compare two benchmark recordings and fail on regressions.
+//! Gate benchmark recordings against regressions.
 //!
-//! Usage:
+//! Two modes:
+//!
+//! **Within-run ratio gates** (the CI default) — one recording, gates
+//! between benchmarks *of that same run*:
+//!
+//! ```text
+//! bench_guard <current.json> --gate "GROUP/FAST<=0.6*GROUP/SLOW" [--gate ...]
+//! ```
+//!
+//! A gate `A<=F*B` passes when `ns(A) ≤ F · ns(B)`. Because both sides
+//! come from the same host, the same build, and the same measurement
+//! window, the comparison is immune to the cross-host variance that made
+//! absolute-ns baselines flake (a slow CI runner slows both sides
+//! equally). Use this to pin structural speedups — e.g. the fused lazy
+//! pipeline must stay well under the strict pipeline it replaced.
+//!
+//! **Absolute baseline comparison** (legacy; only meaningful on
+//! comparable hosts):
 //!
 //! ```text
 //! bench_guard <baseline.json> <current.json> [--threshold 1.25] [--only PFX1,PFX2]
 //! ```
 //!
-//! Both files may be either the repository's wrapped baseline format
+//! Files may be either the repository's wrapped baseline format
 //! (`{"benchmarks": [{"id": ..., "ns_per_iter": ...}, ...]}`, e.g.
 //! `BENCH_seed.json`) or the raw JSON-lines the criterion shim appends
-//! under `CRITERION_JSON=`. Only benchmarks present in **both** files are
-//! compared; the guard exits non-zero if any of them got slower than
-//! `baseline × threshold`.
+//! under `CRITERION_JSON=`.
 //!
 //! Timings are wall-clock medians from short (60 ms) measurement windows,
-//! so thresholds below ~1.25 will flake on shared CI hardware.
+//! so factors with less than ~25% headroom will flake on shared CI
+//! hardware.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -60,11 +76,83 @@ fn parse_benchmarks(text: &str) -> BTreeMap<String, f64> {
     out
 }
 
+/// One within-run gate: `current <= factor * reference`.
+struct RatioGate {
+    current: String,
+    factor: f64,
+    reference: String,
+}
+
+/// Parse `"A<=F*B"` into a [`RatioGate`].
+fn parse_gate(spec: &str) -> Option<RatioGate> {
+    let (current, rhs) = spec.split_once("<=")?;
+    let (factor, reference) = rhs.split_once('*')?;
+    Some(RatioGate {
+        current: current.trim().to_string(),
+        factor: factor.trim().parse().ok()?,
+        reference: reference.trim().to_string(),
+    })
+}
+
+/// Evaluate within-run ratio gates against one recording. Missing
+/// benchmark ids are hard errors (exit 2): a gate that cannot run must
+/// not silently pass.
+fn run_ratio_gates(file: &str, gates: &[RatioGate]) -> ExitCode {
+    let text = std::fs::read_to_string(file).unwrap_or_else(|e| panic!("read {file}: {e}"));
+    let benchmarks = parse_benchmarks(&text);
+    let mut failures = 0usize;
+    let mut missing = 0usize;
+    println!(
+        "{:<52} {:>12} {:>12} {:>8}",
+        "gate (current <= factor * reference)", "current ns", "bound ns", "ratio"
+    );
+    for g in gates {
+        let (Some(&cur), Some(&reference)) =
+            (benchmarks.get(&g.current), benchmarks.get(&g.reference))
+        else {
+            eprintln!(
+                "missing benchmark for gate {} <= {} * {}",
+                g.current, g.factor, g.reference
+            );
+            missing += 1;
+            continue;
+        };
+        let bound = g.factor * reference;
+        let ratio = cur / reference;
+        let flag = if cur > bound {
+            failures += 1;
+            "  << GATE FAILED"
+        } else {
+            ""
+        };
+        println!(
+            "{:<52} {:>12.1} {:>12.1} {:>7.2}x{}",
+            format!("{} <= {}x {}", g.current, g.factor, g.reference),
+            cur,
+            bound,
+            ratio,
+            flag
+        );
+    }
+    println!();
+    if missing > 0 {
+        eprintln!("{missing} gates had missing benchmarks");
+        return ExitCode::from(2);
+    }
+    if failures > 0 {
+        eprintln!("{failures}/{} within-run ratio gates failed", gates.len());
+        return ExitCode::FAILURE;
+    }
+    println!("{} within-run ratio gates passed", gates.len());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files = Vec::new();
     let mut threshold = 1.25f64;
     let mut only: Vec<String> = Vec::new();
+    let mut gates: Vec<RatioGate> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -80,12 +168,26 @@ fn main() -> ExitCode {
                     .map(|v| v.split(',').map(str::to_string).collect())
                     .unwrap_or_default();
             }
+            "--gate" => {
+                let spec = it.next().expect("--gate needs a SPEC");
+                gates.push(
+                    parse_gate(spec)
+                        .unwrap_or_else(|| panic!("bad gate spec {spec:?} (want \"A<=F*B\")")),
+                );
+            }
             _ => files.push(a.clone()),
         }
     }
+    if !gates.is_empty() {
+        if files.len() != 1 {
+            eprintln!("usage: bench_guard <current.json> --gate \"A<=F*B\" [--gate ...]");
+            return ExitCode::from(2);
+        }
+        return run_ratio_gates(&files[0], &gates);
+    }
     if files.len() != 2 {
         eprintln!(
-            "usage: bench_guard <baseline.json> <current.json> [--threshold X] [--only PFX1,PFX2]"
+            "usage: bench_guard <current.json> --gate \"A<=F*B\" [--gate ...]\n       bench_guard <baseline.json> <current.json> [--threshold X] [--only PFX1,PFX2]"
         );
         return ExitCode::from(2);
     }

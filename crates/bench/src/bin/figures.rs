@@ -197,6 +197,26 @@ fn main() {
         for (stage, ratio) in ex::fig8(s.log_n) {
             println!("stage {:>2}: twiddle/input = {:.4}", stage, ratio);
         }
+        // Cross-check the accounting against *measured* simulated DRAM
+        // transactions of the radix-2 stage launches (kept at 2^12 so the
+        // check is cheap at paper scale too).
+        let measured_log_n = s.log_n.min(12);
+        println!("measured check (radix-2 launches at N = 2^{measured_log_n}):");
+        for (stage, analytic, measured) in ex::fig8_measured(measured_log_n, 2.min(s.np)) {
+            if (1usize << (stage - 1)) >= 4 {
+                println!(
+                    "stage {:>2}: analytic {:.4}  measured {:.4}  {}",
+                    stage,
+                    analytic,
+                    measured,
+                    if (analytic - measured).abs() < 1e-12 {
+                        "ok"
+                    } else {
+                        "MISMATCH"
+                    }
+                );
+            }
+        }
     }
 
     if run("fig9") {

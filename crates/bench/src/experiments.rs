@@ -176,6 +176,32 @@ pub fn fig8(log_n: u32) -> Vec<(u32, f64)> {
     table.relative_stage_sizes()
 }
 
+/// Fig. 8, measured: run the radix-2 stage launches and derive the same
+/// ratio from counted DRAM transactions — per stage, twiddle read
+/// transactions (total reads minus the one-pass data traffic) over input
+/// bytes. Returns `(stage, analytic, measured)`; the two columns agree
+/// exactly from the first stage whose slice-pair fills a 32-byte sector
+/// (`m ≥ 4` — below that the model floors at one sector per table).
+pub fn fig8_measured(log_n: u32, np: usize) -> Vec<(u32, f64, f64)> {
+    let (mut gpu, batch) = fresh_batch(log_n, np);
+    let n = batch.n();
+    let rep = radix2::run(&mut gpu, &batch, ModMul::Shoup);
+    let analytic = fig8(log_n);
+    rep.launches
+        .iter()
+        .zip(analytic)
+        .map(|(launch, (stage, ratio))| {
+            let data_txns = (np * n / 4) as u64;
+            let tw_txns = launch
+                .stats
+                .dram_read_transactions
+                .saturating_sub(data_txns);
+            let measured = (tw_txns * 32) as f64 / (np * n * 8) as f64;
+            (stage, ratio, measured)
+        })
+        .collect()
+}
+
 /// Fig. 9 — Kernel-1 with and without preloading twiddles into SMEM.
 pub fn fig9(log_n: u32, np: usize, k1_sizes: &[usize]) -> Vec<Measurement> {
     let mut out = Vec::new();

@@ -1,0 +1,857 @@
+//! Pluggable execution backends and plan-based batched NTT execution.
+//!
+//! The paper's central claim is that one NTT workload — batches of RNS
+//! limb transforms — runs on very different execution substrates (a scalar
+//! CPU reference, GPU kernels at several radices). This module is the API
+//! boundary that makes the substrate swappable:
+//!
+//! * [`NttBackend`] — the trait every execution substrate implements. Its
+//!   vocabulary is *batched RNS operations* over [`LimbBatch`] views:
+//!   [`NttBackend::forward_batch`], [`NttBackend::inverse_batch`],
+//!   [`NttBackend::pointwise_batch`], and the fused
+//!   [`NttBackend::multiply_batch`]. Backends never see individual
+//!   polynomials — only flat buffers of limbs, the layout both the CPU
+//!   engine and the simulated GPU kernels natively consume.
+//! * [`RingPlan`] — an FFTW-style precomputed plan handle: the ring's
+//!   twiddle tables (per-stage `(value, companion)` slice-pairs in
+//!   bit-reversed order), workspace sizing, and a per-prime pointwise
+//!   reduction strategy ([`PointwiseStrategy`], Montgomery vs. Barrett)
+//!   chosen **once at plan time** from a micro-benchmark. Plans are cheap
+//!   handles (`Arc` internals) and are memoized on the ring
+//!   ([`crate::poly::RnsRing::plan`]).
+//! * [`CpuBackend`] — the reference backend wrapping the fused
+//!   lazy-reduction [`NttExecutor`] and its grow-only workspace.
+//! * [`Evaluator`] — a backend-generic driver pairing a plan with a boxed
+//!   backend; `he-lite` routes every context operation through one, so
+//!   swapping the execution substrate is a one-line constructor change.
+//!   (The simulated-GPU backend lives in the `ntt-gpu` crate as
+//!   `SimBackend`, since the warp kernels live there.)
+//!
+//! # Example
+//!
+//! ```
+//! use ntt_core::backend::{Evaluator, LimbBatch, NttBackend, RingPlan};
+//! use ntt_core::{RnsPoly, RnsRing};
+//!
+//! let ring = RnsRing::new(16, ntt_math::ntt_primes(59, 32, 3))?;
+//! let plan = RingPlan::new(&ring); // tables + strategies chosen here
+//! let mut ev = Evaluator::cpu(&ring);
+//!
+//! let a = RnsPoly::from_i64_coeffs(&ring, &[1, 1]); // 1 + x
+//! let c = ev.multiply(&a, &a); // one fused multiply_batch call
+//! assert_eq!(c.coefficient_centered(&ring, 1), Some(2));
+//! assert_eq!(plan.np(), 3);
+//! # Ok::<(), ntt_core::RingError>(())
+//! ```
+
+use crate::engine::{NttExecutor, ThreadPolicy};
+use crate::poly::{Representation, RnsPoly, RnsRing};
+use crate::table::NttTable;
+use ntt_math::mont::Montgomery;
+use ntt_math::shoup::MAX_LAZY_MODULUS;
+use ntt_math::Barrett;
+use std::cell::RefCell;
+use std::sync::{Arc, OnceLock};
+
+/// How the plan reduces pointwise products for one prime.
+///
+/// Both strategies return the exact canonical product `a·b mod p`, so the
+/// choice never changes results — only throughput. Barrett costs five wide
+/// multiplies per product; Montgomery (double-REDC on ordinary-form
+/// operands, [`Montgomery::mul_plain`]) costs four but with a longer
+/// dependency chain. Which one wins is host-specific, which is why the
+/// plan decides from a measurement (see [`PointwiseStrategy::choose`]).
+#[derive(Debug, Clone, Copy)]
+pub enum PointwiseStrategy {
+    /// Barrett reduction with a precomputed 128-bit reciprocal.
+    Barrett(Barrett),
+    /// Montgomery double-REDC on ordinary-form operands.
+    Montgomery(Montgomery),
+}
+
+/// Strategy selection mode (the parsed `NTT_WARP_POINTWISE` value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StrategyMode {
+    /// Decide from the process-wide micro-benchmark (the default).
+    #[default]
+    Auto,
+    /// Force Barrett everywhere.
+    Barrett,
+    /// Force Montgomery wherever its preconditions hold.
+    Montgomery,
+}
+
+impl StrategyMode {
+    /// Parse the `NTT_WARP_POINTWISE` syntax: `barrett`, `montgomery` /
+    /// `mont`, anything else (or unset) → `Auto`.
+    pub fn parse(s: &str) -> Self {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "barrett" => StrategyMode::Barrett,
+            "montgomery" | "mont" => StrategyMode::Montgomery,
+            _ => StrategyMode::Auto,
+        }
+    }
+
+    /// Mode from the `NTT_WARP_POINTWISE` environment variable. An
+    /// unrecognized value falls back to `Auto` with a one-line warning on
+    /// stderr (a typo must not silently turn a forced strategy into the
+    /// calibrated one).
+    pub fn from_env() -> Self {
+        let Ok(s) = std::env::var("NTT_WARP_POINTWISE") else {
+            return StrategyMode::Auto;
+        };
+        let mode = Self::parse(&s);
+        let t = s.trim();
+        if mode == StrategyMode::Auto && !t.is_empty() && !t.eq_ignore_ascii_case("auto") {
+            eprintln!(
+                "ntt-warp: unrecognized NTT_WARP_POINTWISE={t:?} \
+                 (expected auto|barrett|montgomery), using auto"
+            );
+        }
+        mode
+    }
+}
+
+/// Time one pointwise pass (ns per element) for both strategies on a
+/// scratch buffer mod `p`. Used by the plan-time auto selection; exposed
+/// so benches and tests can inspect the measurement.
+pub fn calibrate_pointwise(p: u64) -> (f64, f64) {
+    const LEN: usize = 2048;
+    const REPS: usize = 4;
+    let a: Vec<u64> = (0..LEN as u64)
+        .map(|i| i.wrapping_mul(0x9E37) % p)
+        .collect();
+    let b: Vec<u64> = (0..LEN as u64).map(|i| (i * i + 7) % p).collect();
+    let time = |f: &dyn Fn() -> u64| {
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let t0 = std::time::Instant::now();
+            // The sink must be consumed *before* the clock is read, or the
+            // optimizer may move the pure loop past the measurement.
+            std::hint::black_box(f());
+            let dt = t0.elapsed().as_nanos() as f64 / LEN as f64;
+            best = best.min(dt);
+        }
+        best
+    };
+    let br = Barrett::new(p);
+    let barrett_ns = time(&|| {
+        let mut acc = 0u64;
+        for (&x, &y) in a.iter().zip(&b) {
+            acc = acc.wrapping_add(br.mul(x, y));
+        }
+        acc
+    });
+    let m = Montgomery::new(p);
+    let mont_ns = time(&|| {
+        let mut acc = 0u64;
+        for (&x, &y) in a.iter().zip(&b) {
+            acc = acc.wrapping_add(m.mul_plain(x, y));
+        }
+        acc
+    });
+    (barrett_ns, mont_ns)
+}
+
+/// Process-wide calibration verdict per prime-size class (index 0: below
+/// 40 bits, index 1: 40 bits and up), measured once on a representative
+/// prime of that class.
+fn montgomery_wins(bits: u32) -> bool {
+    static WINS: [OnceLock<bool>; 2] = [OnceLock::new(), OnceLock::new()];
+    let class = usize::from(bits >= 40);
+    *WINS[class].get_or_init(|| {
+        // Largest NTT-friendly primes of each class (2N = 2^12 keeps the
+        // probe representative of real parameter sets).
+        let probe = ntt_math::ntt_prime(if class == 0 { 31 } else { 61 }, 1 << 12)
+            .expect("probe prime exists");
+        let (barrett_ns, mont_ns) = calibrate_pointwise(probe);
+        mont_ns < barrett_ns
+    })
+}
+
+impl PointwiseStrategy {
+    /// The prime this strategy reduces for.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        match self {
+            PointwiseStrategy::Barrett(b) => b.modulus(),
+            PointwiseStrategy::Montgomery(m) => m.modulus(),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PointwiseStrategy::Barrett(_) => "barrett",
+            PointwiseStrategy::Montgomery(_) => "montgomery",
+        }
+    }
+
+    /// Canonical product `a·b mod p` for canonical operands.
+    #[inline(always)]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        match self {
+            PointwiseStrategy::Barrett(br) => br.mul(a, b),
+            PointwiseStrategy::Montgomery(m) => m.mul_plain(a, b),
+        }
+    }
+
+    /// Plan-time selection for one prime under an explicit mode.
+    ///
+    /// Montgomery requires an odd modulus and, for the fused lazy pipeline,
+    /// `p < 2^62`; primes outside those bounds always get Barrett.
+    pub fn choose_with(mode: StrategyMode, p: u64) -> Self {
+        let mont_ok = p % 2 == 1 && p < MAX_LAZY_MODULUS;
+        let montgomery = match mode {
+            StrategyMode::Barrett => false,
+            StrategyMode::Montgomery => mont_ok,
+            StrategyMode::Auto => mont_ok && montgomery_wins(64 - p.leading_zeros()),
+        };
+        if montgomery {
+            PointwiseStrategy::Montgomery(Montgomery::new(p))
+        } else {
+            PointwiseStrategy::Barrett(Barrett::new(p))
+        }
+    }
+
+    /// Plan-time selection for one prime (`NTT_WARP_POINTWISE` override,
+    /// else the benchmark-derived per-size verdict).
+    pub fn choose(p: u64) -> Self {
+        Self::choose_with(StrategyMode::from_env(), p)
+    }
+
+    /// Selection for a whole prime basis (one strategy per prime).
+    pub fn choose_all(primes: &[u64]) -> Arc<[PointwiseStrategy]> {
+        let mode = StrategyMode::from_env();
+        primes.iter().map(|&p| Self::choose_with(mode, p)).collect()
+    }
+}
+
+/// A mutable view over a flat batch of RNS limbs: `rows × N` residues
+/// where row `r` is reduced mod prime `r % level`.
+///
+/// This covers both shapes backends care about:
+///
+/// * one polynomial at `level` active primes (`rows == level`), e.g. an
+///   [`RnsPoly`]'s storage;
+/// * several polynomials of `level` limbs stacked back to back
+///   (`rows == k·level`), e.g. the key-switch **buffer of digits** that
+///   submits all `level × digits` digit NTTs as one batched call.
+pub struct LimbBatch<'a> {
+    data: &'a mut [u64],
+    n: usize,
+    level: usize,
+}
+
+impl<'a> LimbBatch<'a> {
+    /// Wrap a flat buffer of whole `n`-word rows, `level` rows per
+    /// polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is not a whole number of rows or the row count
+    /// is not a multiple of `level`.
+    pub fn new(data: &'a mut [u64], n: usize, level: usize) -> Self {
+        assert!(n >= 1 && level >= 1, "degenerate batch shape");
+        assert_eq!(data.len() % n, 0, "flat buffer must be rows × N");
+        assert_eq!(
+            (data.len() / n) % level,
+            0,
+            "rows must form whole polynomials"
+        );
+        Self { data, n, level }
+    }
+
+    /// View over one polynomial's limbs.
+    ///
+    /// The caller is responsible for re-tagging the polynomial's
+    /// representation afterwards ([`RnsPoly::set_repr`]) — batches carry no
+    /// domain tag.
+    pub fn from_poly(poly: &'a mut RnsPoly) -> Self {
+        let (n, level) = (poly.degree(), poly.level());
+        Self::new(poly.flat_mut(), n, level)
+    }
+
+    /// Row length `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Limbs per polynomial.
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Total rows across all stacked polynomials.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.data.len() / self.n
+    }
+
+    /// The RNS prime index of row `r`.
+    #[inline]
+    pub fn prime_of(&self, r: usize) -> usize {
+        r % self.level
+    }
+
+    /// The whole flat buffer.
+    #[inline]
+    pub fn data(&mut self) -> &mut [u64] {
+        self.data
+    }
+
+    /// Immutable view of the flat buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        self.data
+    }
+}
+
+/// A precomputed execution plan for one [`RnsRing`] (FFTW-style).
+///
+/// Construction resolves everything the backends would otherwise redo per
+/// call: the twiddle tables (already laid out as per-stage
+/// `(value, companion)` slice-pairs inside [`NttTable`]), workspace sizing
+/// for the fused multiply path, and the per-prime [`PointwiseStrategy`].
+/// Plans are cheap to clone and thread-safe; prefer
+/// [`RnsRing::plan`], which memoizes the strategy choice on the ring.
+///
+/// # Example
+///
+/// ```
+/// use ntt_core::backend::RingPlan;
+/// use ntt_core::RnsRing;
+///
+/// let ring = RnsRing::new(32, ntt_math::ntt_primes(59, 64, 2))?;
+/// let plan = RingPlan::new(&ring);
+/// assert_eq!(plan.degree(), 32);
+/// // Two scratch rows per limb for the fused multiply path:
+/// assert_eq!(plan.workspace_words(plan.np()), 2 * 2 * 32);
+/// for i in 0..plan.np() {
+///     assert_eq!(plan.strategy(i).modulus(), plan.table(i).modulus());
+/// }
+/// # Ok::<(), ntt_core::RingError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingPlan {
+    ring: RnsRing,
+    strategy: Arc<[PointwiseStrategy]>,
+}
+
+impl RingPlan {
+    /// Plan for a ring (delegates to the ring's memoized plan cache).
+    pub fn new(ring: &RnsRing) -> Self {
+        ring.plan()
+    }
+
+    pub(crate) fn from_parts(ring: RnsRing, strategy: Arc<[PointwiseStrategy]>) -> Self {
+        Self { ring, strategy }
+    }
+
+    /// The planned ring.
+    #[inline]
+    pub fn ring(&self) -> &RnsRing {
+        &self.ring
+    }
+
+    /// Ring degree `N`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.ring.degree()
+    }
+
+    /// Number of primes in the full basis.
+    #[inline]
+    pub fn np(&self) -> usize {
+        self.ring.np()
+    }
+
+    /// Twiddle table for prime `i` (per-stage slice-pairs, bit-reversed).
+    #[inline]
+    pub fn table(&self, i: usize) -> &NttTable {
+        self.ring.ring(i).table()
+    }
+
+    /// The pointwise reduction strategy chosen for prime `i` at plan time.
+    #[inline]
+    pub fn strategy(&self, i: usize) -> &PointwiseStrategy {
+        &self.strategy[i]
+    }
+
+    /// All per-prime strategies.
+    #[inline]
+    pub fn strategies(&self) -> &[PointwiseStrategy] {
+        &self.strategy
+    }
+
+    /// Scratch words the fused multiply path needs for a `rows`-row batch
+    /// (two operand staging rows per limb) — backends size their
+    /// workspaces from this.
+    #[inline]
+    pub fn workspace_words(&self, rows: usize) -> usize {
+        2 * rows * self.degree()
+    }
+}
+
+/// An execution substrate for batched RNS NTT workloads.
+///
+/// All operations are *batched*: one call covers every limb in the
+/// [`LimbBatch`], which is where both the CPU engine (residue-parallel
+/// threading, one dispatch) and the GPU kernels (one launch over the
+/// `np`-polynomial batch, §III of the paper) get their throughput.
+///
+/// Contracts shared by all implementations:
+///
+/// * residues are **canonical** (`< p`) on entry and exit of every call;
+/// * forward transforms take natural-order input to bit-reversed
+///   evaluations; inverse transforms undo exactly that;
+/// * outputs are **bit-identical across backends** — the conformance suite
+///   (`tests/backend_conformance.rs`) pins `CpuBackend` and the simulated
+///   GPU backend to each other exactly.
+///
+/// # Example
+///
+/// ```
+/// use ntt_core::backend::{CpuBackend, LimbBatch, NttBackend, RingPlan};
+/// use ntt_core::{RnsPoly, RnsRing};
+///
+/// let ring = RnsRing::new(8, ntt_math::ntt_primes(59, 16, 2))?;
+/// let plan = RingPlan::new(&ring);
+/// let mut be = CpuBackend::default();
+/// let mut x = RnsPoly::from_i64_coeffs(&ring, &[1, 2, 3]);
+/// let orig = x.clone();
+/// be.forward_batch(&plan, LimbBatch::from_poly(&mut x));
+/// be.inverse_batch(&plan, LimbBatch::from_poly(&mut x));
+/// assert_eq!(x.flat(), orig.flat()); // round trip is exact
+/// # Ok::<(), ntt_core::RingError>(())
+/// ```
+pub trait NttBackend: Send {
+    /// Short label for reports and conformance-test diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Forward-NTT every row of the batch in place.
+    fn forward_batch(&mut self, plan: &RingPlan, batch: LimbBatch<'_>);
+
+    /// Inverse-NTT every row of the batch in place.
+    fn inverse_batch(&mut self, plan: &RingPlan, batch: LimbBatch<'_>);
+
+    /// Element-wise product in the evaluation domain: `acc[i] *= rhs[i]`
+    /// per row, reduced mod the row's prime with the plan's strategy.
+    /// `rhs` must have the batch's exact shape.
+    fn pointwise_batch(&mut self, plan: &RingPlan, acc: LimbBatch<'_>, rhs: &[u64]);
+
+    /// Fused negacyclic products, one per row triple: `out = a ·̄ b` where
+    /// all three buffers share the batch's shape and hold coefficient-form
+    /// rows. Implementations fuse forward transforms, pointwise reduction
+    /// and the inverse transform however their substrate prefers.
+    fn multiply_batch(&mut self, plan: &RingPlan, a: &[u64], b: &[u64], out: LimbBatch<'_>);
+}
+
+/// The reference backend: the fused lazy-reduction CPU engine
+/// ([`NttExecutor`]) behind the [`NttBackend`] vocabulary.
+///
+/// Thread policy comes from the executor ([`ThreadPolicy`], env-tunable
+/// via `NTT_WARP_THREADS`); the workspace is grow-only, so steady-state
+/// batches allocate nothing.
+#[derive(Debug, Default)]
+pub struct CpuBackend {
+    exec: NttExecutor,
+}
+
+impl CpuBackend {
+    /// CPU backend with an explicit thread policy.
+    pub fn new(policy: ThreadPolicy) -> Self {
+        Self {
+            exec: NttExecutor::new(policy),
+        }
+    }
+
+    /// CPU backend configured from `NTT_WARP_THREADS`.
+    pub fn from_env() -> Self {
+        Self {
+            exec: NttExecutor::from_env(),
+        }
+    }
+
+    /// The wrapped executor (e.g. for workspace accounting).
+    #[inline]
+    pub fn executor(&self) -> &NttExecutor {
+        &self.exec
+    }
+
+    /// Mutable access to the wrapped executor (single-prime convenience
+    /// paths route through here).
+    #[inline]
+    pub fn executor_mut(&mut self) -> &mut NttExecutor {
+        &mut self.exec
+    }
+}
+
+impl NttBackend for CpuBackend {
+    fn name(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn forward_batch(&mut self, plan: &RingPlan, mut batch: LimbBatch<'_>) {
+        let level = batch.level();
+        self.exec
+            .transform_rows_of(plan.ring(), level, batch.data(), true);
+    }
+
+    fn inverse_batch(&mut self, plan: &RingPlan, mut batch: LimbBatch<'_>) {
+        let level = batch.level();
+        self.exec
+            .transform_rows_of(plan.ring(), level, batch.data(), false);
+    }
+
+    fn pointwise_batch(&mut self, plan: &RingPlan, mut acc: LimbBatch<'_>, rhs: &[u64]) {
+        let (n, level) = (acc.n(), acc.level());
+        assert_eq!(acc.as_slice().len(), rhs.len(), "operand shape mismatch");
+        for (r, (row, rhs_row)) in acc
+            .data()
+            .chunks_exact_mut(n)
+            .zip(rhs.chunks_exact(n))
+            .enumerate()
+        {
+            match plan.strategy(r % level) {
+                PointwiseStrategy::Barrett(br) => {
+                    for (x, &y) in row.iter_mut().zip(rhs_row) {
+                        *x = br.mul(*x, y);
+                    }
+                }
+                PointwiseStrategy::Montgomery(m) => {
+                    for (x, &y) in row.iter_mut().zip(rhs_row) {
+                        *x = m.mul_plain(*x, y);
+                    }
+                }
+            }
+        }
+    }
+
+    fn multiply_batch(&mut self, plan: &RingPlan, a: &[u64], b: &[u64], mut out: LimbBatch<'_>) {
+        let level = out.level();
+        self.exec.multiply_rows_of(
+            plan.ring(),
+            level,
+            a,
+            b,
+            out.data(),
+            Some(plan.strategies()),
+        );
+    }
+}
+
+thread_local! {
+    static DEFAULT_BACKEND: RefCell<CpuBackend> = RefCell::new(CpuBackend::from_env());
+}
+
+/// Run `f` with this thread's default [`CpuBackend`] (thread policy from
+/// `NTT_WARP_THREADS`, workspace persisted across calls). The ring-level
+/// convenience APIs ([`RnsRing::multiply`], [`RnsPoly::to_evaluation`], …)
+/// route through here, so ordinary callers get plan-based batched
+/// execution without holding an [`Evaluator`].
+///
+/// `f` must not itself re-enter this function (the backend is held in a
+/// `RefCell`).
+pub fn with_default_backend<R>(f: impl FnOnce(&mut CpuBackend) -> R) -> R {
+    DEFAULT_BACKEND.with(|b| f(&mut b.borrow_mut()))
+}
+
+/// A backend-generic driver: one [`RingPlan`] plus one boxed
+/// [`NttBackend`], with polynomial-level operations on top of the batched
+/// trait vocabulary.
+///
+/// This is the object `he-lite` holds; swapping the execution substrate is
+/// a one-line constructor change:
+///
+/// ```
+/// use ntt_core::backend::{CpuBackend, Evaluator};
+/// use ntt_core::{RnsPoly, RnsRing};
+///
+/// let ring = RnsRing::new(16, ntt_math::ntt_primes(59, 32, 2))?;
+/// // let mut ev = Evaluator::with_backend(&ring, Box::new(SimBackend::titan_v()));
+/// let mut ev = Evaluator::with_backend(&ring, Box::new(CpuBackend::default()));
+///
+/// let mut x = RnsPoly::from_i64_coeffs(&ring, &[2, 0, 1]);
+/// ev.to_evaluation(&mut x);
+/// ev.to_coefficient(&mut x);
+/// assert_eq!(x.coefficient_centered(&ring, 2), Some(1));
+/// # Ok::<(), ntt_core::RingError>(())
+/// ```
+pub struct Evaluator {
+    plan: RingPlan,
+    backend: Box<dyn NttBackend>,
+}
+
+impl std::fmt::Debug for Evaluator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Evaluator")
+            .field("backend", &self.backend.name())
+            .field("degree", &self.plan.degree())
+            .field("np", &self.plan.np())
+            .finish()
+    }
+}
+
+impl Evaluator {
+    /// Pair an existing plan with a backend.
+    pub fn new(plan: RingPlan, backend: Box<dyn NttBackend>) -> Self {
+        Self { plan, backend }
+    }
+
+    /// Evaluator over `ring` with the given backend (plans the ring).
+    pub fn with_backend(ring: &RnsRing, backend: Box<dyn NttBackend>) -> Self {
+        Self::new(ring.plan(), backend)
+    }
+
+    /// Evaluator over `ring` with the default CPU backend.
+    pub fn cpu(ring: &RnsRing) -> Self {
+        Self::with_backend(ring, Box::new(CpuBackend::from_env()))
+    }
+
+    /// The plan in force.
+    #[inline]
+    pub fn plan(&self) -> &RingPlan {
+        &self.plan
+    }
+
+    /// The planned ring.
+    #[inline]
+    pub fn ring(&self) -> &RnsRing {
+        self.plan.ring()
+    }
+
+    /// The backend's label.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Forward-transform a polynomial (no-op if already in evaluation
+    /// form).
+    pub fn to_evaluation(&mut self, poly: &mut RnsPoly) {
+        if poly.repr() == Representation::Evaluation {
+            return;
+        }
+        self.backend
+            .forward_batch(&self.plan, LimbBatch::from_poly(poly));
+        poly.set_repr(Representation::Evaluation);
+    }
+
+    /// Inverse-transform a polynomial (no-op if already in coefficient
+    /// form).
+    pub fn to_coefficient(&mut self, poly: &mut RnsPoly) {
+        if poly.repr() == Representation::Coefficient {
+            return;
+        }
+        self.backend
+            .inverse_batch(&self.plan, LimbBatch::from_poly(poly));
+        poly.set_repr(Representation::Coefficient);
+    }
+
+    /// Forward-transform several polynomials (each already-transformed one
+    /// is skipped).
+    pub fn forward_polys(&mut self, polys: &mut [&mut RnsPoly]) {
+        for poly in polys {
+            self.to_evaluation(poly);
+        }
+    }
+
+    /// Inverse counterpart of [`Evaluator::forward_polys`].
+    pub fn inverse_polys(&mut self, polys: &mut [&mut RnsPoly]) {
+        for poly in polys {
+            self.to_coefficient(poly);
+        }
+    }
+
+    /// Forward-NTT a raw buffer-of-digits batch: `rows × N` residues, row
+    /// `r` mod prime `r % level` — all `level × digits` key-switch digit
+    /// NTTs in **one** backend call.
+    pub fn forward_flat(&mut self, level: usize, data: &mut [u64]) {
+        let n = self.plan.degree();
+        self.backend
+            .forward_batch(&self.plan, LimbBatch::new(data, n, level));
+    }
+
+    /// Pointwise product `acc *= rhs` (both in evaluation form).
+    ///
+    /// # Panics
+    ///
+    /// Panics on level mismatch or if either operand is in coefficient
+    /// form.
+    pub fn mul_pointwise(&mut self, acc: &mut RnsPoly, rhs: &RnsPoly) {
+        assert_eq!(acc.level(), rhs.level(), "level mismatch");
+        assert_eq!(
+            acc.repr(),
+            Representation::Evaluation,
+            "lhs not in NTT form"
+        );
+        assert_eq!(
+            rhs.repr(),
+            Representation::Evaluation,
+            "rhs not in NTT form"
+        );
+        self.backend
+            .pointwise_batch(&self.plan, LimbBatch::from_poly(acc), rhs.flat());
+    }
+
+    /// Fused negacyclic product of two coefficient-form polynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level mismatch or non-coefficient operands.
+    pub fn multiply(&mut self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
+        multiply_with(&mut *self.backend, &self.plan, a, b)
+    }
+}
+
+/// The one fused-multiply entry: precondition checks plus the batched
+/// backend call. Shared by [`Evaluator::multiply`] and the ring-level
+/// convenience API ([`RnsRing::multiply`]) so the operand contract lives
+/// in exactly one place.
+///
+/// # Panics
+///
+/// Panics on level mismatch or non-coefficient operands.
+pub(crate) fn multiply_with(
+    backend: &mut dyn NttBackend,
+    plan: &RingPlan,
+    a: &RnsPoly,
+    b: &RnsPoly,
+) -> RnsPoly {
+    assert_eq!(a.level(), b.level(), "level mismatch");
+    assert_eq!(
+        a.repr(),
+        Representation::Coefficient,
+        "lhs must be coefficients"
+    );
+    assert_eq!(
+        b.repr(),
+        Representation::Coefficient,
+        "rhs must be coefficients"
+    );
+    let mut out = RnsPoly::zero_at_level(plan.ring(), a.level());
+    backend.multiply_batch(plan, a.flat(), b.flat(), LimbBatch::from_poly(&mut out));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::negacyclic_convolution;
+
+    fn ring(n: usize, np: usize) -> RnsRing {
+        RnsRing::new(n, ntt_math::ntt_primes(59, 2 * n as u64, np)).unwrap()
+    }
+
+    #[test]
+    fn strategies_agree_on_canonical_products() {
+        for p in [
+            ntt_math::ntt_prime(31, 64).unwrap(),
+            ntt_math::ntt_prime(59, 64).unwrap(),
+            ntt_math::ntt_prime(61, 64).unwrap(),
+        ] {
+            let br = PointwiseStrategy::choose_with(StrategyMode::Barrett, p);
+            let mo = PointwiseStrategy::choose_with(StrategyMode::Montgomery, p);
+            assert!(matches!(br, PointwiseStrategy::Barrett(_)));
+            assert!(matches!(mo, PointwiseStrategy::Montgomery(_)));
+            for (a, b) in [(0, 1), (p - 1, p - 1), (p / 2, p / 3), (12345, p - 7)] {
+                assert_eq!(br.mul(a, b), mo.mul(a, b), "a={a} b={b} p={p}");
+                assert_eq!(br.mul(a, b), ntt_math::mul_mod(a, b, p));
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_modulus_falls_back_to_barrett() {
+        // A 63-bit prime is above the 2^62 lazy bound: Montgomery must not
+        // be selected even when forced.
+        let p = 0x7FFF_FFFF_FFFF_FD21u64;
+        assert!(ntt_math::is_prime(p));
+        let s = PointwiseStrategy::choose_with(StrategyMode::Montgomery, p);
+        assert!(matches!(s, PointwiseStrategy::Barrett(_)));
+    }
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(StrategyMode::parse("barrett"), StrategyMode::Barrett);
+        assert_eq!(StrategyMode::parse(" MONT "), StrategyMode::Montgomery);
+        assert_eq!(StrategyMode::parse("montgomery"), StrategyMode::Montgomery);
+        assert_eq!(StrategyMode::parse(""), StrategyMode::Auto);
+        assert_eq!(StrategyMode::parse("bogus"), StrategyMode::Auto);
+    }
+
+    #[test]
+    fn calibration_returns_finite_timings() {
+        let p = ntt_math::ntt_prime(59, 1 << 12).unwrap();
+        let (b, m) = calibrate_pointwise(p);
+        assert!(b.is_finite() && b > 0.0);
+        assert!(m.is_finite() && m > 0.0);
+    }
+
+    #[test]
+    fn limb_batch_shape_checks() {
+        let mut data = vec![0u64; 6 * 8];
+        let batch = LimbBatch::new(&mut data, 8, 3); // 2 stacked polys of 3 limbs
+        assert_eq!(batch.rows(), 6);
+        assert_eq!(batch.prime_of(4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole polynomials")]
+    fn limb_batch_rejects_ragged_stack() {
+        let mut data = vec![0u64; 5 * 8];
+        let _ = LimbBatch::new(&mut data, 8, 3);
+    }
+
+    #[test]
+    fn cpu_backend_multiply_matches_naive() {
+        let ring = ring(16, 3);
+        let plan = RingPlan::new(&ring);
+        let a = RnsPoly::from_i64_coeffs(&ring, &[3, -1, 4]);
+        let b = RnsPoly::from_i64_coeffs(&ring, &[-2, 7]);
+        let mut out = RnsPoly::zero(&ring);
+        let mut be = CpuBackend::default();
+        be.multiply_batch(&plan, a.flat(), b.flat(), LimbBatch::from_poly(&mut out));
+        for i in 0..3 {
+            let p = ring.basis().primes()[i];
+            let want = negacyclic_convolution(a.row(i), b.row(i), p);
+            assert_eq!(out.row(i), &want[..], "limb {i}");
+        }
+    }
+
+    #[test]
+    fn stacked_batch_transforms_each_poly_independently() {
+        // Two polynomials stacked in one buffer-of-digits batch must give
+        // the same rows as two separate per-poly transforms.
+        let ring = ring(16, 2);
+        let plan = RingPlan::new(&ring);
+        let x = RnsPoly::from_i64_coeffs(&ring, &[1, -2, 3]);
+        let y = RnsPoly::from_i64_coeffs(&ring, &[7, 0, -5, 2]);
+        let mut stacked: Vec<u64> = [x.flat(), y.flat()].concat();
+        let mut be = CpuBackend::default();
+        be.forward_batch(&plan, LimbBatch::new(&mut stacked, 16, 2));
+        let (mut ex, mut ey) = (x.clone(), y.clone());
+        ex.to_evaluation(&ring);
+        ey.to_evaluation(&ring);
+        assert_eq!(&stacked[..2 * 16], ex.flat());
+        assert_eq!(&stacked[2 * 16..], ey.flat());
+    }
+
+    #[test]
+    fn evaluator_roundtrip_and_pointwise() {
+        let ring = ring(16, 3);
+        let mut ev = Evaluator::cpu(&ring);
+        assert_eq!(ev.backend_name(), "cpu");
+        let a = RnsPoly::from_i64_coeffs(&ring, &[1, 2]);
+        let b = RnsPoly::from_i64_coeffs(&ring, &[3, -1]);
+        // multiply via fused batch == transform + pointwise + inverse.
+        let fused = ev.multiply(&a, &b);
+        let (mut ea, mut eb) = (a.clone(), b.clone());
+        ev.forward_polys(&mut [&mut ea, &mut eb]);
+        ev.mul_pointwise(&mut ea, &eb);
+        ev.to_coefficient(&mut ea);
+        assert_eq!(fused, ea);
+    }
+}

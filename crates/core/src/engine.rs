@@ -49,11 +49,11 @@
 //! # Ok::<(), ntt_core::RingError>(())
 //! ```
 
+use crate::backend::PointwiseStrategy;
 use crate::ct;
 use crate::poly::{NegacyclicRing, Polynomial, Representation, RnsPoly, RnsRing};
 use crate::table::NttTable;
 use ntt_math::shoup::MAX_LAZY_MODULUS;
-use std::cell::RefCell;
 
 /// How many OS threads an executor may use for residue-parallel batches.
 ///
@@ -196,8 +196,14 @@ fn run_rows(threads: usize, n: usize, data: &mut [u64], work: impl Fn(usize, &mu
 /// One limb of a fused negacyclic multiply: copy the canonical operand
 /// rows into scratch, transform lazily, lazy-pointwise into `out`, and
 /// inverse-transform — a single full reduction at the very end.
+///
+/// `strategy` selects the pointwise reduction (plan-time choice); `None`
+/// uses the default Barrett lazy product. Every strategy yields the same
+/// canonical result — the product mod p is exact — so the choice is purely
+/// a performance knob.
 fn fused_limb(
     table: &NttTable,
+    strategy: Option<&PointwiseStrategy>,
     a: &[u64],
     b: &[u64],
     wa: &mut [u64],
@@ -210,7 +216,20 @@ fn fused_limb(
     if p < MAX_LAZY_MODULUS {
         ct::ntt_lazy(wa, table); // < 4p
         ct::ntt_lazy(wb, table); // < 4p
-        ct::pointwise_lazy_into(out, wa, wb, p); // < 2p
+        match strategy {
+            Some(PointwiseStrategy::Montgomery(m)) => {
+                // Fold the [0, 4p) lazy operands to [0, 2p), then reduce via
+                // two REDC passes to a canonical product (< p < 2p, a valid
+                // lazy-domain input for `intt_lazy`).
+                let two_p = 2 * p;
+                for (o, (&x, &y)) in out.iter_mut().zip(wa.iter().zip(wb.iter())) {
+                    let u = if x >= two_p { x - two_p } else { x };
+                    let v = if y >= two_p { y - two_p } else { y };
+                    *o = m.mul_plain(u, v);
+                }
+            }
+            _ => ct::pointwise_lazy_into(out, wa, wb, p), // < 2p
+        }
         ct::intt_lazy(out, table); // < p (final N^-1 stage reduces)
     } else {
         // Strict fallback for moduli at/above the 2^62 lazy bound.
@@ -299,7 +318,7 @@ impl NttExecutor {
         assert_eq!(b.len(), n, "degree mismatch (rhs)");
         assert_eq!(out.len(), n, "degree mismatch (out)");
         let (wa, wb) = self.ws.pair(n);
-        fused_limb(ring.table(), a, b, wa, wb, out);
+        fused_limb(ring.table(), None, a, b, wa, wb, out);
     }
 
     /// Fused single-prime negacyclic product (allocates only the result).
@@ -346,32 +365,68 @@ impl NttExecutor {
         );
         assert_eq!(out.degree(), n, "output degree mismatch");
         assert_eq!(out.level(), level, "output level mismatch");
+        self.multiply_rows_of(ring, level, a.flat(), b.flat(), out.flat_mut(), None);
+        out.set_repr(Representation::Coefficient);
+    }
+
+    /// Fused negacyclic products over flat `rows × N` buffers, where row
+    /// `r` is reduced mod prime `r % level` — the batched backend entry
+    /// point: a single [`crate::backend::LimbBatch`]-shaped buffer may hold
+    /// several stacked polynomials (e.g. a key-switch buffer of digits).
+    /// Residue-parallel under the thread policy; zero allocation once the
+    /// workspace is warm.
+    ///
+    /// `strategies` optionally supplies the plan's per-prime pointwise
+    /// reduction choice (indexed by prime); `None` means Barrett.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers disagree in length, are not whole rows, or if
+    /// `level` exceeds the ring's prime count.
+    pub fn multiply_rows_of(
+        &mut self,
+        ring: &RnsRing,
+        level: usize,
+        a: &[u64],
+        b: &[u64],
+        out: &mut [u64],
+        strategies: Option<&[PointwiseStrategy]>,
+    ) {
+        let n = ring.degree();
+        assert_eq!(a.len(), out.len(), "operand/output length mismatch");
+        assert_eq!(b.len(), out.len(), "operand/output length mismatch");
+        assert_eq!(out.len() % n, 0, "flat buffer must be rows × N");
+        assert!(level >= 1 && level <= ring.np(), "invalid level");
+        let rows = out.len() / n;
+        let strat = |i: usize| strategies.map(|s| &s[i % level]);
 
         // Each limb touches ~5N words (two operand copies, two transforms,
         // one output); weigh the spawn cutoff by the scratch volume.
-        let threads = effective_threads(self.policy, level, 3 * level * n);
-        let (wa, wb) = self.ws.pair(level * n);
-        let out_flat = out.flat_mut();
+        let threads = effective_threads(self.policy, rows, 3 * rows * n);
+        let (wa, wb) = self.ws.pair(rows * n);
         if threads <= 1 {
-            let limbs = out_flat
+            let limbs = out
                 .chunks_exact_mut(n)
                 .zip(wa.chunks_exact_mut(n))
                 .zip(wb.chunks_exact_mut(n));
             for (i, ((o, sa), sb)) in limbs.enumerate() {
-                fused_limb(ring.ring(i).table(), a.row(i), b.row(i), sa, sb, o);
+                let table = ring.ring(i % level).table();
+                let (ar, br) = (&a[i * n..(i + 1) * n], &b[i * n..(i + 1) * n]);
+                fused_limb(table, strat(i), ar, br, sa, sb, o);
             }
         } else {
             // Contiguous per-thread spans over the three flat buffers —
             // no job list is materialized, the steady state stays
             // allocation-free (spawned threads are the only OS cost).
-            let per = level.div_ceil(threads);
+            let per = rows.div_ceil(threads);
             let span = per * n;
             std::thread::scope(|s| {
-                let spans = out_flat
+                let spans = out
                     .chunks_mut(span)
                     .zip(wa.chunks_mut(span))
                     .zip(wb.chunks_mut(span));
                 for (c, ((oc, ac), bc)) in spans.enumerate() {
+                    let strat = &strat;
                     s.spawn(move || {
                         let limbs = oc
                             .chunks_exact_mut(n)
@@ -379,13 +434,14 @@ impl NttExecutor {
                             .zip(bc.chunks_exact_mut(n));
                         for (k, ((o, sa), sb)) in limbs.enumerate() {
                             let i = c * per + k;
-                            fused_limb(ring.ring(i).table(), a.row(i), b.row(i), sa, sb, o);
+                            let table = ring.ring(i % level).table();
+                            let (ar, br) = (&a[i * n..(i + 1) * n], &b[i * n..(i + 1) * n]);
+                            fused_limb(table, strat(i), ar, br, sa, sb, o);
                         }
                     });
                 }
             });
         }
-        out.set_repr(Representation::Coefficient);
     }
 
     /// Fused RNS negacyclic product (allocates only the result).
@@ -405,22 +461,42 @@ impl NttExecutor {
     /// Panics if `data` is not a whole number of rows or has more rows than
     /// the ring has primes.
     pub fn forward_rows(&mut self, ring: &RnsRing, data: &mut [u64]) {
-        self.transform_rows(ring, data, true);
+        let rows = data.len() / ring.degree();
+        assert!(rows <= ring.np(), "more rows than primes");
+        self.transform_rows_of(ring, rows.max(1), data, true);
     }
 
     /// Inverse counterpart of [`NttExecutor::forward_rows`].
     pub fn inverse_rows(&mut self, ring: &RnsRing, data: &mut [u64]) {
-        self.transform_rows(ring, data, false);
+        let rows = data.len() / ring.degree();
+        assert!(rows <= ring.np(), "more rows than primes");
+        self.transform_rows_of(ring, rows.max(1), data, false);
     }
 
-    fn transform_rows(&mut self, ring: &RnsRing, data: &mut [u64], forward: bool) {
+    /// Transform a flat `rows × N` buffer where row `r` is reduced mod
+    /// prime `r % level` — several polynomials of `level` limbs stacked
+    /// back to back (the key-switch buffer-of-digits layout). Canonical in,
+    /// canonical out; residue-parallel under the thread policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a whole number of rows, the row count is not
+    /// a multiple of `level`, or `level` exceeds the ring's prime count.
+    pub fn transform_rows_of(
+        &mut self,
+        ring: &RnsRing,
+        level: usize,
+        data: &mut [u64],
+        forward: bool,
+    ) {
         let n = ring.degree();
         assert_eq!(data.len() % n, 0, "flat buffer must be rows × N");
+        assert!(level >= 1 && level <= ring.np(), "invalid level");
         let rows = data.len() / n;
-        assert!(rows <= ring.np(), "more rows than primes");
+        assert_eq!(rows % level, 0, "rows must be whole polynomials");
         let threads = effective_threads(self.policy, rows, data.len());
         run_rows(threads, n, data, |i, row| {
-            let table = ring.ring(i).table();
+            let table = ring.ring(i % level).table();
             if forward {
                 forward_row(table, row);
             } else {
@@ -497,21 +573,18 @@ impl NttExecutor {
     }
 }
 
-thread_local! {
-    static DEFAULT_EXECUTOR: RefCell<NttExecutor> = RefCell::new(NttExecutor::from_env());
-}
-
 /// Run `f` with this thread's default executor (policy from
-/// `NTT_WARP_THREADS`, workspace persisted across calls). The ring-level
-/// APIs ([`NegacyclicRing::multiply`], [`RnsRing::multiply`],
-/// [`RnsPoly::to_evaluation`], …) route through here, so ordinary callers
-/// get workspace reuse and residue parallelism without holding an executor.
+/// `NTT_WARP_THREADS`, workspace persisted across calls). The executor is
+/// the one inside the thread-local default [`crate::backend::CpuBackend`]
+/// (see [`crate::backend::with_default_backend`]), so ring-level APIs and
+/// backend calls share a single workspace per thread.
 ///
-/// `f` must not itself call `with_default_executor` (the executor is held
-/// in a `RefCell`); engine internals only call the stateless kernels in
+/// `f` must not itself call `with_default_executor` or
+/// [`crate::backend::with_default_backend`] (the backend is held in a
+/// `RefCell`); engine internals only call the stateless kernels in
 /// [`crate::ct`], so routing ring APIs through here is re-entrancy-safe.
 pub fn with_default_executor<R>(f: impl FnOnce(&mut NttExecutor) -> R) -> R {
-    DEFAULT_EXECUTOR.with(|e| f(&mut e.borrow_mut()))
+    crate::backend::with_default_backend(|be| f(be.executor_mut()))
 }
 
 #[cfg(test)]

@@ -17,6 +17,11 @@
 //!   [`NttExecutor`] with a reusable [`engine::Workspace`], batched
 //!   residue-parallel RNS transforms, and the `NTT_WARP_THREADS` thread
 //!   policy.
+//! * [`backend`] — the pluggable execution layer: the [`NttBackend`]
+//!   trait (batched RNS ops over [`LimbBatch`] views), FFTW-style
+//!   [`RingPlan`] handles with plan-time Montgomery/Barrett pointwise
+//!   selection, the [`CpuBackend`] reference implementation, and the
+//!   backend-generic [`Evaluator`].
 //! * [`stockham`] — out-of-place self-sorting Stockham NTT (paper
 //!   Algorithm 3).
 //! * [`radix`] — register-style small-block NTTs (radix 2..2048) used by
@@ -50,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod bitrev;
 pub mod ct;
 pub mod dft;
@@ -63,6 +69,7 @@ pub mod rns;
 pub mod stockham;
 pub mod table;
 
+pub use backend::{CpuBackend, Evaluator, LimbBatch, NttBackend, PointwiseStrategy, RingPlan};
 pub use ct::{intt, ntt};
 pub use engine::{NttExecutor, ThreadPolicy};
 pub use ot::OtTable;

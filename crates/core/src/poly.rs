@@ -6,7 +6,6 @@
 //! — exactly the batched workload the paper accelerates.
 
 use crate::ct;
-use crate::engine;
 use crate::rns::{RnsBasis, RnsError};
 use crate::table::NttTable;
 use ntt_math::modops::{add_mod, neg_mod, sub_mod};
@@ -173,7 +172,7 @@ impl NegacyclicRing {
 
     /// Negacyclic product `a · b mod (X^N + 1, p)` via the fused lazy NTT
     /// pipeline (one reduction at the very end, operands staged through the
-    /// thread-local executor workspace — no per-call clones).
+    /// thread-local CPU backend's workspace — no per-call clones).
     ///
     /// # Panics
     ///
@@ -181,7 +180,7 @@ impl NegacyclicRing {
     pub fn multiply(&self, a: &Polynomial, b: &Polynomial) -> Polynomial {
         assert_eq!(a.coeffs.len(), self.degree(), "degree mismatch (lhs)");
         assert_eq!(b.coeffs.len(), self.degree(), "degree mismatch (rhs)");
-        engine::with_default_executor(|ex| ex.negacyclic_multiply(self, a, b))
+        crate::backend::with_default_backend(|be| be.executor_mut().negacyclic_multiply(self, a, b))
     }
 
     /// Coefficient-wise sum.
@@ -232,10 +231,23 @@ pub enum Representation {
 
 /// The RNS product ring: one [`NegacyclicRing`] per prime plus the CRT
 /// basis.
+///
+/// Internals (twiddle tables, basis, cached plan data) live behind an
+/// [`std::sync::Arc`], so cloning a ring is a reference-count bump — this is
+/// what lets a [`crate::backend::RingPlan`] hold a ring handle without
+/// duplicating the tables.
 #[derive(Debug, Clone)]
 pub struct RnsRing {
+    inner: std::sync::Arc<RnsRingInner>,
+}
+
+#[derive(Debug)]
+struct RnsRingInner {
     rings: Vec<NegacyclicRing>,
     basis: RnsBasis,
+    /// Plan-time pointwise strategy per prime, computed once on first
+    /// [`RnsRing::plan`] call (see `crate::backend`).
+    strategies: std::sync::OnceLock<std::sync::Arc<[crate::backend::PointwiseStrategy]>>,
 }
 
 impl RnsRing {
@@ -250,7 +262,13 @@ impl RnsRing {
             .into_iter()
             .map(|p| NegacyclicRing::new(n, p))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { rings, basis })
+        Ok(Self {
+            inner: std::sync::Arc::new(RnsRingInner {
+                rings,
+                basis,
+                strategies: std::sync::OnceLock::new(),
+            }),
+        })
     }
 
     /// Build from an [`crate::params::HeParams`] preset.
@@ -268,41 +286,60 @@ impl RnsRing {
     /// Ring degree `N`.
     #[inline]
     pub fn degree(&self) -> usize {
-        self.rings[0].degree()
+        self.inner.rings[0].degree()
     }
 
     /// Number of primes `np`.
     #[inline]
     pub fn np(&self) -> usize {
-        self.rings.len()
+        self.inner.rings.len()
     }
 
     /// The per-prime ring at RNS index `i`.
     #[inline]
     pub fn ring(&self, i: usize) -> &NegacyclicRing {
-        &self.rings[i]
+        &self.inner.rings[i]
     }
 
     /// The CRT basis.
     #[inline]
     pub fn basis(&self) -> &RnsBasis {
-        &self.basis
+        &self.inner.basis
+    }
+
+    /// The cached execution plan for this ring (see
+    /// [`crate::backend::RingPlan`]): per-prime pointwise reduction
+    /// strategies are chosen on the first call (benchmark-derived, with an
+    /// `NTT_WARP_POINTWISE` override) and memoized in the ring, so repeated
+    /// calls cost two reference-count bumps.
+    pub fn plan(&self) -> crate::backend::RingPlan {
+        let strategies = self
+            .inner
+            .strategies
+            .get_or_init(|| crate::backend::PointwiseStrategy::choose_all(self.basis().primes()))
+            .clone();
+        crate::backend::RingPlan::from_parts(self.clone(), strategies)
     }
 
     /// Negacyclic product of full RNS polynomials (all active levels) via
     /// the fused lazy pipeline: every limb runs
     /// `ntt_lazy → lazy pointwise → intt_lazy` with a single final
-    /// reduction, residue-parallel under the thread-local executor's
-    /// [`crate::engine::ThreadPolicy`]. The operands are staged through the
-    /// executor workspace — no clones, no per-call allocation beyond the
-    /// result.
+    /// reduction, residue-parallel under the thread-local
+    /// [`crate::backend::CpuBackend`]'s [`crate::engine::ThreadPolicy`].
+    /// The operands are staged through the backend workspace — no clones,
+    /// no per-call allocation beyond the result.
+    ///
+    /// Routed through the plan-based [`crate::backend::NttBackend`] API;
+    /// callers that want a different execution substrate (or an explicit
+    /// thread policy) should hold a [`crate::backend::Evaluator`].
     ///
     /// # Panics
     ///
     /// Panics if the operands disagree in level or are not in
     /// coefficient form.
     pub fn multiply(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
-        engine::with_default_executor(|ex| ex.rns_multiply(self, a, b))
+        let plan = self.plan();
+        crate::backend::with_default_backend(|be| crate::backend::multiply_with(be, &plan, a, b))
     }
 }
 
@@ -453,13 +490,18 @@ impl RnsPoly {
 
     /// Forward-NTT every active row (no-op if already in evaluation form).
     ///
-    /// All limbs are transformed in one batched, residue-parallel call to
-    /// the thread-local executor (lazy kernels, canonical output).
+    /// All limbs are transformed in one batched, residue-parallel
+    /// [`crate::backend::NttBackend::forward_batch`] call on the
+    /// thread-local CPU backend (lazy kernels, canonical output).
     pub fn to_evaluation(&mut self, ring: &RnsRing) {
+        use crate::backend::{LimbBatch, NttBackend};
         if self.repr == Representation::Evaluation {
             return;
         }
-        engine::with_default_executor(|ex| ex.forward_rows(ring, &mut self.data));
+        let plan = ring.plan();
+        crate::backend::with_default_backend(|be| {
+            be.forward_batch(&plan, LimbBatch::new(&mut self.data, self.n, self.level));
+        });
         self.repr = Representation::Evaluation;
     }
 
@@ -467,10 +509,14 @@ impl RnsPoly {
     ///
     /// Batched and residue-parallel, like [`RnsPoly::to_evaluation`].
     pub fn to_coefficient(&mut self, ring: &RnsRing) {
+        use crate::backend::{LimbBatch, NttBackend};
         if self.repr == Representation::Coefficient {
             return;
         }
-        engine::with_default_executor(|ex| ex.inverse_rows(ring, &mut self.data));
+        let plan = ring.plan();
+        crate::backend::with_default_backend(|be| {
+            be.inverse_batch(&plan, LimbBatch::new(&mut self.data, self.n, self.level));
+        });
         self.repr = Representation::Coefficient;
     }
 
@@ -520,11 +566,17 @@ impl RnsPoly {
 
     /// Pointwise product (both operands must be in evaluation form).
     ///
+    /// Runs through the thread-local backend's
+    /// [`crate::backend::NttBackend::pointwise_batch`], using the plan's
+    /// per-prime reduction strategy (Barrett or Montgomery — the canonical
+    /// result is identical either way).
+    ///
     /// # Panics
     ///
     /// Panics on level mismatch or if either operand is in coefficient
     /// form.
     pub fn mul_pointwise(&mut self, other: &RnsPoly, ring: &RnsRing) {
+        use crate::backend::{LimbBatch, NttBackend};
         assert_eq!(self.level, other.level, "level mismatch");
         assert_eq!(self.repr, Representation::Evaluation, "lhs not in NTT form");
         assert_eq!(
@@ -532,15 +584,14 @@ impl RnsPoly {
             Representation::Evaluation,
             "rhs not in NTT form"
         );
-        for i in 0..self.level {
-            let p = ring.basis().primes()[i];
-            let base = i * self.n;
-            ct::pointwise_assign(
-                &mut self.data[base..base + self.n],
-                &other.data[base..base + self.n],
-                p,
+        let plan = ring.plan();
+        crate::backend::with_default_backend(|be| {
+            be.pointwise_batch(
+                &plan,
+                LimbBatch::new(&mut self.data, self.n, self.level),
+                &other.data,
             );
-        }
+        });
     }
 
     /// A copy restricted to the first `level` primes (valid in either

@@ -259,29 +259,43 @@ impl<'a> WarpCtx<'a> {
         }
     }
 
+    /// Count read-only-path traffic for up to two warp address sets
+    /// treated as one transaction-counting unit: per unique 32-byte
+    /// segment across the union, one L2 transaction, plus one DRAM
+    /// transaction on the first touch in this launch. This is the single
+    /// home of the cached-path accounting — [`Self::gmem_load_cached`]
+    /// and [`Self::gmem_load_cached2`] must stay in lockstep, or paired
+    /// vs unpaired counts diverge and the Fig. 8 measured cross-check
+    /// breaks.
+    fn count_cached_segments(&mut self, sets: &[&[Option<usize>]]) {
+        let mut segs = [usize::MAX; 64]; // ≤ 32 lanes per set, ≤ 2 sets
+        let mut nseg = 0;
+        let mut l2 = 0u64;
+        for addrs in sets {
+            for a in addrs.iter().flatten() {
+                let s = a / self.words_per_txn;
+                if !segs[..nseg].contains(&s) {
+                    segs[nseg] = s;
+                    nseg += 1;
+                    l2 += 1;
+                    let (w, b) = (s / 64, s % 64);
+                    if self.cached[w] & (1 << b) == 0 {
+                        self.cached[w] |= 1 << b;
+                        self.stats.dram_read_transactions += 1;
+                    }
+                }
+            }
+        }
+        self.stats.l2_read_transactions += l2;
+    }
+
     /// Warp-wide load through the read-only (L2/texture) path: the first
     /// touch of a 32-byte segment in this launch costs a DRAM transaction;
     /// repeat touches only cost L2 transactions. Use for twiddle tables
     /// (the paper's TMEM caching, §V).
     pub fn gmem_load_cached(&mut self, addrs: &[Option<usize>]) -> Vec<Option<u64>> {
         debug_assert!(addrs.len() <= self.lanes);
-        let mut l2 = 0u64;
-        let mut segs = [usize::MAX; 32];
-        let mut nseg = 0;
-        for a in addrs.iter().flatten() {
-            let s = a / self.words_per_txn;
-            if !segs[..nseg].contains(&s) {
-                segs[nseg] = s;
-                nseg += 1;
-                l2 += 1;
-                let (w, b) = (s / 64, s % 64);
-                if self.cached[w] & (1 << b) == 0 {
-                    self.cached[w] |= 1 << b;
-                    self.stats.dram_read_transactions += 1;
-                }
-            }
-        }
-        self.stats.l2_read_transactions += l2;
+        self.count_cached_segments(&[addrs]);
         self.stats.warp_instructions += 1;
         let mut useful = 0;
         let out = addrs
@@ -295,6 +309,42 @@ impl<'a> WarpCtx<'a> {
             .collect();
         self.stats.useful_read_bytes += useful;
         out
+    }
+
+    /// Paired warp-wide load through the read-only path (see
+    /// [`Self::gmem_load_cached`]): both halves of a per-stage
+    /// (value, companion) twiddle slice-pair are fetched in one
+    /// transaction-counting unit, deduplicating any 32-byte segment shared
+    /// between the two address sets the way [`Self::gmem_load2`] does for
+    /// butterfly operand pairs. This is the device-side counterpart of the
+    /// hoisted `values[m..2m].zip(&companions[m..2m])` stage iteration in
+    /// `ntt_core::ct`: one paired fetch per stage slice instead of two
+    /// independent table walks.
+    pub fn gmem_load_cached2(
+        &mut self,
+        addrs_a: &[Option<usize>],
+        addrs_b: &[Option<usize>],
+    ) -> (Vec<Option<u64>>, Vec<Option<u64>>) {
+        debug_assert!(addrs_a.len() <= self.lanes && addrs_b.len() <= self.lanes);
+        self.count_cached_segments(&[addrs_a, addrs_b]);
+        self.stats.warp_instructions += 2;
+        let mut useful = 0;
+        let read = |gmem: &Gmem, a: &Option<usize>, useful: &mut u64| {
+            a.map(|addr| {
+                *useful += 8;
+                gmem.word(addr)
+            })
+        };
+        let va = addrs_a
+            .iter()
+            .map(|a| read(self.gmem, a, &mut useful))
+            .collect();
+        let vb = addrs_b
+            .iter()
+            .map(|a| read(self.gmem, a, &mut useful))
+            .collect();
+        self.stats.useful_read_bytes += useful;
+        (va, vb)
     }
 
     /// Warp-wide GMEM store through the L2 write-back path: scattered 8-byte
@@ -558,6 +608,57 @@ mod tests {
         let rec = run_kernel(&cfg, &mut gmem, &Broadcast { buf, cached: false }, &launch);
         // 8 blocks x 8 warps, each warp 1 transaction.
         assert_eq!(rec.stats.dram_read_transactions, 64);
+    }
+
+    /// Lane l reads word l from two parallel tables (value + companion),
+    /// either as two independent cached loads or one paired load.
+    struct PairedTableRead {
+        va: crate::Buf,
+        vb: crate::Buf,
+        paired: bool,
+    }
+
+    impl WarpKernel for PairedTableRead {
+        fn phases(&self) -> usize {
+            1
+        }
+        fn run_warp(&self, ctx: &mut WarpCtx<'_>) {
+            let a: Vec<Option<usize>> = (0..ctx.lanes())
+                .map(|l| Some(self.va.word(ctx.global_thread(l))))
+                .collect();
+            let b: Vec<Option<usize>> = (0..ctx.lanes())
+                .map(|l| Some(self.vb.word(ctx.global_thread(l))))
+                .collect();
+            if self.paired {
+                let (x, y) = ctx.gmem_load_cached2(&a, &b);
+                assert!(x.iter().chain(&y).all(Option::is_some));
+            } else {
+                ctx.gmem_load_cached(&a);
+                ctx.gmem_load_cached(&b);
+            }
+        }
+    }
+
+    #[test]
+    fn paired_cached_load_matches_two_single_loads() {
+        // Distinct tables: the pair shares no segments, so DRAM/L2 counts
+        // must agree exactly with two independent cached loads.
+        for paired in [false, true] {
+            let mut gmem = Gmem::new();
+            let va = gmem.alloc_from(&(0..64u64).collect::<Vec<_>>());
+            let vb = gmem.alloc_from(&(64..128u64).collect::<Vec<_>>());
+            let cfg = GpuConfig::titan_v();
+            let launch = LaunchConfig::new("pair", 1, 64);
+            let rec = run_kernel(
+                &cfg,
+                &mut gmem,
+                &PairedTableRead { va, vb, paired },
+                &launch,
+            );
+            assert_eq!(rec.stats.dram_read_transactions, 32, "paired={paired}");
+            assert_eq!(rec.stats.l2_read_transactions, 32, "paired={paired}");
+            assert_eq!(rec.stats.useful_read_bytes, 128 * 8, "paired={paired}");
+        }
     }
 
     #[test]

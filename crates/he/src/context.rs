@@ -1,12 +1,21 @@
 //! The HE context: ring, gadget constants, and every scheme operation.
+//!
+//! Every operation that touches the NTT — encryption, key generation,
+//! multiplication, relinearization, rescaling — runs through a
+//! backend-generic [`Evaluator`], so the execution substrate (the fused
+//! CPU engine, the simulated GPU warp kernels, …) is a one-line
+//! constructor choice: [`HeContext::new`] picks the CPU backend,
+//! [`HeContext::with_backend`] accepts any
+//! [`ntt_core::backend::NttBackend`].
 
 use crate::ciphertext::{Ciphertext, Plaintext};
 use crate::keys::{KeySet, PublicKey, RelinEntry, RelinKeys, SecretKey};
 use crate::params::HeLiteParams;
 use crate::sampling;
-use ntt_core::engine;
+use ntt_core::backend::{CpuBackend, Evaluator, NttBackend};
 use ntt_core::poly::{Representation, RingError, RnsPoly, RnsRing};
 use rand::{Rng, RngExt};
+use std::sync::Mutex;
 
 /// Errors from context construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,19 +40,40 @@ impl From<RingError> for HeError {
     }
 }
 
-/// The scheme context: parameters, the RNS ring, and the precomputed
-/// CRT-gadget residues `[g_j^{(level)}]_{p_i}` used by relinearization.
+/// The mutex-held execution state: the evaluator plus reusable scratch
+/// for key-switch digit packing (always touched under the same lock, so
+/// one field costs no extra synchronization).
+#[derive(Debug)]
+struct EvalState {
+    ev: Evaluator,
+    /// Grow-only buffer-of-digits scratch — steady-state key switches
+    /// reuse it instead of allocating `level² · digits · N` words per
+    /// call (mirrors the executor workspace discipline).
+    ks_scratch: Vec<u64>,
+}
+
+/// The scheme context: parameters, the RNS ring, the precomputed
+/// CRT-gadget residues `[g_j^{(level)}]_{p_i}` used by relinearization,
+/// and the backend-generic [`Evaluator`] executing every NTT workload.
 #[derive(Debug)]
 pub struct HeContext {
     params: HeLiteParams,
     ring: RnsRing,
     /// `gadget[level - 1][j][i] = [ (Q_l/p_j) · ((Q_l/p_j)^{-1} mod p_j) ]_{p_i}`.
     gadget: Vec<Vec<Vec<u64>>>,
+    /// The execution engine (plan + pluggable backend + scratch). Behind
+    /// a mutex so scheme operations can stay `&self`; never held across a
+    /// public-API boundary. Note this serializes concurrent operations on
+    /// one shared context — for parallel HE throughput, give each worker
+    /// thread its own `HeContext` (contexts over the same parameters
+    /// share ring tables only by rebuilding them; a shared-plan
+    /// multi-evaluator context is a ROADMAP follow-up).
+    evaluator: Mutex<EvalState>,
 }
 
 impl HeContext {
-    /// Build a context (generates the NTT-friendly prime chain and all
-    /// tables).
+    /// Build a context on the default CPU backend (generates the
+    /// NTT-friendly prime chain and all tables).
     ///
     /// # Errors
     ///
@@ -54,6 +84,25 @@ impl HeContext {
     /// Panics if `params` are internally inconsistent (see
     /// [`HeLiteParams::validate`]).
     pub fn new(params: HeLiteParams) -> Result<Self, HeError> {
+        Self::with_backend(params, Box::new(CpuBackend::from_env()))
+    }
+
+    /// Build a context on an explicit execution backend — the one-line
+    /// substrate swap: pass `Box::new(ntt_gpu::SimBackend::titan_v())` to
+    /// run every scheme operation through the simulated GPU kernels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ring-construction failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are internally inconsistent (see
+    /// [`HeLiteParams::validate`]).
+    pub fn with_backend(
+        params: HeLiteParams,
+        backend: Box<dyn NttBackend>,
+    ) -> Result<Self, HeError> {
         params.validate();
         let primes = ntt_math::ntt_primes(params.prime_bits, 2 * params.n() as u64, params.levels);
         let ring = RnsRing::new(params.n(), primes.clone())?;
@@ -82,11 +131,31 @@ impl HeContext {
             }
             gadget.push(per_j);
         }
+        let evaluator = Mutex::new(EvalState {
+            ev: Evaluator::with_backend(&ring, backend),
+            ks_scratch: Vec::new(),
+        });
         Ok(Self {
             params,
             ring,
             gadget,
+            evaluator,
         })
+    }
+
+    /// Lock the execution state. A panic inside a scheme operation cannot
+    /// corrupt it — the evaluator holds an immutable plan plus
+    /// content-agnostic scratch — so poisoning is recovered rather than
+    /// cascaded into every later operation.
+    fn eval_state(&self) -> std::sync::MutexGuard<'_, EvalState> {
+        self.evaluator
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The label of the execution backend in use.
+    pub fn backend_name(&self) -> &'static str {
+        self.eval_state().ev.backend_name()
     }
 
     /// The parameters.
@@ -102,23 +171,23 @@ impl HeContext {
     /// Generate a full key set.
     pub fn keygen<R: Rng + RngExt>(&self, rng: &mut R) -> KeySet {
         let ring = &self.ring;
+        let mut st = self.eval_state();
+        let ev = &mut st.ev;
         let eta = self.params.error_eta;
         // Secret.
         let mut s = sampling::ternary_poly(ring, rng);
         // Public key: b = -(a s) + e.
         let mut a = sampling::uniform_poly(ring, rng);
         let mut e = sampling::error_poly(ring, eta, rng);
-        engine::with_default_executor(|ex| {
-            ex.forward_polys(ring, &mut [&mut s, &mut a, &mut e]);
-        });
+        ev.forward_polys(&mut [&mut s, &mut a, &mut e]);
         let mut b = a.clone();
-        b.mul_pointwise(&s, ring);
+        ev.mul_pointwise(&mut b, &s);
         b.negate(ring);
         b.add_assign(&e, ring);
 
         // s^2 for relinearization.
         let mut s2 = s.clone();
-        s2.mul_pointwise(&s, ring);
+        ev.mul_pointwise(&mut s2, &s);
 
         // Relin keys per level.
         let digits = self.params.gadget_digits();
@@ -141,12 +210,12 @@ impl HeContext {
                         })
                         .collect();
                     let mut a_jd = sampling::uniform_poly(ring, rng).truncated(level);
-                    a_jd.to_evaluation(ring);
+                    ev.to_evaluation(&mut a_jd);
                     let mut e_jd = sampling::error_poly(ring, eta, rng).truncated(level);
-                    e_jd.to_evaluation(ring);
+                    ev.to_evaluation(&mut e_jd);
                     // b = -(a s) + e + g_{j,d} s^2.
                     let mut b_jd = a_jd.clone();
-                    b_jd.mul_pointwise(&s_l, ring);
+                    ev.mul_pointwise(&mut b_jd, &s_l);
                     b_jd.negate(ring);
                     b_jd.add_assign(&e_jd, ring);
                     let mut gs2 = s2_l.clone();
@@ -197,7 +266,7 @@ impl HeContext {
     /// coefficients that were encoded; here we return all of them).
     pub fn decode(&self, pt: &Plaintext) -> Vec<f64> {
         let mut m = pt.m.clone();
-        m.to_coefficient(&self.ring);
+        self.eval_state().ev.to_coefficient(&mut m);
         (0..self.params.n())
             .map(|i| {
                 let v = m
@@ -216,22 +285,22 @@ impl HeContext {
         rng: &mut R,
     ) -> Ciphertext {
         let ring = &self.ring;
+        let mut st = self.eval_state();
+        let ev = &mut st.ev;
         let eta = self.params.error_eta;
         let mut u = sampling::ternary_poly(ring, rng);
         let mut e0 = sampling::error_poly(ring, eta, rng);
         let mut e1 = sampling::error_poly(ring, eta, rng);
         let mut m = pt.m.clone();
-        // All four forward transforms in one batched, residue-parallel call.
-        engine::with_default_executor(|ex| {
-            ex.forward_polys(ring, &mut [&mut u, &mut e0, &mut e1, &mut m]);
-        });
+        // All four forward transforms batched through the backend.
+        ev.forward_polys(&mut [&mut u, &mut e0, &mut e1, &mut m]);
 
         let mut c0 = pk.b.clone();
-        c0.mul_pointwise(&u, ring);
+        ev.mul_pointwise(&mut c0, &u);
         c0.add_assign(&e0, ring);
         c0.add_assign(&m, ring);
         let mut c1 = pk.a.clone();
-        c1.mul_pointwise(&u, ring);
+        ev.mul_pointwise(&mut c1, &u);
         c1.add_assign(&e1, ring);
         Ciphertext {
             c0,
@@ -243,12 +312,14 @@ impl HeContext {
     /// Decrypt with the secret key.
     pub fn decrypt(&self, ct: &Ciphertext, sk: &SecretKey) -> Plaintext {
         let ring = &self.ring;
+        let mut st = self.eval_state();
+        let ev = &mut st.ev;
         let level = ct.level();
         let s = sk.s_eval.truncated(level);
         let mut m = ct.c1.clone();
-        m.mul_pointwise(&s, ring);
+        ev.mul_pointwise(&mut m, &s);
         m.add_assign(&ct.c0, ring);
-        m.to_coefficient(ring);
+        ev.to_coefficient(&mut m);
         Plaintext { m, scale: ct.scale }
     }
 
@@ -301,21 +372,22 @@ impl HeContext {
     ///
     /// Panics if the ciphertext is at level 1 (nothing left to rescale).
     pub fn multiply_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        let ring = &self.ring;
         let level = ct.level();
         assert!(level >= 2, "no prime left to rescale into");
+        let mut st = self.eval_state();
+        let ev = &mut st.ev;
         let mut m = pt.m.truncated(level);
-        m.to_evaluation(ring);
+        ev.to_evaluation(&mut m);
         let mut c0 = ct.c0.clone();
-        c0.mul_pointwise(&m, ring);
+        ev.mul_pointwise(&mut c0, &m);
         let mut c1 = ct.c1.clone();
-        c1.mul_pointwise(&m, ring);
+        ev.mul_pointwise(&mut c1, &m);
         let mut out = Ciphertext {
             c0,
             c1,
             scale: ct.scale * pt.scale,
         };
-        self.rescale_in_place(&mut out);
+        self.rescale_in_place(ev, &mut out);
         debug_assert_eq!(out.level(), level - 1);
         out
     }
@@ -330,20 +402,21 @@ impl HeContext {
         let level = a.level();
         assert_eq!(level, b.level(), "level mismatch");
         assert!(level >= 2, "no prime left to rescale into");
+        let mut st = self.eval_state();
 
         // Tensor product (evaluation form).
         let mut e0 = a.c0.clone();
-        e0.mul_pointwise(&b.c0, ring);
+        st.ev.mul_pointwise(&mut e0, &b.c0);
         let mut e1a = a.c0.clone();
-        e1a.mul_pointwise(&b.c1, ring);
+        st.ev.mul_pointwise(&mut e1a, &b.c1);
         let mut e1b = a.c1.clone();
-        e1b.mul_pointwise(&b.c0, ring);
+        st.ev.mul_pointwise(&mut e1b, &b.c0);
         e1a.add_assign(&e1b, ring);
         let mut e2 = a.c1.clone();
-        e2.mul_pointwise(&b.c1, ring);
+        st.ev.mul_pointwise(&mut e2, &b.c1);
 
         // Relinearize e2 -> (r0, r1) using the hybrid gadget.
-        let (r0, r1) = self.key_switch(&e2, rk, level);
+        let (r0, r1) = self.key_switch(&mut st, &e2, rk, level);
         e0.add_assign(&r0, ring);
         e1a.add_assign(&r1, ring);
 
@@ -352,74 +425,99 @@ impl HeContext {
             c1: e1a,
             scale: a.scale * b.scale,
         };
-        self.rescale_in_place(&mut out);
+        self.rescale_in_place(&mut st.ev, &mut out);
         out
     }
 
     /// Gadget key switch of `e2` (evaluation form, `level` primes):
     /// returns the pair to add to `(c0, c1)`.
-    fn key_switch(&self, e2: &RnsPoly, rk: &RelinKeys, level: usize) -> (RnsPoly, RnsPoly) {
+    ///
+    /// Digit decomposition uses a contiguous **buffer-of-digits** layout:
+    /// every non-zero digit polynomial (its `level` replicated rows) is
+    /// packed back to back and all `level × digits` digit NTTs are
+    /// submitted as **one** batched [`Evaluator::forward_flat`] call — the
+    /// backend sees a single `rows × N` batch instead of one polynomial at
+    /// a time, which is exactly the `np`-amortization the paper applies to
+    /// kernel launches.
+    fn key_switch(
+        &self,
+        st: &mut EvalState,
+        e2: &RnsPoly,
+        rk: &RelinKeys,
+        level: usize,
+    ) -> (RnsPoly, RnsPoly) {
         let ring = &self.ring;
         let digits = self.params.gadget_digits();
         let w = self.params.gadget_bits;
         let mask = (1u64 << w) - 1;
+        let n = self.params.n();
+        let EvalState {
+            ev,
+            ks_scratch: buf,
+        } = st;
         let mut e2c = e2.clone();
-        e2c.to_coefficient(ring);
+        ev.to_coefficient(&mut e2c);
+
+        // Pack the digit polynomials into the reusable scratch: for each
+        // (prime j, digit d) with a non-zero digit, `level` identical rows
+        // (small coefficients are the same residue mod every active
+        // prime). Grow-only, like the executor workspace — steady-state
+        // key switches allocate nothing here.
+        buf.clear();
+        buf.reserve(level * digits * level * n);
+        let mut kept: Vec<(usize, usize)> = Vec::new();
+        for j in 0..level {
+            for d in 0..digits {
+                let shift = w * d as u32;
+                let start = buf.len();
+                buf.extend(e2c.row(j).iter().map(|&src| (src >> shift) & mask));
+                if buf[start..].iter().all(|&v| v == 0) {
+                    buf.truncate(start);
+                    continue;
+                }
+                for _ in 1..level {
+                    buf.extend_from_within(start..start + n);
+                }
+                kept.push((j, d));
+            }
+        }
 
         // Accumulators start as zero *in the NTT domain* — zero is zero in
         // either representation, so no transform is spent on them.
         let mut acc0 = RnsPoly::zero_with_repr(ring, level, Representation::Evaluation);
         let mut acc1 = acc0.clone();
-        // One digit polynomial and one product buffer, reused across every
-        // (prime, digit) pair: the loop body allocates nothing.
-        let mut digit = RnsPoly::zero_at_level(ring, level);
+        if kept.is_empty() {
+            return (acc0, acc1);
+        }
+
+        // All digit NTTs at this level in one batched backend call.
+        ev.forward_flat(level, buf);
+
+        // One product buffer reused across every kept digit.
         let mut prod = RnsPoly::zero_with_repr(ring, level, Representation::Evaluation);
-        let n = self.params.n();
-        for j in 0..level {
-            for d in 0..digits {
-                // Digit polynomial: small coefficients, identical residues
-                // in every active prime row — fill row 0, replicate.
-                let shift = w * d as u32;
-                digit.set_repr(Representation::Coefficient);
-                let mut all_zero = true;
-                for (dst, &src) in digit.row_mut(0).iter_mut().zip(e2c.row(j)) {
-                    let v = (src >> shift) & mask;
-                    *dst = v;
-                    all_zero &= v == 0;
-                }
-                if all_zero {
-                    continue;
-                }
-                for i in 1..level {
-                    digit.flat_mut().copy_within(0..n, i * n);
-                }
-                digit.to_evaluation(ring);
-                let entry = &rk.entries[level - 1][j][d];
-                prod.copy_from(&digit);
-                prod.mul_pointwise(&entry.b, ring);
-                acc0.add_assign(&prod, ring);
-                prod.copy_from(&digit);
-                prod.mul_pointwise(&entry.a, ring);
-                acc1.add_assign(&prod, ring);
-            }
+        for (k, &(j, d)) in kept.iter().enumerate() {
+            let rows = &buf[k * level * n..(k + 1) * level * n];
+            let entry = &rk.entries[level - 1][j][d];
+            prod.flat_mut().copy_from_slice(rows);
+            ev.mul_pointwise(&mut prod, &entry.b);
+            acc0.add_assign(&prod, ring);
+            prod.flat_mut().copy_from_slice(rows);
+            ev.mul_pointwise(&mut prod, &entry.a);
+            acc1.add_assign(&prod, ring);
         }
         (acc0, acc1)
     }
 
     /// Exact RNS rescale: divide by the last active prime and drop it.
     /// Both components cross domains together, batching the transforms.
-    fn rescale_in_place(&self, ct: &mut Ciphertext) {
+    fn rescale_in_place(&self, ev: &mut Evaluator, ct: &mut Ciphertext) {
         let ring = &self.ring;
         let level = ct.level();
         let dropped = ring.basis().primes()[level - 1] as f64;
-        engine::with_default_executor(|ex| {
-            ex.inverse_polys(ring, &mut [&mut ct.c0, &mut ct.c1]);
-        });
+        ev.inverse_polys(&mut [&mut ct.c0, &mut ct.c1]);
         ct.c0.rescale(ring);
         ct.c1.rescale(ring);
-        engine::with_default_executor(|ex| {
-            ex.forward_polys(ring, &mut [&mut ct.c0, &mut ct.c1]);
-        });
+        ev.forward_polys(&mut [&mut ct.c0, &mut ct.c1]);
         ct.scale /= dropped;
     }
 

@@ -18,6 +18,10 @@
 //! * [`fpga_baseline`] — an analytic model of the FCCM'20 FPGA NTT
 //!   accelerator the paper compares against in §VIII.
 //! * [`batch`] — device-side layout of polynomial data and twiddle tables.
+//! * [`backend`] — [`SimBackend`], the simulated-GPU implementation of
+//!   `ntt_core::backend::NttBackend`: the same plan-based batched trait
+//!   calls the CPU engine serves, executed through the warp kernels
+//!   (bit-identical outputs, full traffic accounting).
 //! * [`report`] — run summaries (time, traffic, utilization) used by the
 //!   figure harness.
 //!
@@ -42,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod batch;
 pub mod dft;
 pub mod fpga_baseline;
@@ -51,5 +56,6 @@ pub mod radix2;
 pub mod report;
 pub mod smem;
 
+pub use backend::SimBackend;
 pub use batch::DeviceBatch;
 pub use report::RunReport;

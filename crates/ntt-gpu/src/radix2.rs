@@ -33,30 +33,43 @@ const THREADS: usize = 256;
 /// modulus and addressing — far below any occupancy cliff.
 const REGS: u32 = 48;
 
-struct StageKernel {
-    data: Buf,
-    tw: Buf,
-    twc: Buf,
-    n: usize,
-    np: usize,
-    moduli: Vec<u64>,
+/// One forward Cooley–Tukey stage over a batch of limb rows.
+///
+/// Rows are mapped to primes through `row_prime` (identity for a plain
+/// `np`-prime batch; `r % level` for a buffer-of-digits batch with stacked
+/// polynomials), so the same kernel serves [`run`] and the `SimBackend`
+/// trait calls. Twiddles are consumed as the per-stage
+/// `(value, companion)` **slice-pair** `Ψ[m..2m]` — the hoisted stage
+/// iteration of `ntt_core::ct` — fetched through one paired read-only load
+/// per warp ([`gpu_sim::WarpCtx::gmem_load_cached2`]).
+pub(crate) struct StageKernel<'a> {
+    pub(crate) data: Buf,
+    pub(crate) tw: Buf,
+    pub(crate) twc: Buf,
+    pub(crate) n: usize,
+    pub(crate) rows: usize,
+    /// RNS prime index of each data row (twiddle/modulus selector).
+    pub(crate) row_prime: &'a [usize],
+    pub(crate) moduli: &'a [u64],
     /// Stage value `m` (1, 2, 4, … N/2).
-    m: usize,
-    mode: ModMul,
+    pub(crate) m: usize,
+    pub(crate) mode: ModMul,
 }
 
-impl WarpKernel for StageKernel {
+impl WarpKernel for StageKernel<'_> {
     fn phases(&self) -> usize {
         1
     }
 
     fn run_warp(&self, ctx: &mut WarpCtx<'_>) {
         let half_n = self.n / 2;
-        let total = self.np * half_n;
+        let total = self.rows * half_n;
         let t = self.n / (2 * self.m);
         let lanes = ctx.lanes();
 
-        // Per-lane butterfly coordinates.
+        // Per-lane butterfly coordinates. The stage's twiddle slice starts
+        // at word `m` of each prime's table (the `m..2m` slice-pair); only
+        // the block index `i` varies per lane.
         let mut addr_a = vec![None; lanes];
         let mut addr_b = vec![None; lanes];
         let mut addr_w = vec![None; lanes];
@@ -68,14 +81,15 @@ impl WarpKernel for StageKernel {
                 continue;
             }
             active += 1;
-            let pr = gt / half_n;
+            let row = gt / half_n;
+            let pr = self.row_prime[row];
             let b = gt % half_n;
             let i = b / t;
             let k = b % t;
             let x = i * 2 * t + k;
             prime[l] = pr;
-            addr_a[l] = Some(self.data.word(pr * self.n + x));
-            addr_b[l] = Some(self.data.word(pr * self.n + x + t));
+            addr_a[l] = Some(self.data.word(row * self.n + x));
+            addr_b[l] = Some(self.data.word(row * self.n + x + t));
             addr_w[l] = Some(pr * self.n + self.m + i);
         }
         if active == 0 {
@@ -85,14 +99,16 @@ impl WarpKernel for StageKernel {
         let (a, b) = ctx.gmem_load2(&addr_a, &addr_b);
         let w_addrs: Vec<Option<usize>> =
             addr_w.iter().map(|o| o.map(|i| self.tw.word(i))).collect();
-        let w = ctx.gmem_load_cached(&w_addrs);
-        let wc = match self.mode {
+        let (w, wc) = match self.mode {
             ModMul::Shoup => {
+                // Hoisted (value, companion) slice-pair: one paired cached
+                // fetch per warp instead of two independent table walks.
                 let c_addrs: Vec<Option<usize>> =
                     addr_w.iter().map(|o| o.map(|i| self.twc.word(i))).collect();
-                Some(ctx.gmem_load_cached(&c_addrs))
+                let (w, wc) = ctx.gmem_load_cached2(&w_addrs, &c_addrs);
+                (w, Some(wc))
             }
-            ModMul::Native => None,
+            ModMul::Native => (ctx.gmem_load_cached(&w_addrs), None),
         };
 
         let mut out_a = vec![None; lanes];
@@ -122,26 +138,30 @@ impl WarpKernel for StageKernel {
 }
 
 /// Gentleman-Sande inverse stage: butterflies `(u, v) -> (u+v, w*(u-v))`
-/// with inverse twiddles; a final launch folds in `N^{-1}`.
-struct InverseStageKernel {
-    data: Buf,
-    itw: Buf,
-    itwc: Buf,
-    n: usize,
-    np: usize,
-    moduli: Vec<u64>,
+/// with inverse twiddles; a final launch folds in `N^{-1}`. Rows map to
+/// primes through `row_prime` and the stage's `(value, companion)`
+/// slice-pair `Ψ⁻¹[h..2h]` is fetched as one paired cached load, exactly
+/// like [`StageKernel`].
+pub(crate) struct InverseStageKernel<'a> {
+    pub(crate) data: Buf,
+    pub(crate) itw: Buf,
+    pub(crate) itwc: Buf,
+    pub(crate) n: usize,
+    pub(crate) rows: usize,
+    pub(crate) row_prime: &'a [usize],
+    pub(crate) moduli: &'a [u64],
     /// Half-group count `h` (N/2, N/4, ... 1).
-    h: usize,
+    pub(crate) h: usize,
 }
 
-impl WarpKernel for InverseStageKernel {
+impl WarpKernel for InverseStageKernel<'_> {
     fn phases(&self) -> usize {
         1
     }
 
     fn run_warp(&self, ctx: &mut WarpCtx<'_>) {
         let half_n = self.n / 2;
-        let total = self.np * half_n;
+        let total = self.rows * half_n;
         let t = half_n / self.h;
         let lanes = ctx.lanes();
         let mut addr_a = vec![None; lanes];
@@ -155,14 +175,15 @@ impl WarpKernel for InverseStageKernel {
                 continue;
             }
             active += 1;
-            let pr = gt / half_n;
+            let row = gt / half_n;
+            let pr = self.row_prime[row];
             let b = gt % half_n;
             let i = b / t;
             let k = b % t;
             let x = i * 2 * t + k;
             prime[l] = pr;
-            addr_a[l] = Some(self.data.word(pr * self.n + x));
-            addr_b[l] = Some(self.data.word(pr * self.n + x + t));
+            addr_a[l] = Some(self.data.word(row * self.n + x));
+            addr_b[l] = Some(self.data.word(row * self.n + x + t));
             addr_w[l] = Some(pr * self.n + self.h + i);
         }
         if active == 0 {
@@ -171,12 +192,11 @@ impl WarpKernel for InverseStageKernel {
         let (a, b) = ctx.gmem_load2(&addr_a, &addr_b);
         let w_addrs: Vec<Option<usize>> =
             addr_w.iter().map(|o| o.map(|i| self.itw.word(i))).collect();
-        let w = ctx.gmem_load_cached(&w_addrs);
         let c_addrs: Vec<Option<usize>> = addr_w
             .iter()
             .map(|o| o.map(|i| self.itwc.word(i)))
             .collect();
-        let wc = ctx.gmem_load_cached(&c_addrs);
+        let (w, wc) = ctx.gmem_load_cached2(&w_addrs, &c_addrs);
         let mut out_a = vec![None; lanes];
         let mut out_b = vec![None; lanes];
         for l in 0..lanes {
@@ -198,21 +218,22 @@ impl WarpKernel for InverseStageKernel {
 }
 
 /// Final `x <- N^{-1} * x` scaling pass of the inverse transform.
-struct ScaleKernel {
-    data: Buf,
-    n: usize,
-    np: usize,
+pub(crate) struct ScaleKernel<'a> {
+    pub(crate) data: Buf,
+    pub(crate) n: usize,
+    pub(crate) rows: usize,
+    pub(crate) row_prime: &'a [usize],
     /// Per-prime `(N^{-1}, companion, p)`.
-    n_inv: Vec<(u64, u64, u64)>,
+    pub(crate) n_inv: &'a [(u64, u64, u64)],
 }
 
-impl WarpKernel for ScaleKernel {
+impl WarpKernel for ScaleKernel<'_> {
     fn phases(&self) -> usize {
         1
     }
 
     fn run_warp(&self, ctx: &mut WarpCtx<'_>) {
-        let total = self.np * self.n;
+        let total = self.rows * self.n;
         let lanes = ctx.lanes();
         let mut addrs = vec![None; lanes];
         let mut prime = vec![0usize; lanes];
@@ -223,7 +244,7 @@ impl WarpKernel for ScaleKernel {
                 continue;
             }
             active += 1;
-            prime[l] = gt / self.n;
+            prime[l] = self.row_prime[gt / self.n];
             addrs[l] = Some(self.data.word(gt));
         }
         if active == 0 {
@@ -241,6 +262,94 @@ impl WarpKernel for ScaleKernel {
         ctx.count_op(OpClass::ShoupMul, active);
         ctx.gmem_store(&writes);
     }
+}
+
+/// Launch the `log2 N` forward stage kernels over `rows` limb rows held at
+/// `data`, row `r` under prime `row_prime[r]`. Returns the launch count.
+/// Shared by [`run`] (identity mapping over a [`DeviceBatch`]) and the
+/// `SimBackend` trait calls (stacked-polynomial mappings).
+// Mirrors the CUDA-style launch signature (device pointers + shape); a
+// params struct would only rename the same eight fields.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn launch_forward(
+    gpu: &mut Gpu,
+    data: Buf,
+    tw: Buf,
+    twc: Buf,
+    n: usize,
+    row_prime: &[usize],
+    moduli: &[u64],
+    mode: ModMul,
+) -> usize {
+    let rows = row_prime.len();
+    let blocks = (rows * n / 2).div_ceil(THREADS);
+    let mut m = 1;
+    let mut launches = 0;
+    while m < n {
+        let kernel = StageKernel {
+            data,
+            tw,
+            twc,
+            n,
+            rows,
+            row_prime,
+            moduli,
+            m,
+            mode,
+        };
+        let cfg = LaunchConfig::new(format!("radix2-m{m}"), blocks, THREADS).regs_per_thread(REGS);
+        gpu.launch(&kernel, &cfg);
+        launches += 1;
+        m *= 2;
+    }
+    launches
+}
+
+/// Launch the inverse stage kernels plus the `N^{-1}` scaling pass
+/// (see [`launch_forward`] for the row mapping). `n_inv` holds one
+/// `(N^{-1}, companion, p)` triple per prime. Returns the launch count.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn launch_inverse(
+    gpu: &mut Gpu,
+    data: Buf,
+    itw: Buf,
+    itwc: Buf,
+    n: usize,
+    row_prime: &[usize],
+    moduli: &[u64],
+    n_inv: &[(u64, u64, u64)],
+) -> usize {
+    let rows = row_prime.len();
+    let blocks = (rows * n / 2).div_ceil(THREADS);
+    let mut h = n / 2;
+    let mut launches = 0;
+    while h >= 1 {
+        let kernel = InverseStageKernel {
+            data,
+            itw,
+            itwc,
+            n,
+            rows,
+            row_prime,
+            moduli,
+            h,
+        };
+        let cfg = LaunchConfig::new(format!("iradix2-h{h}"), blocks, THREADS).regs_per_thread(REGS);
+        gpu.launch(&kernel, &cfg);
+        launches += 1;
+        h /= 2;
+    }
+    let scale = ScaleKernel {
+        data,
+        n,
+        rows,
+        row_prime,
+        n_inv,
+    };
+    let cfg = LaunchConfig::new("intt-scale", (rows * n).div_ceil(THREADS), THREADS)
+        .regs_per_thread(REGS);
+    gpu.launch(&scale, &cfg);
+    launches + 1
 }
 
 /// Run the batched **inverse** NTT (bit-reversed input, natural-order
@@ -261,62 +370,35 @@ pub fn run_inverse(gpu: &mut Gpu, batch: &DeviceBatch) -> RunReport {
     let itw = gpu.gmem.alloc_from(&itw_host);
     let itwc = gpu.gmem.alloc_from(&itwc_host);
 
-    let total = np * n / 2;
-    let blocks = total.div_ceil(THREADS);
-    let mut h = n / 2;
-    let mut launches = 0;
-    while h >= 1 {
-        let kernel = InverseStageKernel {
-            data: batch.data,
-            itw,
-            itwc,
-            n,
-            np,
-            moduli: batch.moduli().to_vec(),
-            h,
-        };
-        let cfg = LaunchConfig::new(format!("iradix2-h{h}"), blocks, THREADS).regs_per_thread(REGS);
-        gpu.launch(&kernel, &cfg);
-        launches += 1;
-        h /= 2;
-    }
-    let scale = ScaleKernel {
-        data: batch.data,
+    let row_prime: Vec<usize> = (0..np).collect();
+    let launches = launch_inverse(
+        gpu,
+        batch.data,
+        itw,
+        itwc,
         n,
-        np,
-        n_inv,
-    };
-    let cfg =
-        LaunchConfig::new("intt-scale", (np * n).div_ceil(THREADS), THREADS).regs_per_thread(REGS);
-    gpu.launch(&scale, &cfg);
-    RunReport::from_trace("radix-2 inverse", gpu, launches + 1)
+        &row_prime,
+        batch.moduli(),
+        &n_inv,
+    );
+    RunReport::from_trace("radix-2 inverse", gpu, launches)
 }
 
 /// Run the full batched forward NTT as `log2 N` stage launches.
 ///
 /// The transform is in place on `batch.data` (bit-reversed output).
 pub fn run(gpu: &mut Gpu, batch: &DeviceBatch, mode: ModMul) -> RunReport {
-    let n = batch.n();
-    let total = batch.np() * n / 2;
-    let blocks = total.div_ceil(THREADS);
-    let mut m = 1;
-    let mut launches = 0;
-    while m < n {
-        let kernel = StageKernel {
-            data: batch.data,
-            tw: batch.twiddles,
-            twc: batch.companions,
-            n,
-            np: batch.np(),
-            moduli: batch.moduli().to_vec(),
-            m,
-            mode,
-        };
-        let cfg = LaunchConfig::new(format!("radix2-m{m}"), blocks, THREADS).regs_per_thread(REGS);
-        gpu.launch(&kernel, &cfg);
-        launches += 1;
-        m *= 2;
-    }
+    let row_prime: Vec<usize> = (0..batch.np()).collect();
+    let launches = launch_forward(
+        gpu,
+        batch.data,
+        batch.twiddles,
+        batch.companions,
+        batch.n(),
+        &row_prime,
+        batch.moduli(),
+        mode,
+    );
     RunReport::from_trace(
         match mode {
             ModMul::Shoup => "radix-2 (Shoup)",
@@ -399,6 +481,39 @@ mod tests {
             let mut want = batch.input()[i].clone();
             ntt_core::ct::intt(&mut want, batch.table(i));
             assert_eq!(row, &want, "prime {i}");
+        }
+    }
+
+    #[test]
+    fn fig8_stage_twiddle_traffic_matches_table_accounting() {
+        // Re-check of the paper's Fig. 8 with *measured* traffic: per
+        // stage, the (value, companion) slice-pair Ψ[m..2m] streamed
+        // through the read-only path must cost exactly the bytes the
+        // analytic accounting (`NttTable::relative_stage_sizes`) predicts.
+        // Holds from m = 4 up (below that, a slice underfills one 32-byte
+        // transaction per table and the model floors at a full sector).
+        let (mut gpu, batch) = setup(10, 2);
+        let (n, np) = (batch.n(), batch.np());
+        let rep = run(&mut gpu, &batch, ModMul::Shoup);
+        let ratios = batch.table(0).relative_stage_sizes();
+        assert_eq!(rep.launches.len(), ratios.len());
+        for (s, launch) in rep.launches.iter().enumerate() {
+            let m = 1usize << s;
+            if m < 4 {
+                continue;
+            }
+            // Data: every one of the np·N words crosses DRAM once (4-word
+            // sectors). The rest of the read traffic is the twiddle pair.
+            let data_txns = (np * n / 4) as u64;
+            let tw_txns = launch.stats.dram_read_transactions - data_txns;
+            assert_eq!(tw_txns, (np * m / 2) as u64, "stage {}", s + 1);
+            let measured = (tw_txns * 32) as f64 / (np * n * 8) as f64;
+            assert!(
+                (measured - ratios[s].1).abs() < 1e-12,
+                "stage {}: measured {measured} vs analytic {}",
+                s + 1,
+                ratios[s].1
+            );
         }
     }
 

@@ -1,23 +1,29 @@
 #!/usr/bin/env bash
 # Bench-regression smoke: re-measure the wall-clock benchmark suite and
-# compare against the recorded baseline, failing on > 25% regressions.
+# enforce WITHIN-RUN ratio gates — structural speedups that must hold on
+# any host because both sides of each gate come from the same run:
 #
-#   scripts/bench_smoke.sh [baseline.json] [threshold]
+#   * the fused lazy RNS multiply stays well under the strict legacy
+#     pipeline it replaced (PR 2 measured ~5.8x; the gate allows 0.6x);
+#   * the backend-routed ring multiply stays at parity with the in-run
+#     strict reference (1.15x headroom for measurement noise);
+#   * an he-lite multiply/relinearize/rescale (key-switch digits batched
+#     through one backend call) stays within an NTT-count-derived bound of
+#     the in-run forward-NTT benchmark (~25 NTT-equivalents of work; the
+#     80x bound trips if a strict path sneaks back into the hot loop).
 #
-# Defaults to BENCH_seed.json and 1.25. Timings come from the vendored
-# criterion shim (60 ms budget per benchmark), so the threshold is
-# deliberately loose; this catches order-of-magnitude mistakes (a strict
-# path sneaking back into a hot loop), not single-digit noise.
+# Usage:
+#   scripts/bench_smoke.sh                  # within-run ratio gates (CI)
+#   scripts/bench_smoke.sh BASELINE.json [THRESHOLD]
+#                                           # legacy absolute comparison
+#                                           # (comparable hosts only)
 #
-# Caveat: absolute ns/iter comparisons are only meaningful when baseline
-# and current run come from comparable hosts. On much slower/faster
-# hardware, pass a locally recorded baseline (CRITERION_JSON=... cargo
-# bench) instead of the checked-in one, or raise the threshold.
+# Ratio gates replace the old absolute-ns comparison against the
+# checked-in BENCH_seed.json, which only held on hosts comparable to the
+# recording machine (ROADMAP item e).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE="${1:-BENCH_seed.json}"
-THRESHOLD="${2:-1.25}"
 # Absolute path: cargo runs bench binaries with cwd set to the package dir.
 NOW="$(pwd)/target/bench_now.json"
 
@@ -28,10 +34,16 @@ cargo build --release --quiet
 cargo run --release --quiet --bin figures -- --quick > /dev/null
 CRITERION_JSON="$NOW" cargo bench -p ntt-bench --bench cpu_ntt --bench he_ops --bench modmul
 
-# Gate on the key pipeline/HE/modmul benchmarks. The per-kernel forward-NTT
-# micro-benches (ct/stockham/high-radix, 60 ms windows at small N) swing
-# with code layout and host state and are excluded from the hard gate; run
-# bench_guard without --only to eyeball the full table.
-cargo run --release --quiet -p ntt-bench --bin bench_guard -- \
-    "$BASELINE" "$NOW" --threshold "$THRESHOLD" \
-    --only "cpu_ntt_pipeline/,rns_multiply,he_lite,modmul_"
+if [[ $# -ge 1 ]]; then
+    # Legacy mode: absolute comparison against a recorded baseline.
+    BASELINE="$1"
+    THRESHOLD="${2:-1.25}"
+    cargo run --release --quiet -p ntt-bench --bin bench_guard -- \
+        "$BASELINE" "$NOW" --threshold "$THRESHOLD" \
+        --only "cpu_ntt_pipeline/,rns_multiply,he_lite,modmul_"
+else
+    cargo run --release --quiet -p ntt-bench --bin bench_guard -- "$NOW" \
+        --gate "rns_multiply_n8192_np8/fused_1thread<=0.6*rns_multiply_n8192_np8/strict_legacy" \
+        --gate "cpu_ntt_pipeline/negacyclic_multiply_4096<=1.15*cpu_ntt_pipeline/negacyclic_multiply_strict_4096" \
+        --gate "he_lite_n2048_l3/multiply_relinearize_rescale<=80*he_lite_n2048_l3/forward_ntt_all_primes"
+fi

@@ -9,11 +9,13 @@
 //! * [`math`] — modular arithmetic (Shoup / Barrett / Montgomery), primes,
 //!   roots of unity, big integers ([`ntt_math`]).
 //! * [`core`] — reference NTT/iNTT/DFT transforms, twiddle tables,
-//!   on-the-fly twiddling, RNS/CRT, polynomial rings ([`ntt_core`]).
+//!   on-the-fly twiddling, RNS/CRT, polynomial rings, and the pluggable
+//!   execution-backend layer (`backend::{NttBackend, RingPlan,
+//!   Evaluator}`) ([`ntt_core`]).
 //! * [`sim`] — the warp-level GPU functional + performance simulator
 //!   ([`gpu_sim`]).
-//! * [`gpu`] — the paper's GPU kernels running on the simulator
-//!   ([`ntt_gpu`]).
+//! * [`gpu`] — the paper's GPU kernels running on the simulator, plus
+//!   `SimBackend`, the simulated-GPU execution backend ([`ntt_gpu`]).
 //! * [`he`] — a small RNS-HE (CKKS-style) layer exercising the NTT
 //!   ([`he_lite`]).
 //!

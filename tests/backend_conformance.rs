@@ -1,0 +1,238 @@
+//! Backend conformance: every registered [`NttBackend`] must compute the
+//! same transforms, bit for bit.
+//!
+//! The suite runs three families of checks against **each** backend
+//! (currently `CpuBackend` and the simulated-GPU `SimBackend`):
+//!
+//! * *fused ≡ strict* — `multiply_batch` against the seed's strict
+//!   `ntt → mul_mod → intt` pipeline, property-based over random primes
+//!   and sizes;
+//! * *all-(p−1) bound* — worst-case magnitudes under the largest 62-bit
+//!   NTT-friendly prime (the inputs that push Harvey lazy intermediates
+//!   against the `4p < 2^64` bound on the CPU path);
+//! * *thread determinism* — `CpuBackend` output is bit-identical for every
+//!   thread policy.
+//!
+//! Plus the cross-substrate pin: `CpuBackend` ≡ `SimBackend` on every
+//! trait operation, including stacked buffer-of-digits batches and the
+//! full `he-lite` pipeline behind `HeContext::with_backend`.
+
+use ntt_warp::core::backend::{CpuBackend, Evaluator, LimbBatch, NttBackend, RingPlan};
+use ntt_warp::core::engine::ThreadPolicy;
+use ntt_warp::core::{ct, RnsPoly, RnsRing};
+use ntt_warp::gpu::SimBackend;
+use proptest::prelude::*;
+
+/// Every execution substrate under test, freshly constructed.
+fn registry() -> Vec<Box<dyn NttBackend>> {
+    vec![
+        Box::new(CpuBackend::default()),
+        Box::new(SimBackend::titan_v()),
+    ]
+}
+
+fn ring_with(n: usize, bits: u32, np: usize) -> RnsRing {
+    RnsRing::new(n, ntt_warp::math::ntt_primes(bits, 2 * n as u64, np)).unwrap()
+}
+
+fn pseudo_random_rows(ring: &RnsRing, seed: u64) -> RnsPoly {
+    let mut x = RnsPoly::zero(ring);
+    for i in 0..ring.np() {
+        let p = ring.basis().primes()[i];
+        for (j, v) in x.row_mut(i).iter_mut().enumerate() {
+            *v = (seed | 1)
+                .wrapping_mul((j as u64).wrapping_add(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add((i as u64) << 40)
+                % p;
+        }
+    }
+    x
+}
+
+/// The seed's strict per-limb pipeline, kept verbatim as the oracle.
+fn strict_multiply(ring: &RnsRing, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
+    let mut out = RnsPoly::zero_at_level(ring, a.level());
+    for i in 0..a.level() {
+        let t = ring.ring(i).table();
+        let mut na = a.row(i).to_vec();
+        let mut nb = b.row(i).to_vec();
+        ct::ntt(&mut na, t);
+        ct::ntt(&mut nb, t);
+        let mut prod: Vec<u64> = na
+            .iter()
+            .zip(&nb)
+            .map(|(&x, &y)| ntt_warp::math::mul_mod(x, y, t.modulus()))
+            .collect();
+        ct::intt(&mut prod, t);
+        out.row_mut(i).copy_from_slice(&prod);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fused multiply ≡ strict pipeline, for every backend, over random
+    /// primes/sizes/batch widths.
+    #[test]
+    fn every_backend_multiply_matches_strict(
+        (log_n, bits, np) in (2u32..=7, 50u32..=61, 1usize..=3),
+        seed in any::<u64>(),
+    ) {
+        let ring = ring_with(1 << log_n, bits, np);
+        let plan = RingPlan::new(&ring);
+        let a = pseudo_random_rows(&ring, seed);
+        let b = pseudo_random_rows(&ring, seed.rotate_left(21) ^ 0xF00D);
+        let strict = strict_multiply(&ring, &a, &b);
+        for mut be in registry() {
+            let mut out = RnsPoly::zero(&ring);
+            be.multiply_batch(&plan, a.flat(), b.flat(), LimbBatch::from_poly(&mut out));
+            prop_assert_eq!(out.flat(), strict.flat(), "backend {}", be.name());
+        }
+    }
+
+    /// Forward/inverse round trips are exact on every backend, and forward
+    /// outputs agree with the scalar reference.
+    #[test]
+    fn every_backend_roundtrips_and_matches_reference(
+        (log_n, np) in (2u32..=7, 1usize..=3),
+        seed in any::<u64>(),
+    ) {
+        let ring = ring_with(1 << log_n, 59, np);
+        let plan = RingPlan::new(&ring);
+        let x = pseudo_random_rows(&ring, seed);
+        let mut reference = x.clone();
+        for i in 0..np {
+            ct::ntt(reference.row_mut(i), ring.ring(i).table());
+        }
+        for mut be in registry() {
+            let mut f = x.clone();
+            be.forward_batch(&plan, LimbBatch::from_poly(&mut f));
+            prop_assert_eq!(f.flat(), reference.flat(), "forward, backend {}", be.name());
+            be.inverse_batch(&plan, LimbBatch::from_poly(&mut f));
+            prop_assert_eq!(f.flat(), x.flat(), "roundtrip, backend {}", be.name());
+        }
+    }
+}
+
+/// Worst-case magnitudes: all-(p−1) rows under the largest 62-bit
+/// NTT-friendly prime, on every backend.
+#[test]
+fn every_backend_survives_all_p_minus_one_at_lazy_bound() {
+    let n = 64usize;
+    let p = ntt_warp::math::ntt_prime(62, 2 * n as u64).expect("62-bit NTT prime exists");
+    let ring = RnsRing::new(n, vec![p]).unwrap();
+    let plan = RingPlan::new(&ring);
+    let mut a = RnsPoly::zero(&ring);
+    a.row_mut(0).fill(p - 1);
+    let strict = strict_multiply(&ring, &a, &a);
+    for mut be in registry() {
+        let mut out = RnsPoly::zero(&ring);
+        be.multiply_batch(&plan, a.flat(), a.flat(), LimbBatch::from_poly(&mut out));
+        assert_eq!(out.flat(), strict.flat(), "backend {}", be.name());
+    }
+}
+
+/// CpuBackend is bit-deterministic across thread policies (and therefore
+/// stays pinned to SimBackend regardless of `NTT_WARP_THREADS`).
+#[test]
+fn cpu_backend_thread_policies_are_bit_identical() {
+    let ring = ring_with(256, 59, 4);
+    let plan = RingPlan::new(&ring);
+    let a = pseudo_random_rows(&ring, 0xAB);
+    let b = pseudo_random_rows(&ring, 0xCD);
+    let mut reference = RnsPoly::zero(&ring);
+    CpuBackend::new(ThreadPolicy::Single).multiply_batch(
+        &plan,
+        a.flat(),
+        b.flat(),
+        LimbBatch::from_poly(&mut reference),
+    );
+    for threads in [2usize, 3, 8] {
+        let mut be = CpuBackend::new(ThreadPolicy::Fixed(threads));
+        let mut out = RnsPoly::zero(&ring);
+        be.multiply_batch(&plan, a.flat(), b.flat(), LimbBatch::from_poly(&mut out));
+        assert_eq!(out, reference, "{threads} threads");
+        let mut f = a.clone();
+        be.forward_batch(&plan, LimbBatch::from_poly(&mut f));
+        let mut fs = a.clone();
+        CpuBackend::new(ThreadPolicy::Single).forward_batch(&plan, LimbBatch::from_poly(&mut fs));
+        assert_eq!(f, fs, "forward batch, {threads} threads");
+    }
+}
+
+/// Cpu ≡ Sim on pointwise and on stacked (buffer-of-digits) batches — the
+/// exact shape `he-lite` key switching submits.
+#[test]
+fn cpu_and_sim_agree_on_stacked_digit_batches() {
+    let ring = ring_with(32, 59, 3);
+    let plan = RingPlan::new(&ring);
+    let polys: Vec<RnsPoly> = (0..4)
+        .map(|k| pseudo_random_rows(&ring, 0x51 * k + 7))
+        .collect();
+    let stacked: Vec<u64> = polys.iter().flat_map(|p| p.flat().to_vec()).collect();
+
+    let mut cpu = CpuBackend::default();
+    let mut sim = SimBackend::titan_v();
+    let (mut hc, mut hs) = (stacked.clone(), stacked.clone());
+    cpu.forward_batch(&plan, LimbBatch::new(&mut hc, 32, 3));
+    sim.forward_batch(&plan, LimbBatch::new(&mut hs, 32, 3));
+    assert_eq!(hc, hs, "stacked forward");
+
+    // Pointwise on the transformed stack (rhs = the stack itself).
+    let rhs = hc.clone();
+    cpu.pointwise_batch(&plan, LimbBatch::new(&mut hc, 32, 3), &rhs);
+    sim.pointwise_batch(&plan, LimbBatch::new(&mut hs, 32, 3), &rhs);
+    assert_eq!(hc, hs, "stacked pointwise");
+
+    cpu.inverse_batch(&plan, LimbBatch::new(&mut hc, 32, 3));
+    sim.inverse_batch(&plan, LimbBatch::new(&mut hs, 32, 3));
+    assert_eq!(hc, hs, "stacked inverse");
+}
+
+/// The full `he-lite` pipeline (keygen, encrypt, multiply/relinearize/
+/// rescale, decrypt) produces the same ciphertexts and plaintexts on both
+/// substrates — the Evaluator swap really is one line.
+#[test]
+fn he_pipeline_is_bit_identical_across_backends() {
+    use ntt_warp::he::{sampling, HeContext, HeLiteParams};
+    let params = HeLiteParams {
+        log_n: 5,
+        prime_bits: 50,
+        levels: 3,
+        scale_bits: 46,
+        gadget_bits: 10,
+        error_eta: 4,
+    };
+    let run = |backend: Box<dyn NttBackend>| {
+        let ctx = HeContext::with_backend(params, backend).unwrap();
+        let keys = ctx.keygen(&mut sampling::seeded_rng(42));
+        let mut rng = sampling::seeded_rng(7);
+        let a = ctx.encrypt(&ctx.encode(&[2.5, -1.0]), &keys.public, &mut rng);
+        let b = ctx.encrypt(&ctx.encode(&[3.0, 0.5]), &keys.public, &mut rng);
+        let prod = ctx.multiply(&a, &b, &keys.relin);
+        let pt = ctx.decrypt(&prod, &keys.secret);
+        (ctx.decode(&pt), prod.level())
+    };
+    let (cpu_out, cpu_level) = run(Box::<CpuBackend>::default());
+    let (sim_out, sim_level) = run(Box::new(SimBackend::titan_v()));
+    assert_eq!(cpu_level, sim_level);
+    // Same seeds, bit-identical backends => bit-identical decodes.
+    assert_eq!(cpu_out, sim_out);
+    // And the arithmetic is actually right.
+    assert!((cpu_out[0] - 7.5).abs() < 1e-2, "got {}", cpu_out[0]);
+}
+
+/// Evaluators over both substrates expose the right names and agree on a
+/// multiply (the user-facing swap surface).
+#[test]
+fn evaluator_substrate_swap_is_transparent() {
+    let ring = ring_with(16, 59, 2);
+    let a = RnsPoly::from_i64_coeffs(&ring, &[1, 2, -3]);
+    let b = RnsPoly::from_i64_coeffs(&ring, &[4, 0, 5]);
+    let mut cpu_ev = Evaluator::cpu(&ring);
+    let mut sim_ev = Evaluator::with_backend(&ring, Box::new(SimBackend::titan_v()));
+    assert_eq!(cpu_ev.backend_name(), "cpu");
+    assert_eq!(sim_ev.backend_name(), "gpu-sim");
+    assert_eq!(cpu_ev.multiply(&a, &b), sim_ev.multiply(&a, &b));
+}
