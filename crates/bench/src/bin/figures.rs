@@ -339,6 +339,36 @@ fn main() {
         );
     }
 
+    if run("residency") {
+        header(
+            "Residency: device-resident he-lite transfer accounting",
+            "Kim et al. keep ciphertexts GPU-resident; steady-state chain moves 0 bytes",
+        );
+        let r = ex::residency(if quick { 8 } else { 11 });
+        println!("params: {}", r.params);
+        println!(
+            "initial upload (tables + keys + 2 encrypts): h2d {} ({} words), d2h {} ({} words)",
+            r.initial.uploads,
+            r.initial.upload_words,
+            r.initial.downloads,
+            r.initial.download_words
+        );
+        println!(
+            "steady-state multiply/relinearize/rescale:   h2d+d2h transfers = {} ({} words moved, {} d2d copies)",
+            r.steady.host_transfers(),
+            r.steady.upload_words + r.steady.download_words,
+            r.steady.d2d_copies
+        );
+        println!(
+            "   residency gate: steady-state transfers {} (must be 0)",
+            if r.steady.host_transfers() == 0 {
+                "OK"
+            } else {
+                "VIOLATED"
+            }
+        );
+    }
+
     if run("otbase") {
         header(
             "SVII: OT factorization base sweep",

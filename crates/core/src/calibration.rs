@@ -1,0 +1,225 @@
+//! Persisted per-host calibration, so plan-time choices are reproducible.
+//!
+//! The [`crate::backend::RingPlan`] picks a pointwise reduction strategy
+//! per prime-size class from a micro-benchmark
+//! ([`crate::backend::calibrate_pointwise`]). A timing race measured once
+//! per *process* makes plan choices reproducible within a run but not
+//! **across** runs: a noisy measurement on one invocation can flip the
+//! strategy and with it every downstream perf number. This module pins
+//! the verdicts to a small per-host calibration file:
+//!
+//! * first run: measure, then write the verdicts;
+//! * later runs: read the verdicts back, skipping the measurement.
+//!
+//! The file lives under the user cache directory by default, keyed by
+//! hostname (`calibration-<host>.v1.txt`); set `NTT_WARP_CALIB_FILE` to
+//! an explicit path, or to `off` / `none` to disable persistence (every
+//! run then re-measures, the pre-existing behavior). Strategy overrides
+//! via `NTT_WARP_POINTWISE` bypass calibration entirely, file or not.
+//!
+//! The format is a trivial `key value` text file:
+//!
+//! ```text
+//! # ntt-warp calibration v1 host=examplehost
+//! pointwise_class_0 montgomery
+//! pointwise_class_1 barrett
+//! ```
+//!
+//! Corrupt or wrong-version files are ignored (and rewritten on the next
+//! measurement); all I/O failures degrade silently to re-measuring —
+//! calibration is an optimization, never a correctness dependency.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Format marker; bump when the schema changes.
+const VERSION_HEADER: &str = "# ntt-warp calibration v1";
+
+/// A loaded (or in-construction) calibration table: flat string key →
+/// value pairs.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Calibration {
+    entries: BTreeMap<String, String>,
+}
+
+impl Calibration {
+    /// Parse a calibration file. `None` if it does not exist, has the
+    /// wrong version header, or cannot be read.
+    pub fn load(path: &Path) -> Option<Self> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let mut lines = text.lines();
+        if !lines.next()?.starts_with(VERSION_HEADER) {
+            return None;
+        }
+        let mut entries = BTreeMap::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (k, v) = line.split_once(char::is_whitespace)?;
+            entries.insert(k.to_string(), v.trim().to_string());
+        }
+        Some(Self { entries })
+    }
+
+    /// Write the table atomically (temp file + rename). Errors are
+    /// returned for tests but callers in the hot path ignore them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn store(&self, path: &Path) -> std::io::Result<()> {
+        let mut text = format!("{VERSION_HEADER} host={}\n", hostname());
+        for (k, v) in &self.entries {
+            text.push_str(k);
+            text.push(' ');
+            text.push_str(v);
+            text.push('\n');
+        }
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// Insert or replace a key.
+    pub fn set(&mut self, key: &str, value: &str) {
+        self.entries.insert(key.to_string(), value.to_string());
+    }
+}
+
+/// Best-effort hostname (env, then `/etc/hostname`), for the default file
+/// name and the informational header.
+fn hostname() -> String {
+    if let Ok(h) = std::env::var("HOSTNAME") {
+        if !h.trim().is_empty() {
+            return h.trim().to_string();
+        }
+    }
+    if let Ok(h) = std::fs::read_to_string("/etc/hostname") {
+        if !h.trim().is_empty() {
+            return h.trim().to_string();
+        }
+    }
+    "unknown-host".to_string()
+}
+
+/// The calibration file path: `NTT_WARP_CALIB_FILE` if set (`off`/`none`/
+/// empty disables persistence → `None`), else
+/// `<cache dir>/ntt-warp/calibration-<host>.v1.txt`.
+pub fn calibration_path() -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("NTT_WARP_CALIB_FILE") {
+        let p = p.trim().to_string();
+        return match p.to_ascii_lowercase().as_str() {
+            "" | "off" | "none" | "0" => None,
+            _ => Some(PathBuf::from(p)),
+        };
+    }
+    let cache_root = std::env::var_os("XDG_CACHE_HOME")
+        .map(PathBuf::from)
+        .or_else(|| std::env::var_os("HOME").map(|h| PathBuf::from(h).join(".cache")))
+        .unwrap_or_else(std::env::temp_dir);
+    Some(
+        cache_root
+            .join("ntt-warp")
+            .join(format!("calibration-{}.v1.txt", hostname())),
+    )
+}
+
+/// The stored key for one pointwise prime-size class.
+fn pointwise_key(class: usize) -> String {
+    format!("pointwise_class_{class}")
+}
+
+/// Read the persisted Montgomery-vs-Barrett verdict for a size class from
+/// `path` (`true` = Montgomery wins). `None` on any miss.
+pub fn load_pointwise_verdict(path: &Path, class: usize) -> Option<bool> {
+    match Calibration::load(path)?.get(&pointwise_key(class))? {
+        "montgomery" => Some(true),
+        "barrett" => Some(false),
+        _ => None,
+    }
+}
+
+/// Persist a measured verdict into `path`, preserving other entries.
+/// Failures are ignored — the verdict still applies for this process.
+pub fn store_pointwise_verdict(path: &Path, class: usize, montgomery: bool) {
+    let mut cal = Calibration::load(path).unwrap_or_default();
+    cal.set(
+        &pointwise_key(class),
+        if montgomery { "montgomery" } else { "barrett" },
+    );
+    let _ = cal.store(path);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "ntt-warp-calib-test-{tag}-{}.txt",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries() {
+        let path = temp_path("roundtrip");
+        let mut cal = Calibration::default();
+        cal.set("pointwise_class_0", "montgomery");
+        cal.set("pointwise_class_1", "barrett");
+        cal.store(&path).unwrap();
+        let loaded = Calibration::load(&path).expect("file parses");
+        assert_eq!(loaded, cal);
+        assert_eq!(load_pointwise_verdict(&path, 0), Some(true));
+        assert_eq!(load_pointwise_verdict(&path, 1), Some(false));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn store_verdict_preserves_other_keys() {
+        let path = temp_path("preserve");
+        let mut cal = Calibration::default();
+        cal.set("unrelated", "value");
+        cal.store(&path).unwrap();
+        store_pointwise_verdict(&path, 1, true);
+        let loaded = Calibration::load(&path).unwrap();
+        assert_eq!(loaded.get("unrelated"), Some("value"));
+        assert_eq!(load_pointwise_verdict(&path, 1), Some(true));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_and_corrupt_files_are_ignored() {
+        let path = temp_path("corrupt");
+        assert_eq!(Calibration::load(&path), None, "missing file");
+        std::fs::write(&path, "not a calibration file\n").unwrap();
+        assert_eq!(Calibration::load(&path), None, "wrong header");
+        std::fs::write(&path, format!("{VERSION_HEADER}\ngarbage-value-x\n")).unwrap();
+        assert_eq!(Calibration::load(&path), None, "unsplittable line");
+        std::fs::write(
+            &path,
+            format!("{VERSION_HEADER} host=x\npointwise_class_0 nonsense\n"),
+        )
+        .unwrap();
+        assert_eq!(load_pointwise_verdict(&path, 0), None, "bad verdict value");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn default_path_is_stable_and_overridable() {
+        // The default path derives from environment state; just pin shape.
+        if let Some(p) = calibration_path() {
+            assert!(p.to_string_lossy().contains("calibration-"));
+        }
+    }
+}

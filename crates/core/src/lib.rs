@@ -18,10 +18,14 @@
 //!   residue-parallel RNS transforms, and the `NTT_WARP_THREADS` thread
 //!   policy.
 //! * [`backend`] — the pluggable execution layer: the [`NttBackend`]
-//!   trait (batched RNS ops over [`LimbBatch`] views), FFTW-style
+//!   trait (batched RNS ops over [`LimbBatch`] views plus device-resident
+//!   ops over opaque [`backend::DeviceBuf`] handles), FFTW-style
 //!   [`RingPlan`] handles with plan-time Montgomery/Barrett pointwise
-//!   selection, the [`CpuBackend`] reference implementation, and the
-//!   backend-generic [`Evaluator`].
+//!   selection, the [`CpuBackend`] reference implementation (identity
+//!   device memory), and the backend-generic, residency-aware
+//!   [`Evaluator`].
+//! * [`calibration`] — the persisted per-host calibration file that makes
+//!   plan-time strategy choices reproducible across runs.
 //! * [`stockham`] — out-of-place self-sorting Stockham NTT (paper
 //!   Algorithm 3).
 //! * [`radix`] — register-style small-block NTTs (radix 2..2048) used by
@@ -57,6 +61,7 @@
 
 pub mod backend;
 pub mod bitrev;
+pub mod calibration;
 pub mod ct;
 pub mod dft;
 pub mod engine;
@@ -69,11 +74,14 @@ pub mod rns;
 pub mod stockham;
 pub mod table;
 
-pub use backend::{CpuBackend, Evaluator, LimbBatch, NttBackend, PointwiseStrategy, RingPlan};
+pub use backend::{
+    CpuBackend, DeviceBuf, DeviceMemory, Evaluator, LimbBatch, NttBackend, PointwiseStrategy,
+    RingPlan, SharedDeviceMemory, TransferStats,
+};
 pub use ct::{intt, ntt};
 pub use engine::{NttExecutor, ThreadPolicy};
 pub use ot::OtTable;
 pub use params::HeParams;
-pub use poly::{NegacyclicRing, Polynomial, RingError, RnsPoly, RnsRing};
+pub use poly::{NegacyclicRing, Polynomial, Residency, RingError, RnsPoly, RnsRing};
 pub use rns::RnsBasis;
 pub use table::NttTable;

@@ -5,11 +5,13 @@
 //! RNS prime, and multiplied via `np` independent N-point negacyclic NTTs
 //! — exactly the batched workload the paper accelerates.
 
+use crate::backend::{lock_memory, same_memory, DeviceBuf, SharedDeviceMemory};
 use crate::ct;
 use crate::rns::{RnsBasis, RnsError};
 use crate::table::NttTable;
 use ntt_math::modops::{add_mod, neg_mod, sub_mod};
 use ntt_math::root::RootError;
+use std::sync::Arc;
 
 /// Errors from ring construction and use.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -343,18 +345,162 @@ impl RnsRing {
     }
 }
 
+/// Where an [`RnsPoly`]'s fresh copy currently lives (see
+/// [`RnsPoly::residency`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// No device mirror: host rows are the only copy.
+    HostOnly,
+    /// The device copy is the fresh one; host rows are stale until
+    /// [`RnsPoly::sync`] downloads them.
+    DeviceOnly,
+    /// Both copies exist and the host rows are fresh. `host_dirty` marks a
+    /// host-side edit not yet re-uploaded (the next device operation
+    /// flushes it).
+    Mirrored {
+        /// Host rows were modified since the last upload.
+        host_dirty: bool,
+    },
+}
+
+/// The device half of a resident polynomial: a buffer in some backend's
+/// [`crate::backend::DeviceMemory`] plus the two dirty bits of the
+/// storage state machine. Holding the memory handle *inside* the poly is
+/// what makes lazy downloads and drop-time frees possible without a
+/// backend in scope.
+struct DeviceMirror {
+    mem: SharedDeviceMemory,
+    /// Whole allocation; the active view is `buf.sub(0, level·n)`
+    /// (rescaling shrinks the logical view, not the allocation).
+    buf: DeviceBuf,
+    /// Host rows modified since the last upload (device stale).
+    host_dirty: bool,
+    /// Device modified since the last download (host stale).
+    dev_dirty: bool,
+}
+
+impl std::fmt::Debug for DeviceMirror {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceMirror")
+            .field("buf", &self.buf)
+            .field("host_dirty", &self.host_dirty)
+            .field("dev_dirty", &self.dev_dirty)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DeviceMirror {
+    /// Device-side duplicate of the active view (used by `Clone`; the
+    /// copy never crosses the bus).
+    fn duplicate(&self, active_words: usize) -> DeviceMirror {
+        let buf = {
+            let mut mem = lock_memory(&self.mem);
+            let dst = mem.alloc(active_words);
+            mem.copy(self.buf.sub(0, active_words), dst);
+            dst
+        };
+        DeviceMirror {
+            mem: Arc::clone(&self.mem),
+            buf,
+            host_dirty: self.host_dirty,
+            dev_dirty: self.dev_dirty,
+        }
+    }
+}
+
+impl Drop for DeviceMirror {
+    fn drop(&mut self) {
+        lock_memory(&self.mem).free(self.buf);
+    }
+}
+
 /// An element of the RNS ring: `level` rows of `N` residues.
 ///
 /// `level` tracks how many primes are still active (CKKS-style rescaling
 /// drops the last one); rows `level..np` are absent.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// # Storage state machine
+///
+/// A polynomial is born [`Residency::HostOnly`]. An evaluator can attach a
+/// device mirror ([`crate::backend::Evaluator::make_resident`]), after
+/// which device-side operations flip it to [`Residency::DeviceOnly`]
+/// (host rows stale) and host-side writes flip it back through
+/// [`Residency::Mirrored`] with `host_dirty` set. Downloads are **lazy**:
+/// nothing crosses the bus until a host access needs the fresh rows —
+/// mutable accessors ([`RnsPoly::flat_mut`], [`RnsPoly::row_mut`], the
+/// in-place ring ops) sync implicitly, shared read accessors
+/// ([`RnsPoly::flat`], [`RnsPoly::row`], …) require an explicit
+/// [`RnsPoly::sync`] first and panic on stale reads (loud beats wrong).
+///
+/// ```
+/// use ntt_core::backend::Evaluator;
+/// use ntt_core::poly::Residency;
+/// use ntt_core::{RnsPoly, RnsRing};
+///
+/// let ring = RnsRing::new(8, ntt_math::ntt_primes(59, 16, 2))?;
+/// let mut ev = Evaluator::cpu(&ring);
+/// let mut x = RnsPoly::from_i64_coeffs(&ring, &[1, 2, 3]);
+/// assert_eq!(x.residency(), Residency::HostOnly);
+///
+/// ev.make_resident(&mut x); // one upload
+/// ev.to_evaluation(&mut x); // runs on the device…
+/// ev.to_coefficient(&mut x);
+/// assert_eq!(x.residency(), Residency::DeviceOnly); // …host rows stale
+///
+/// x.sync(); // lazy download happens exactly here
+/// assert_eq!(x.residency(), Residency::Mirrored { host_dirty: false });
+/// assert_eq!(x.coefficient_centered(&ring, 1), Some(2));
+/// # Ok::<(), ntt_core::RingError>(())
+/// ```
+#[derive(Debug)]
 pub struct RnsPoly {
     n: usize,
     level: usize,
     repr: Representation,
     /// Row-major `level × n` residues; row `i` is mod `primes[i]`.
     data: Vec<u64>,
+    /// Device mirror, when resident.
+    mirror: Option<DeviceMirror>,
 }
+
+impl Clone for RnsPoly {
+    /// Clones preserve residency: a device-resident polynomial is
+    /// duplicated with a device-to-device copy (no bus transfer), stale
+    /// host rows stay stale in the copy.
+    fn clone(&self) -> Self {
+        RnsPoly {
+            n: self.n,
+            level: self.level,
+            repr: self.repr,
+            data: self.data.clone(),
+            mirror: self
+                .mirror
+                .as_ref()
+                .map(|m| m.duplicate(self.level * self.n)),
+        }
+    }
+}
+
+impl PartialEq for RnsPoly {
+    /// Value equality over the host rows. Both sides must be host-fresh
+    /// (sync device-resident polynomials first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either side is [`Residency::DeviceOnly`].
+    fn eq(&self, other: &Self) -> bool {
+        assert!(
+            !self.device_dirty() && !other.device_dirty(),
+            "comparing device-dirty RnsPoly; call sync() first"
+        );
+        self.n == other.n
+            && self.level == other.level
+            && self.repr == other.repr
+            && self.data == other.data
+    }
+}
+
+impl Eq for RnsPoly {}
 
 impl RnsPoly {
     /// The zero element at full level.
@@ -385,6 +531,7 @@ impl RnsPoly {
             level,
             repr,
             data: vec![0; level * ring.degree()],
+            mirror: None,
         }
     }
 
@@ -427,18 +574,159 @@ impl RnsPoly {
         self.repr
     }
 
+    // ---- Storage state machine -----------------------------------------
+
+    /// Where the fresh copy of this polynomial currently lives.
+    pub fn residency(&self) -> Residency {
+        match &self.mirror {
+            None => Residency::HostOnly,
+            Some(m) if m.dev_dirty => Residency::DeviceOnly,
+            Some(m) => Residency::Mirrored {
+                host_dirty: m.host_dirty,
+            },
+        }
+    }
+
+    /// `true` when the device copy is newer than the host rows.
+    #[inline]
+    pub fn device_dirty(&self) -> bool {
+        self.mirror.as_ref().is_some_and(|m| m.dev_dirty)
+    }
+
+    /// Explicit sync point: if the device copy is the fresh one, download
+    /// it into the host rows (one counted transfer). No-op otherwise.
+    /// This is the only place device→host data movement happens — reads
+    /// are lazy, never eager.
+    pub fn sync(&mut self) {
+        let (n, level) = (self.n, self.level);
+        if let Some(m) = &mut self.mirror {
+            if m.dev_dirty {
+                lock_memory(&m.mem).download(m.buf.sub(0, level * n), &mut self.data);
+                m.dev_dirty = false;
+            }
+        }
+    }
+
+    /// Drop the device mirror (downloading first if it was fresh) and
+    /// return to [`Residency::HostOnly`]. Frees the device buffer.
+    pub fn evict_device(&mut self) {
+        self.sync();
+        self.mirror = None; // Drop frees the buffer
+    }
+
+    /// Internal alias: host mutators call this before touching `data`.
+    fn ensure_host(&mut self) {
+        self.sync();
+    }
+
+    /// Record a host-side modification (device copy now stale). Callers
+    /// must [`RnsPoly::ensure_host`] first.
+    fn mark_host_edit(&mut self) {
+        if let Some(m) = &mut self.mirror {
+            debug_assert!(!m.dev_dirty, "host edit while device copy was fresh");
+            m.host_dirty = true;
+        }
+    }
+
+    /// Record a device-side modification (host rows now stale; any pending
+    /// host edit has been flushed by the caller).
+    pub(crate) fn mark_device_dirty(&mut self) {
+        let m = self.mirror.as_mut().expect("no device mirror");
+        m.host_dirty = false;
+        m.dev_dirty = true;
+    }
+
+    /// Whether this polynomial has a mirror in `mem`'s device memory.
+    pub(crate) fn has_mirror_in(&self, mem: &SharedDeviceMemory) -> bool {
+        self.mirror
+            .as_ref()
+            .is_some_and(|m| same_memory(&m.mem, mem))
+    }
+
+    /// The active device view (`level·n` words) if resident in `mem` with
+    /// an up-to-date device copy.
+    pub(crate) fn device_buf_in(&self, mem: &SharedDeviceMemory) -> Option<DeviceBuf> {
+        let m = self.mirror.as_ref()?;
+        (same_memory(&m.mem, mem) && !m.host_dirty).then(|| m.buf.sub(0, self.level * self.n))
+    }
+
+    /// Make this polynomial resident in `mem`: attach a mirror (first
+    /// upload), flush host edits (re-upload), or no-op when already clean
+    /// there. A mirror in a *different* memory is synced and dropped
+    /// first.
+    pub(crate) fn make_resident_in(&mut self, mem: &SharedDeviceMemory) {
+        if self.mirror.is_some() && !self.has_mirror_in(mem) {
+            self.evict_device();
+        }
+        let active = self.level * self.n;
+        match &mut self.mirror {
+            Some(m) => {
+                if m.host_dirty {
+                    lock_memory(&m.mem).upload(m.buf.sub(0, active), &self.data);
+                    m.host_dirty = false;
+                }
+            }
+            None => {
+                let buf = {
+                    let mut guard = lock_memory(mem);
+                    let buf = guard.alloc(active);
+                    guard.upload(buf, &self.data);
+                    buf
+                };
+                self.mirror = Some(DeviceMirror {
+                    mem: Arc::clone(mem),
+                    buf,
+                    host_dirty: false,
+                    dev_dirty: false,
+                });
+            }
+        }
+    }
+
+    /// Attach a pre-allocated (zeroed) device buffer as an in-sync mirror
+    /// of an all-zero polynomial — no transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mirror already exists or the buffer is too small.
+    pub(crate) fn adopt_mirror(&mut self, mem: &SharedDeviceMemory, buf: DeviceBuf) {
+        assert!(self.mirror.is_none(), "mirror already attached");
+        assert!(buf.len() >= self.level * self.n, "mirror buffer too small");
+        debug_assert!(self.data.iter().all(|&v| v == 0), "adopt requires zeros");
+        self.mirror = Some(DeviceMirror {
+            mem: Arc::clone(mem),
+            buf,
+            host_dirty: false,
+            dev_dirty: false,
+        });
+    }
+
+    /// Drop the last level of a device-resident polynomial after a
+    /// device-side rescale: shrinks the logical view (host rows and device
+    /// view) without touching the allocation, and marks the device copy
+    /// fresh.
+    pub(crate) fn device_truncate_level(&mut self) {
+        assert!(self.level > 1, "cannot drop the last remaining prime");
+        self.level -= 1;
+        self.data.truncate(self.level * self.n);
+        self.mark_device_dirty();
+    }
+
     /// Residue row for prime `i` (length `N`).
     ///
     /// # Panics
     ///
-    /// Panics if `i >= level`.
+    /// Panics if `i >= level`, or on a stale host read
+    /// ([`Residency::DeviceOnly`] — call [`RnsPoly::sync`] first).
     #[inline]
     pub fn row(&self, i: usize) -> &[u64] {
         assert!(i < self.level, "row beyond active level");
+        self.assert_host_fresh();
         &self.data[i * self.n..(i + 1) * self.n]
     }
 
-    /// Mutable residue row for prime `i`.
+    /// Mutable residue row for prime `i`. Lazily downloads a fresh device
+    /// copy first and marks the device copy stale.
     ///
     /// # Panics
     ///
@@ -446,24 +734,43 @@ impl RnsPoly {
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [u64] {
         assert!(i < self.level, "row beyond active level");
+        self.ensure_host();
+        self.mark_host_edit();
         &mut self.data[i * self.n..(i + 1) * self.n]
     }
 
     /// The flat `level × N` contiguous residue buffer (row-major; row `i`
     /// is mod prime `i`). This is the batched-kernel view: one slice holds
     /// every limb, so a single call can transform them all.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale host read ([`Residency::DeviceOnly`] — call
+    /// [`RnsPoly::sync`] first).
     #[inline]
     pub fn flat(&self) -> &[u64] {
+        self.assert_host_fresh();
         &self.data
     }
 
-    /// Mutable flat `level × N` residue buffer.
+    /// Mutable flat `level × N` residue buffer. Lazily downloads a fresh
+    /// device copy first and marks the device copy stale.
     ///
     /// Writing through this view can change which domain the values are
     /// in; callers that do so must retag with [`RnsPoly::set_repr`].
     #[inline]
     pub fn flat_mut(&mut self) -> &mut [u64] {
+        self.ensure_host();
+        self.mark_host_edit();
         &mut self.data
+    }
+
+    #[inline]
+    fn assert_host_fresh(&self) {
+        assert!(
+            !self.device_dirty(),
+            "host read of a device-dirty RnsPoly; call sync() first"
+        );
     }
 
     /// Retag the representation **without transforming** — for expert
@@ -484,6 +791,13 @@ impl RnsPoly {
     pub fn copy_from(&mut self, other: &RnsPoly) {
         assert_eq!(self.n, other.n, "degree mismatch");
         assert_eq!(self.level, other.level, "level mismatch");
+        other.assert_host_fresh();
+        // Every host word is overwritten: no download needed, just mark
+        // any device copy stale.
+        if let Some(m) = &mut self.mirror {
+            m.dev_dirty = false;
+            m.host_dirty = true;
+        }
         self.data.copy_from_slice(&other.data);
         self.repr = other.repr;
     }
@@ -498,6 +812,8 @@ impl RnsPoly {
         if self.repr == Representation::Evaluation {
             return;
         }
+        self.ensure_host();
+        self.mark_host_edit();
         let plan = ring.plan();
         crate::backend::with_default_backend(|be| {
             be.forward_batch(&plan, LimbBatch::new(&mut self.data, self.n, self.level));
@@ -513,6 +829,8 @@ impl RnsPoly {
         if self.repr == Representation::Coefficient {
             return;
         }
+        self.ensure_host();
+        self.mark_host_edit();
         let plan = ring.plan();
         crate::backend::with_default_backend(|be| {
             be.inverse_batch(&plan, LimbBatch::new(&mut self.data, self.n, self.level));
@@ -528,6 +846,9 @@ impl RnsPoly {
     pub fn add_assign(&mut self, other: &RnsPoly, ring: &RnsRing) {
         assert_eq!(self.level, other.level, "level mismatch");
         assert_eq!(self.repr, other.repr, "representation mismatch");
+        other.assert_host_fresh();
+        self.ensure_host();
+        self.mark_host_edit();
         for i in 0..self.level {
             let p = ring.basis().primes()[i];
             let base = i * self.n;
@@ -545,6 +866,9 @@ impl RnsPoly {
     pub fn sub_assign(&mut self, other: &RnsPoly, ring: &RnsRing) {
         assert_eq!(self.level, other.level, "level mismatch");
         assert_eq!(self.repr, other.repr, "representation mismatch");
+        other.assert_host_fresh();
+        self.ensure_host();
+        self.mark_host_edit();
         for i in 0..self.level {
             let p = ring.basis().primes()[i];
             let base = i * self.n;
@@ -584,6 +908,9 @@ impl RnsPoly {
             Representation::Evaluation,
             "rhs not in NTT form"
         );
+        other.assert_host_fresh();
+        self.ensure_host();
+        self.mark_host_edit();
         let plan = ring.plan();
         crate::backend::with_default_backend(|be| {
             be.pointwise_batch(
@@ -605,11 +932,13 @@ impl RnsPoly {
             level >= 1 && level <= self.level,
             "invalid truncation level"
         );
+        self.assert_host_fresh();
         RnsPoly {
             n: self.n,
             level,
             repr: self.repr,
             data: self.data[..level * self.n].to_vec(),
+            mirror: None,
         }
     }
 
@@ -653,6 +982,8 @@ impl RnsPoly {
     /// Panics if only one level remains.
     pub fn drop_last_level(&mut self) {
         assert!(self.level > 1, "cannot drop the last remaining prime");
+        self.ensure_host();
+        self.mark_host_edit();
         self.level -= 1;
         self.data.truncate(self.level * self.n);
     }
@@ -671,19 +1002,10 @@ impl RnsPoly {
             "rescale requires coefficient form"
         );
         assert!(self.level > 1, "cannot rescale past the last prime");
-        let last = self.level - 1;
-        let p_last = ring.basis().primes()[last];
-        let last_row: Vec<u64> = self.row(last).to_vec();
-        for i in 0..last {
-            let p = ring.basis().primes()[i];
-            let inv = ntt_math::inv_mod(p_last % p, p).expect("distinct primes are coprime");
-            let base = i * self.n;
-            for (x, &lr) in self.data[base..base + self.n].iter_mut().zip(&last_row) {
-                let diff = sub_mod(*x, lr % p, p);
-                *x = ntt_math::mul_mod(diff, inv, p);
-            }
-        }
-        self.level = last;
+        self.ensure_host();
+        self.mark_host_edit();
+        rescale_rows(ring.basis().primes(), self.n, self.level, &mut self.data);
+        self.level -= 1;
         self.data.truncate(self.level * self.n);
     }
 
@@ -705,6 +1027,27 @@ impl RnsPoly {
         let basis = RnsBasis::new(ring.basis().primes()[..self.level].to_vec())
             .expect("prefix of a valid basis is valid");
         basis.reconstruct_centered(&residues)
+    }
+}
+
+/// The CKKS rescale step on a raw `level × n` coefficient buffer: rows
+/// `0..level-1` become `(row_i − row_last)·p_last^{-1} mod p_i`; the last
+/// row is left untouched (callers drop it from the logical view). This is
+/// the single reference implementation shared by [`RnsPoly::rescale`] and
+/// every backend's device-side rescale, so the step cannot diverge across
+/// substrates.
+pub(crate) fn rescale_rows(primes: &[u64], n: usize, level: usize, data: &mut [u64]) {
+    assert!(level > 1, "cannot rescale past the last prime");
+    let last = level - 1;
+    let p_last = primes[last];
+    let (head, last_row) = data.split_at_mut(last * n);
+    for (i, row) in head.chunks_exact_mut(n).enumerate() {
+        let p = primes[i];
+        let inv = ntt_math::inv_mod(p_last % p, p).expect("distinct primes are coprime");
+        for (x, &lr) in row.iter_mut().zip(last_row.iter()) {
+            let diff = sub_mod(*x, lr % p, p);
+            *x = ntt_math::mul_mod(diff, inv, p);
+        }
     }
 }
 

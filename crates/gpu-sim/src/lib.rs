@@ -70,7 +70,7 @@ pub use engine::{LaunchConfig, LaunchRecord, WarpCtx, WarpKernel};
 pub use mem::{Buf, Gmem};
 pub use occupancy::OccupancyInfo;
 pub use perf::KernelTiming;
-pub use stats::{KernelStats, OpClass};
+pub use stats::{KernelStats, OpClass, TransferStats};
 
 /// The simulated device: configuration, global memory, and a trace of every
 /// kernel launch with its statistics and modeled timing.

@@ -2,6 +2,70 @@
 
 use crate::config::GpuConfig;
 
+/// Host↔device traffic counters, maintained by [`crate::mem::Gmem`].
+///
+/// The paper's headline wins come from keeping ciphertext data resident in
+/// device memory; these counters are what make "resident" *measurable*.
+/// Every host-initiated [`crate::mem::Gmem::upload`] /
+/// [`crate::mem::Gmem::download`] is charged here (kernel-side traffic is
+/// charged to [`KernelStats`] instead), so a pipeline that claims
+/// zero steady-state transfers can be gated on
+/// `delta.uploads + delta.downloads == 0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferStats {
+    /// Host→device copies (calls).
+    pub uploads: u64,
+    /// Host→device words moved.
+    pub upload_words: u64,
+    /// Device→host copies (calls).
+    pub downloads: u64,
+    /// Device→host words moved.
+    pub download_words: u64,
+    /// Device-to-device copies (never cross the bus).
+    pub d2d_copies: u64,
+    /// Buffer allocations served (fresh or recycled).
+    pub allocs: u64,
+    /// Buffers returned to the free list.
+    pub frees: u64,
+}
+
+impl TransferStats {
+    /// Host↔device transfer count (uploads + downloads) — the quantity the
+    /// residency gates assert to be zero in steady state.
+    pub fn host_transfers(&self) -> u64 {
+        self.uploads + self.downloads
+    }
+
+    /// Counter-wise difference `self - earlier` (for steady-state windows).
+    pub fn since(&self, earlier: &TransferStats) -> TransferStats {
+        TransferStats {
+            uploads: self.uploads - earlier.uploads,
+            upload_words: self.upload_words - earlier.upload_words,
+            downloads: self.downloads - earlier.downloads,
+            download_words: self.download_words - earlier.download_words,
+            d2d_copies: self.d2d_copies - earlier.d2d_copies,
+            allocs: self.allocs - earlier.allocs,
+            frees: self.frees - earlier.frees,
+        }
+    }
+}
+
+impl std::fmt::Display for TransferStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "h2d {} ({} w), d2h {} ({} w), d2d {}, alloc {}, free {}",
+            self.uploads,
+            self.upload_words,
+            self.downloads,
+            self.download_words,
+            self.d2d_copies,
+            self.allocs,
+            self.frees
+        )
+    }
+}
+
 /// Classes of arithmetic the timing model distinguishes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpClass {

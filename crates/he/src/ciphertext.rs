@@ -1,6 +1,13 @@
 //! Plaintexts and ciphertexts.
+//!
+//! On residency-preferring backends (see
+//! [`crate::HeContext::is_resident`]) ciphertext polynomials live in
+//! device memory between operations; the host copies are stale until an
+//! explicit sync point. [`Ciphertext::sync`] / [`Plaintext::sync`] are
+//! those sync points for direct component access — decrypt/decode sync
+//! implicitly.
 
-use ntt_core::poly::RnsPoly;
+use ntt_core::poly::{Residency, RnsPoly};
 
 /// An encoded (but not encrypted) message: scaled integer coefficients in
 /// RNS coefficient form, tagged with the fixed-point scale.
@@ -25,6 +32,12 @@ impl Plaintext {
     pub fn poly(&self) -> &RnsPoly {
         &self.m
     }
+
+    /// Download the polynomial if its fresh copy is on the device (no-op
+    /// otherwise), so [`Plaintext::poly`] reads see current values.
+    pub fn sync(&mut self) {
+        self.m.sync();
+    }
 }
 
 /// A CKKS-style ciphertext: the pair `(c0, c1)` in evaluation form, such
@@ -48,7 +61,24 @@ impl Ciphertext {
     }
 
     /// Borrow the ciphertext components (evaluation form).
+    ///
+    /// For device-resident ciphertexts, call [`Ciphertext::sync`] first —
+    /// host reads of stale components panic.
     pub fn components(&self) -> (&RnsPoly, &RnsPoly) {
         (&self.c0, &self.c1)
+    }
+
+    /// Explicit sync point: download both components if their fresh
+    /// copies live on the device (two counted transfers; no-op for
+    /// host-resident ciphertexts).
+    pub fn sync(&mut self) {
+        self.c0.sync();
+        self.c1.sync();
+    }
+
+    /// Where the ciphertext currently lives (the components always move
+    /// together, so `c0`'s residency is the ciphertext's).
+    pub fn residency(&self) -> Residency {
+        self.c0.residency()
     }
 }

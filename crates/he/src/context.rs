@@ -7,14 +7,33 @@
 //! constructor choice: [`HeContext::new`] picks the CPU backend,
 //! [`HeContext::with_backend`] accepts any
 //! [`ntt_core::backend::NttBackend`].
+//!
+//! Two properties of the execution model matter for throughput:
+//!
+//! * **Evaluator pool** — concurrent scheme operations on one shared
+//!   context no longer serialize on a single evaluator lock: each
+//!   operation checks an evaluator out of a pool (forking a new one from
+//!   the backend when the pool runs dry), so `k` threads driving one
+//!   context run on `k` evaluators sharing one [`ntt_core::RingPlan`]
+//!   and one device memory.
+//! * **Device residency** — on backends with a real host↔device boundary
+//!   ([`ntt_core::backend::NttBackend::prefers_residency`], e.g. the
+//!   simulated GPU), key material and ciphertexts are uploaded once and
+//!   every subsequent operation — including relinearization's digit
+//!   decomposition and rescaling — runs on the device. After the initial
+//!   upload, an encrypt → multiply → relinearize → rescale chain performs
+//!   **zero** host↔device transfers (asserted by `tests/residency.rs`
+//!   and gated in CI); data comes back only at explicit sync points
+//!   (decrypt/decode, [`Ciphertext::sync`]).
 
 use crate::ciphertext::{Ciphertext, Plaintext};
 use crate::keys::{KeySet, PublicKey, RelinEntry, RelinKeys, SecretKey};
 use crate::params::HeLiteParams;
 use crate::sampling;
-use ntt_core::backend::{CpuBackend, Evaluator, NttBackend};
+use ntt_core::backend::{CpuBackend, Evaluator, NttBackend, TransferStats};
 use ntt_core::poly::{Representation, RingError, RnsPoly, RnsRing};
 use rand::{Rng, RngExt};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Errors from context construction.
@@ -40,9 +59,9 @@ impl From<RingError> for HeError {
     }
 }
 
-/// The mutex-held execution state: the evaluator plus reusable scratch
-/// for key-switch digit packing (always touched under the same lock, so
-/// one field costs no extra synchronization).
+/// One pooled execution state: an evaluator plus reusable scratch for the
+/// host key-switch digit packing (each pool member owns its scratch, so
+/// no extra synchronization).
 #[derive(Debug)]
 struct EvalState {
     ev: Evaluator,
@@ -52,23 +71,50 @@ struct EvalState {
     ks_scratch: Vec<u64>,
 }
 
+/// The evaluator pool: idle evaluators plus the prototype backend new
+/// members are forked from. Checkout holds the `idle` lock only for a
+/// pop/push, so concurrent scheme operations overlap; forks share the
+/// prototype's device memory and the ring's one cached plan.
+struct EvalPool {
+    /// Fork source (also answers identity queries: name, memory). Locked
+    /// only briefly, never across an operation.
+    proto: Mutex<Box<dyn NttBackend>>,
+    idle: Mutex<Vec<EvalState>>,
+    /// Evaluators ever created (pool high-water mark).
+    created: AtomicUsize,
+}
+
+impl std::fmt::Debug for EvalPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalPool")
+            .field("created", &self.created.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Lock helper: the pool holds plain state, so poisoning is recovered
+/// rather than cascaded.
+fn lock<T: ?Sized>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// The scheme context: parameters, the RNS ring, the precomputed
 /// CRT-gadget residues `[g_j^{(level)}]_{p_i}` used by relinearization,
-/// and the backend-generic [`Evaluator`] executing every NTT workload.
+/// and a pool of backend-generic [`Evaluator`]s executing every NTT
+/// workload.
 #[derive(Debug)]
 pub struct HeContext {
     params: HeLiteParams,
     ring: RnsRing,
     /// `gadget[level - 1][j][i] = [ (Q_l/p_j) · ((Q_l/p_j)^{-1} mod p_j) ]_{p_i}`.
     gadget: Vec<Vec<Vec<u64>>>,
-    /// The execution engine (plan + pluggable backend + scratch). Behind
-    /// a mutex so scheme operations can stay `&self`; never held across a
-    /// public-API boundary. Note this serializes concurrent operations on
-    /// one shared context — for parallel HE throughput, give each worker
-    /// thread its own `HeContext` (contexts over the same parameters
-    /// share ring tables only by rebuilding them; a shared-plan
-    /// multi-evaluator context is a ROADMAP follow-up).
-    evaluator: Mutex<EvalState>,
+    /// The evaluator pool (see [`EvalPool`]); scheme operations stay
+    /// `&self` and scale across threads instead of serializing on one
+    /// evaluator mutex.
+    pool: EvalPool,
+    /// Keep key material and ciphertexts device-resident (decided once
+    /// from the backend's preference).
+    resident: bool,
 }
 
 impl HeContext {
@@ -131,31 +177,93 @@ impl HeContext {
             }
             gadget.push(per_j);
         }
-        let evaluator = Mutex::new(EvalState {
-            ev: Evaluator::with_backend(&ring, backend),
-            ks_scratch: Vec::new(),
-        });
+        let resident = backend.prefers_residency();
+        let pool = EvalPool {
+            proto: Mutex::new(backend),
+            idle: Mutex::new(Vec::new()),
+            created: AtomicUsize::new(0),
+        };
         Ok(Self {
             params,
             ring,
             gadget,
-            evaluator,
+            pool,
+            resident,
         })
     }
 
-    /// Lock the execution state. A panic inside a scheme operation cannot
-    /// corrupt it — the evaluator holds an immutable plan plus
-    /// content-agnostic scratch — so poisoning is recovered rather than
-    /// cascaded into every later operation.
-    fn eval_state(&self) -> std::sync::MutexGuard<'_, EvalState> {
-        self.evaluator
+    /// Fork a fresh pool member from the prototype backend (shares device
+    /// memory and the memoized ring plan).
+    fn new_state(&self) -> EvalState {
+        let backend = lock(&self.pool.proto).fork();
+        self.pool.created.fetch_add(1, Ordering::Relaxed);
+        EvalState {
+            ev: Evaluator::with_backend(&self.ring, backend),
+            ks_scratch: Vec::new(),
+        }
+    }
+
+    /// Run `f` on a pooled execution state: pop an idle evaluator (or
+    /// fork a new one), run, push it back. Locks are held only around the
+    /// pop/push, so concurrent operations — and *nested* checkouts from
+    /// the same thread — proceed instead of deadlocking on one evaluator
+    /// mutex. A panic inside `f` drops that pool member (the pool shrinks
+    /// by one; state cannot be corrupted).
+    fn with_eval<R>(&self, f: impl FnOnce(&mut EvalState) -> R) -> R {
+        let mut st = lock(&self.pool.idle)
+            .pop()
+            .unwrap_or_else(|| self.new_state());
+        let r = f(&mut st);
+        lock(&self.pool.idle).push(st);
+        r
+    }
+
+    /// Run `f` with an evaluator checked out of the context's pool — the
+    /// escape hatch for custom polynomial-level operations on the
+    /// context's backend. Reentrant: calling scheme operations (or this
+    /// method) from inside `f` checks out *another* evaluator instead of
+    /// deadlocking.
+    ///
+    /// ```
+    /// use he_lite::{HeContext, HeLiteParams};
+    /// let ctx = HeContext::new(HeLiteParams {
+    ///     log_n: 5, prime_bits: 50, levels: 2, scale_bits: 40,
+    ///     gadget_bits: 10, error_eta: 4,
+    /// })?;
+    /// let deg = ctx.with_pooled_evaluator(|ev| ev.plan().degree());
+    /// assert_eq!(deg, 32);
+    /// # Ok::<(), he_lite::HeError>(())
+    /// ```
+    pub fn with_pooled_evaluator<R>(&self, f: impl FnOnce(&mut Evaluator) -> R) -> R {
+        self.with_eval(|st| f(&mut st.ev))
+    }
+
+    /// Evaluators created so far (the pool's high-water mark — grows with
+    /// the maximum number of overlapping operations).
+    pub fn evaluator_count(&self) -> usize {
+        self.pool.created.load(Ordering::Relaxed)
+    }
+
+    /// Whether this context keeps polynomials device-resident.
+    pub fn is_resident(&self) -> bool {
+        self.resident
+    }
+
+    /// The backend's host↔device transfer ledger (shared by every pooled
+    /// evaluator). The residency gates are written against this: reset,
+    /// run a steady-state window, assert `host_transfers() == 0`.
+    pub fn transfer_stats(&self) -> TransferStats {
+        let mem = lock(&self.pool.proto).memory();
+        let stats = mem
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .stats();
+        stats
     }
 
     /// The label of the execution backend in use.
     pub fn backend_name(&self) -> &'static str {
-        self.eval_state().ev.backend_name()
+        lock(&self.pool.proto).name()
     }
 
     /// The parameters.
@@ -168,11 +276,36 @@ impl HeContext {
         &self.ring
     }
 
-    /// Generate a full key set.
+    /// Generate a full key set. Key material is computed host-side, then
+    /// — on residency-preferring backends — uploaded once so that every
+    /// later operation finds it on the device (part of a chain's "initial
+    /// upload").
     pub fn keygen<R: Rng + RngExt>(&self, rng: &mut R) -> KeySet {
+        let mut keys = self.with_eval(|st| self.keygen_host(&mut st.ev, rng));
+        if self.resident {
+            self.with_eval(|st| {
+                let ev = &mut st.ev;
+                ev.make_resident(&mut keys.secret.s_eval);
+                ev.make_resident(&mut keys.public.b);
+                ev.make_resident(&mut keys.public.a);
+                for per_level in &mut keys.relin.entries {
+                    for per_j in per_level {
+                        for entry in per_j {
+                            ev.make_resident(&mut entry.b);
+                            ev.make_resident(&mut entry.a);
+                        }
+                    }
+                }
+            });
+        }
+        keys
+    }
+
+    /// The host-side key computation (all polynomials [`RnsPoly`]
+    /// host-only, so every evaluator call takes the host path — identical
+    /// bits on every backend).
+    fn keygen_host<R: Rng + RngExt>(&self, ev: &mut Evaluator, rng: &mut R) -> KeySet {
         let ring = &self.ring;
-        let mut st = self.eval_state();
-        let ev = &mut st.ev;
         let eta = self.params.error_eta;
         // Secret.
         let mut s = sampling::ternary_poly(ring, rng);
@@ -263,10 +396,13 @@ impl HeContext {
     }
 
     /// Decode the first `k` coefficients back to reals (`k` = number of
-    /// coefficients that were encoded; here we return all of them).
+    /// coefficients that were encoded; here we return all of them). An
+    /// explicit sync point: device-resident plaintexts are downloaded
+    /// here.
     pub fn decode(&self, pt: &Plaintext) -> Vec<f64> {
         let mut m = pt.m.clone();
-        self.eval_state().ev.to_coefficient(&mut m);
+        self.with_eval(|st| st.ev.to_coefficient(&mut m));
+        m.sync();
         (0..self.params.n())
             .map(|i| {
                 let v = m
@@ -277,7 +413,9 @@ impl HeContext {
             .collect()
     }
 
-    /// Encrypt under the public key.
+    /// Encrypt under the public key. On a residency-preferring backend
+    /// the fresh samples are uploaded (the chain's initial upload) and
+    /// the resulting ciphertext lives on the device.
     pub fn encrypt<R: Rng + RngExt>(
         &self,
         pt: &Plaintext,
@@ -285,45 +423,57 @@ impl HeContext {
         rng: &mut R,
     ) -> Ciphertext {
         let ring = &self.ring;
-        let mut st = self.eval_state();
-        let ev = &mut st.ev;
         let eta = self.params.error_eta;
         let mut u = sampling::ternary_poly(ring, rng);
         let mut e0 = sampling::error_poly(ring, eta, rng);
         let mut e1 = sampling::error_poly(ring, eta, rng);
         let mut m = pt.m.clone();
-        // All four forward transforms batched through the backend.
-        ev.forward_polys(&mut [&mut u, &mut e0, &mut e1, &mut m]);
+        self.with_eval(|st| {
+            let ev = &mut st.ev;
+            if self.resident {
+                ev.make_resident(&mut u);
+                ev.make_resident(&mut e0);
+                ev.make_resident(&mut e1);
+                ev.make_resident(&mut m);
+            }
+            // All four forward transforms batched through the backend.
+            ev.forward_polys(&mut [&mut u, &mut e0, &mut e1, &mut m]);
 
-        let mut c0 = pk.b.clone();
-        ev.mul_pointwise(&mut c0, &u);
-        c0.add_assign(&e0, ring);
-        c0.add_assign(&m, ring);
-        let mut c1 = pk.a.clone();
-        ev.mul_pointwise(&mut c1, &u);
-        c1.add_assign(&e1, ring);
-        Ciphertext {
-            c0,
-            c1,
-            scale: pt.scale,
-        }
+            let mut c0 = pk.b.clone();
+            ev.mul_pointwise(&mut c0, &u);
+            ev.add_assign(&mut c0, &e0);
+            ev.add_assign(&mut c0, &m);
+            let mut c1 = pk.a.clone();
+            ev.mul_pointwise(&mut c1, &u);
+            ev.add_assign(&mut c1, &e1);
+            Ciphertext {
+                c0,
+                c1,
+                scale: pt.scale,
+            }
+        })
     }
 
-    /// Decrypt with the secret key.
+    /// Decrypt with the secret key. An explicit sync point: the returned
+    /// plaintext is host-fresh regardless of where the ciphertext lived.
     pub fn decrypt(&self, ct: &Ciphertext, sk: &SecretKey) -> Plaintext {
-        let ring = &self.ring;
-        let mut st = self.eval_state();
-        let ev = &mut st.ev;
         let level = ct.level();
-        let s = sk.s_eval.truncated(level);
-        let mut m = ct.c1.clone();
-        ev.mul_pointwise(&mut m, &s);
-        m.add_assign(&ct.c0, ring);
-        ev.to_coefficient(&mut m);
-        Plaintext { m, scale: ct.scale }
+        self.with_eval(|st| {
+            let ev = &mut st.ev;
+            let mut s = sk.s_eval.truncated(level);
+            if self.resident {
+                ev.make_resident(&mut s);
+            }
+            let mut m = ct.c1.clone();
+            ev.mul_pointwise(&mut m, &s);
+            ev.add_assign(&mut m, &ct.c0);
+            ev.to_coefficient(&mut m);
+            m.sync();
+            Plaintext { m, scale: ct.scale }
+        })
     }
 
-    /// Homomorphic addition.
+    /// Homomorphic addition (device-side for resident ciphertexts).
     ///
     /// # Panics
     ///
@@ -336,15 +486,18 @@ impl HeContext {
             a.scale,
             b.scale
         );
-        let mut c0 = a.c0.clone();
-        c0.add_assign(&b.c0, &self.ring);
-        let mut c1 = a.c1.clone();
-        c1.add_assign(&b.c1, &self.ring);
-        Ciphertext {
-            c0,
-            c1,
-            scale: a.scale,
-        }
+        self.with_eval(|st| {
+            let ev = &mut st.ev;
+            let mut c0 = a.c0.clone();
+            ev.add_assign(&mut c0, &b.c0);
+            let mut c1 = a.c1.clone();
+            ev.add_assign(&mut c1, &b.c1);
+            Ciphertext {
+                c0,
+                c1,
+                scale: a.scale,
+            }
+        })
     }
 
     /// Homomorphic subtraction.
@@ -355,15 +508,18 @@ impl HeContext {
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
         assert_eq!(a.level(), b.level(), "level mismatch");
         assert!((a.scale / b.scale - 1.0).abs() < 1e-9, "scale mismatch");
-        let mut c0 = a.c0.clone();
-        c0.sub_assign(&b.c0, &self.ring);
-        let mut c1 = a.c1.clone();
-        c1.sub_assign(&b.c1, &self.ring);
-        Ciphertext {
-            c0,
-            c1,
-            scale: a.scale,
-        }
+        self.with_eval(|st| {
+            let ev = &mut st.ev;
+            let mut c0 = a.c0.clone();
+            ev.sub_assign(&mut c0, &b.c0);
+            let mut c1 = a.c1.clone();
+            ev.sub_assign(&mut c1, &b.c1);
+            Ciphertext {
+                c0,
+                c1,
+                scale: a.scale,
+            }
+        })
     }
 
     /// Plaintext multiplication (no relinearization needed); rescales.
@@ -374,59 +530,65 @@ impl HeContext {
     pub fn multiply_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
         let level = ct.level();
         assert!(level >= 2, "no prime left to rescale into");
-        let mut st = self.eval_state();
-        let ev = &mut st.ev;
-        let mut m = pt.m.truncated(level);
-        ev.to_evaluation(&mut m);
-        let mut c0 = ct.c0.clone();
-        ev.mul_pointwise(&mut c0, &m);
-        let mut c1 = ct.c1.clone();
-        ev.mul_pointwise(&mut c1, &m);
-        let mut out = Ciphertext {
-            c0,
-            c1,
-            scale: ct.scale * pt.scale,
-        };
-        self.rescale_in_place(ev, &mut out);
-        debug_assert_eq!(out.level(), level - 1);
-        out
+        self.with_eval(|st| {
+            let ev = &mut st.ev;
+            let mut m = pt.m.truncated(level);
+            if self.resident {
+                ev.make_resident(&mut m);
+            }
+            ev.to_evaluation(&mut m);
+            let mut c0 = ct.c0.clone();
+            ev.mul_pointwise(&mut c0, &m);
+            let mut c1 = ct.c1.clone();
+            ev.mul_pointwise(&mut c1, &m);
+            let mut out = Ciphertext {
+                c0,
+                c1,
+                scale: ct.scale * pt.scale,
+            };
+            self.rescale_in_place(ev, &mut out);
+            debug_assert_eq!(out.level(), level - 1);
+            out
+        })
     }
 
-    /// Homomorphic multiplication: tensor, relinearize, rescale.
+    /// Homomorphic multiplication: tensor, relinearize, rescale. For
+    /// device-resident ciphertexts the whole chain — including the gadget
+    /// digit decomposition and every digit NTT — runs on the device with
+    /// zero host↔device transfers.
     ///
     /// # Panics
     ///
     /// Panics on level mismatch or at level 1 (no prime to rescale into).
     pub fn multiply(&self, a: &Ciphertext, b: &Ciphertext, rk: &RelinKeys) -> Ciphertext {
-        let ring = &self.ring;
         let level = a.level();
         assert_eq!(level, b.level(), "level mismatch");
         assert!(level >= 2, "no prime left to rescale into");
-        let mut st = self.eval_state();
+        self.with_eval(|st| {
+            // Tensor product (evaluation form).
+            let mut e0 = a.c0.clone();
+            st.ev.mul_pointwise(&mut e0, &b.c0);
+            let mut e1a = a.c0.clone();
+            st.ev.mul_pointwise(&mut e1a, &b.c1);
+            let mut e1b = a.c1.clone();
+            st.ev.mul_pointwise(&mut e1b, &b.c0);
+            st.ev.add_assign(&mut e1a, &e1b);
+            let mut e2 = a.c1.clone();
+            st.ev.mul_pointwise(&mut e2, &b.c1);
 
-        // Tensor product (evaluation form).
-        let mut e0 = a.c0.clone();
-        st.ev.mul_pointwise(&mut e0, &b.c0);
-        let mut e1a = a.c0.clone();
-        st.ev.mul_pointwise(&mut e1a, &b.c1);
-        let mut e1b = a.c1.clone();
-        st.ev.mul_pointwise(&mut e1b, &b.c0);
-        e1a.add_assign(&e1b, ring);
-        let mut e2 = a.c1.clone();
-        st.ev.mul_pointwise(&mut e2, &b.c1);
+            // Relinearize e2 -> (r0, r1) using the hybrid gadget.
+            let (r0, r1) = self.key_switch(st, &e2, rk, level);
+            st.ev.add_assign(&mut e0, &r0);
+            st.ev.add_assign(&mut e1a, &r1);
 
-        // Relinearize e2 -> (r0, r1) using the hybrid gadget.
-        let (r0, r1) = self.key_switch(&mut st, &e2, rk, level);
-        e0.add_assign(&r0, ring);
-        e1a.add_assign(&r1, ring);
-
-        let mut out = Ciphertext {
-            c0: e0,
-            c1: e1a,
-            scale: a.scale * b.scale,
-        };
-        self.rescale_in_place(&mut st.ev, &mut out);
-        out
+            let mut out = Ciphertext {
+                c0: e0,
+                c1: e1a,
+                scale: a.scale * b.scale,
+            };
+            self.rescale_in_place(&mut st.ev, &mut out);
+            out
+        })
     }
 
     /// Gadget key switch of `e2` (evaluation form, `level` primes):
@@ -457,6 +619,27 @@ impl HeContext {
         } = st;
         let mut e2c = e2.clone();
         ev.to_coefficient(&mut e2c);
+
+        // Device-resident fast path: decompose on the device, forward-NTT
+        // all `level × digits` digit polynomials in one batched call, and
+        // accumulate with fused multiply-adds — nothing crosses the bus.
+        // Unlike the packed host path below, zero digits are processed
+        // too (they transform to zero and accumulate nothing), so the
+        // results stay bit-identical.
+        if let Some(digit_buf) = ev.decompose_resident(&e2c, digits, w) {
+            let mut acc0 = ev.zero_resident(level, Representation::Evaluation);
+            let mut acc1 = ev.zero_resident(level, Representation::Evaluation);
+            for j in 0..level {
+                for d in 0..digits {
+                    let k = j * digits + d;
+                    let digit = digit_buf.sub(k * level * n, level * n);
+                    let entry = &rk.entries[level - 1][j][d];
+                    ev.fma_resident(&mut acc0, digit, &entry.b);
+                    ev.fma_resident(&mut acc1, digit, &entry.a);
+                }
+            }
+            return (acc0, acc1);
+        }
 
         // Pack the digit polynomials into the reusable scratch: for each
         // (prime j, digit d) with a non-zero digit, `level` identical rows
@@ -509,14 +692,14 @@ impl HeContext {
     }
 
     /// Exact RNS rescale: divide by the last active prime and drop it.
-    /// Both components cross domains together, batching the transforms.
+    /// Both components cross domains together, batching the transforms;
+    /// resident ciphertexts rescale on the device.
     fn rescale_in_place(&self, ev: &mut Evaluator, ct: &mut Ciphertext) {
-        let ring = &self.ring;
         let level = ct.level();
-        let dropped = ring.basis().primes()[level - 1] as f64;
+        let dropped = self.ring.basis().primes()[level - 1] as f64;
         ev.inverse_polys(&mut [&mut ct.c0, &mut ct.c1]);
-        ct.c0.rescale(ring);
-        ct.c1.rescale(ring);
+        ev.rescale(&mut ct.c0);
+        ev.rescale(&mut ct.c1);
         ev.forward_polys(&mut [&mut ct.c0, &mut ct.c1]);
         ct.scale /= dropped;
     }

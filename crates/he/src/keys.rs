@@ -1,4 +1,9 @@
 //! Key material: secret, public and relinearization keys.
+//!
+//! On residency-preferring backends, keygen uploads every key polynomial
+//! once (part of the chain's initial upload); relinearization then reads
+//! the key halves directly from device memory — key material never
+//! crosses the bus again.
 
 use ntt_core::poly::RnsPoly;
 

@@ -44,21 +44,37 @@ impl DeviceOt {
     /// Panics if `base` is not a power of two ≥ 2, or if two levels do not
     /// suffice (`base² < N`).
     pub fn upload(gpu: &mut Gpu, batch: &DeviceBatch, base: usize) -> Self {
+        let tables: Vec<&ntt_core::NttTable> = (0..batch.np()).map(|i| batch.table(i)).collect();
+        Self::upload_tables(gpu, batch.n(), &tables, base)
+    }
+
+    /// Build and upload the factor tables from explicit per-prime twiddle
+    /// tables (the plan-driven path used by `SimBackend`, which has no
+    /// [`DeviceBatch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not a power of two ≥ 2, or if two levels do not
+    /// suffice (`base² < N`).
+    pub fn upload_tables(
+        gpu: &mut Gpu,
+        n: usize,
+        tables: &[&ntt_core::NttTable],
+        base: usize,
+    ) -> Self {
         assert!(base.is_power_of_two() && base >= 2, "invalid OT base");
-        let n = batch.n();
         assert!(
             base * base >= n,
             "two-level OT requires base^2 >= N (base {base}, N {n})"
         );
         let lo_len = base.min(n);
         let hi_len = (n / base).max(1);
-        let np = batch.np();
+        let np = tables.len();
         let mut lo_w = Vec::with_capacity(np * lo_len);
         let mut lo_c = Vec::with_capacity(np * lo_len);
         let mut hi_w = Vec::with_capacity(np * hi_len);
         let mut hi_c = Vec::with_capacity(np * hi_len);
-        for i in 0..np {
-            let table = batch.table(i);
+        for table in tables {
             let (p, psi) = (table.modulus(), table.psi());
             for d in 0..lo_len as u64 {
                 let v = pow_mod(psi, d, p);

@@ -150,6 +150,10 @@ struct TwoStepKernel {
     n: usize,
     log_n: u32,
     moduli: Vec<u64>,
+    /// RNS prime index of each data row (identity for a plain `np`-prime
+    /// batch; `r % level` for stacked buffer-of-digits batches). Data
+    /// addressing uses the row index, twiddle/modulus selection the prime.
+    row_prime: Vec<usize>,
     /// This kernel's transform size (N1 or N2).
     r: usize,
     /// Per-thread NTT size.
@@ -189,13 +193,13 @@ impl TwoStepKernel {
         }
     }
 
-    /// Global data word for (prime, group, local element).
-    fn elem_addr(&self, prime: usize, group: usize, e: usize) -> usize {
+    /// Global data word for (row, group, local element).
+    fn elem_addr(&self, row: usize, group: usize, e: usize) -> usize {
         let off = match self.orientation {
             Orientation::Strided => group + e * self.groups_per_prime(),
             Orientation::Contiguous => group * self.r + e,
         };
-        self.data.word(prime * self.n + off)
+        self.data.word(row * self.n + off)
     }
 
     /// Global group index for (block-in-prime, group-in-block).
@@ -265,9 +269,9 @@ impl TwoStepKernel {
         let tpg = self.threads_per_group();
         let size = self.levels[level];
         let subs = self.t / size;
-        let blocks_per_prime = self.groups_per_prime() / self.c;
-        let prime = ctx.block / blocks_per_prime;
-        let block_in_prime = ctx.block % blocks_per_prime;
+        let blocks_per_row = self.groups_per_prime() / self.c;
+        let prime = self.row_prime[ctx.block / blocks_per_row];
+        let block_in_prime = ctx.block % blocks_per_row;
 
         for b in 0..subs {
             let mut m_loc = 1;
@@ -390,9 +394,10 @@ impl WarpKernel for TwoStepKernel {
         let lanes = ctx.lanes();
         let tpg = self.threads_per_group();
         let threads = self.c * tpg;
-        let blocks_per_prime = self.groups_per_prime() / self.c;
-        let prime = ctx.block / blocks_per_prime;
-        let block_in_prime = ctx.block % blocks_per_prime;
+        let blocks_per_row = self.groups_per_prime() / self.c;
+        let row = ctx.block / blocks_per_row;
+        let prime = self.row_prime[row];
+        let block_in_prime = ctx.block % blocks_per_row;
         let n_levels = self.levels.len();
         let phase = ctx.phase;
 
@@ -442,7 +447,7 @@ impl WarpKernel for TwoStepKernel {
                             let (c, u) = self.split_tid(tid);
                             let group = self.global_group(block_in_prime, c);
                             let e = self.item_elem(0, u + b * tpg, s);
-                            Some(self.elem_addr(prime, group, e))
+                            Some(self.elem_addr(row, group, e))
                         })
                         .collect();
                     let vals = if self.coalesced || self.orientation == Orientation::Contiguous {
@@ -475,7 +480,7 @@ impl WarpKernel for TwoStepKernel {
                                 let group = self.global_group(block_in_prime, c);
                                 let e = self.item_elem(level, u + b * tpg, s);
                                 let v = ctx.regs(l)[b * size + s];
-                                Some((self.elem_addr(prime, group, e), v))
+                                Some((self.elem_addr(row, group, e), v))
                             })
                             .collect();
                         if self.coalesced || self.orientation == Orientation::Contiguous {
@@ -543,13 +548,56 @@ fn launch_shape(r: usize, t: usize, groups_per_prime: usize) -> (usize, usize) {
     (c, c * tpg)
 }
 
+/// A device-side SMEM NTT problem decoupled from [`DeviceBatch`]: raw data
+/// and twiddle buffers plus the row→prime mapping. This is what lets the
+/// `SimBackend` route arbitrary (stacked, device-resident) batches through
+/// the two-kernel implementation.
+pub(crate) struct SmemJob<'a> {
+    /// `rows × N` data words, transformed in place.
+    pub data: Buf,
+    /// `np × N` forward twiddle values (bit-reversed).
+    pub tw: Buf,
+    /// `np × N` Shoup companions.
+    pub twc: Buf,
+    /// Transform size `N`.
+    pub n: usize,
+    /// `log2 N`.
+    pub log_n: u32,
+    /// Per-prime moduli (indexed by prime id).
+    pub moduli: &'a [u64],
+    /// RNS prime index of each data row.
+    pub row_prime: &'a [usize],
+}
+
+/// Whether an `n`-point SMEM run with this config fits the device's
+/// launch limits (threads per block, shared memory per block) for **both**
+/// kernels. Used by the `SimBackend` split selection to skip infeasible
+/// candidates instead of panicking inside the launch asserts.
+pub(crate) fn job_feasible(n: usize, cfg: &SmemConfig, config: &gpu_sim::GpuConfig) -> bool {
+    for r in [cfg.n1, n / cfg.n1] {
+        if r < 2 {
+            return false;
+        }
+        let t = cfg.per_thread.min(r);
+        let (c, threads) = launch_shape(r, t, n / r);
+        if threads > config.max_threads_per_block as usize {
+            return false;
+        }
+        let smem_words = c * r + 2 * r; // worst case: preload on
+        if smem_words * 8 > config.max_smem_per_block as usize {
+            return false;
+        }
+    }
+    true
+}
+
 fn make_kernel(
-    batch: &DeviceBatch,
+    job: &SmemJob<'_>,
     cfg: &SmemConfig,
     orientation: Orientation,
     ot: Option<(DeviceOt, usize)>,
 ) -> (TwoStepKernel, LaunchConfig) {
-    let n = batch.n();
+    let n = job.n;
     let r = match orientation {
         Orientation::Strided => cfg.n1,
         Orientation::Contiguous => n / cfg.n1,
@@ -559,18 +607,19 @@ fn make_kernel(
     let levels = level_sizes(r, t);
     let preload = cfg.preload && orientation == Orientation::Strided;
     let smem_words = c * r + if preload { 2 * r } else { 0 };
-    let blocks = batch.np() * (n / r) / c;
+    let blocks = job.row_prime.len() * (n / r) / c;
     let name = match orientation {
         Orientation::Strided => format!("smem-k1-{r}"),
         Orientation::Contiguous => format!("smem-k2-{r}"),
     };
     let kernel = TwoStepKernel {
-        data: batch.data,
-        tw: batch.twiddles,
-        twc: batch.companions,
+        data: job.data,
+        tw: job.tw,
+        twc: job.twc,
         n,
-        log_n: batch.log_n(),
-        moduli: batch.moduli().to_vec(),
+        log_n: job.log_n,
+        moduli: job.moduli.to_vec(),
+        row_prime: job.row_prime.to_vec(),
         r,
         t,
         levels,
@@ -588,20 +637,22 @@ fn make_kernel(
     (kernel, launch)
 }
 
-/// Run the two-kernel SMEM NTT with pre-uploaded OT tables (reuse across
-/// sweeps). `ot` is required iff `cfg.ot_stages > 0`.
+/// Launch the two SMEM kernels over an arbitrary row-mapped job. Returns
+/// the launch count (always 2). Shared by [`run_with_ot`] (identity
+/// mapping over a [`DeviceBatch`]) and the `SimBackend` forward path
+/// (stacked / device-resident batches).
 ///
 /// # Panics
 ///
 /// Panics on invalid splits (`n1` must be a power of two with
 /// `2 ≤ n1 ≤ N/2`), or if OT stages are requested without tables.
-pub fn run_with_ot(
+pub(crate) fn launch_job(
     gpu: &mut Gpu,
-    batch: &DeviceBatch,
+    job: &SmemJob<'_>,
     cfg: &SmemConfig,
     ot: Option<&DeviceOt>,
-) -> RunReport {
-    let n = batch.n();
+) -> usize {
+    let n = job.n;
     assert!(
         cfg.n1.is_power_of_two() && cfg.n1 >= 2 && cfg.n1 <= n / 2,
         "invalid N1 split"
@@ -627,11 +678,39 @@ pub fn run_with_ot(
         None
     };
 
-    let (k1, l1) = make_kernel(batch, cfg, Orientation::Strided, None);
+    let (k1, l1) = make_kernel(job, cfg, Orientation::Strided, None);
     gpu.launch(&k1, &l1);
-    let (k2, l2) = make_kernel(batch, cfg, Orientation::Contiguous, ot_pair);
+    let (k2, l2) = make_kernel(job, cfg, Orientation::Contiguous, ot_pair);
     gpu.launch(&k2, &l2);
-    RunReport::from_trace(format!("smem {}", cfg.label(n)), gpu, 2)
+    2
+}
+
+/// Run the two-kernel SMEM NTT with pre-uploaded OT tables (reuse across
+/// sweeps). `ot` is required iff `cfg.ot_stages > 0`.
+///
+/// # Panics
+///
+/// Panics on invalid splits (`n1` must be a power of two with
+/// `2 ≤ n1 ≤ N/2`), or if OT stages are requested without tables.
+pub fn run_with_ot(
+    gpu: &mut Gpu,
+    batch: &DeviceBatch,
+    cfg: &SmemConfig,
+    ot: Option<&DeviceOt>,
+) -> RunReport {
+    let n = batch.n();
+    let row_prime: Vec<usize> = (0..batch.np()).collect();
+    let job = SmemJob {
+        data: batch.data,
+        tw: batch.twiddles,
+        twc: batch.companions,
+        n,
+        log_n: batch.log_n(),
+        moduli: batch.moduli(),
+        row_prime: &row_prime,
+    };
+    let launches = launch_job(gpu, &job, cfg, ot);
+    RunReport::from_trace(format!("smem {}", cfg.label(n)), gpu, launches)
 }
 
 /// Run the two-kernel SMEM NTT, uploading OT tables on demand.

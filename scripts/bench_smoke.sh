@@ -10,7 +10,11 @@
 #   * an he-lite multiply/relinearize/rescale (key-switch digits batched
 #     through one backend call) stays within an NTT-count-derived bound of
 #     the in-run forward-NTT benchmark (~25 NTT-equivalents of work; the
-#     80x bound trips if a strict path sneaks back into the hot loop).
+#     80x bound trips if a strict path sneaks back into the hot loop);
+#   * a device-resident he-lite multiply chain on SimBackend performs
+#     ZERO steady-state host<->device transfers (the he_ops bench records
+#     the counted transfers + 1 as a pseudo-benchmark, so
+#     "steady_transfers_plus_one <= 1.0 * unit" holds iff transfers == 0).
 #
 # Usage:
 #   scripts/bench_smoke.sh                  # within-run ratio gates (CI)
@@ -45,5 +49,6 @@ else
     cargo run --release --quiet -p ntt-bench --bin bench_guard -- "$NOW" \
         --gate "rns_multiply_n8192_np8/fused_1thread<=0.6*rns_multiply_n8192_np8/strict_legacy" \
         --gate "cpu_ntt_pipeline/negacyclic_multiply_4096<=1.15*cpu_ntt_pipeline/negacyclic_multiply_strict_4096" \
-        --gate "he_lite_n2048_l3/multiply_relinearize_rescale<=80*he_lite_n2048_l3/forward_ntt_all_primes"
+        --gate "he_lite_n2048_l3/multiply_relinearize_rescale<=80*he_lite_n2048_l3/forward_ntt_all_primes" \
+        --gate "he_lite_sim_n256_l3/steady_transfers_plus_one<=1.0*he_lite_sim_n256_l3/unit"
 fi

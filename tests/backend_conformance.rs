@@ -15,7 +15,12 @@
 //!
 //! Plus the cross-substrate pin: `CpuBackend` ≡ `SimBackend` on every
 //! trait operation, including stacked buffer-of-digits batches and the
-//! full `he-lite` pipeline behind `HeContext::with_backend`.
+//! full `he-lite` pipeline behind `HeContext::with_backend` — which on
+//! `SimBackend` now runs **device-resident** (keys and ciphertexts live
+//! in simulated GMEM; relinearization decomposes and accumulates on the
+//! device), so the pin also covers the residency layer end to end.
+//! Interleaved host/device schedules are property-tested separately in
+//! `tests/residency.rs`.
 
 use ntt_warp::core::backend::{CpuBackend, Evaluator, LimbBatch, NttBackend, RingPlan};
 use ntt_warp::core::engine::ThreadPolicy;
@@ -192,7 +197,9 @@ fn cpu_and_sim_agree_on_stacked_digit_batches() {
 
 /// The full `he-lite` pipeline (keygen, encrypt, multiply/relinearize/
 /// rescale, decrypt) produces the same ciphertexts and plaintexts on both
-/// substrates — the Evaluator swap really is one line.
+/// substrates — the Evaluator swap really is one line. The Sim run is
+/// device-resident end to end (the CPU run is host-only), so this also
+/// pins host chains ≡ resident chains bit for bit.
 #[test]
 fn he_pipeline_is_bit_identical_across_backends() {
     use ntt_warp::he::{sampling, HeContext, HeLiteParams};
