@@ -116,5 +116,28 @@ fn bench_he_sim_resident(c: &mut Criterion) {
     record_value("he_lite_sim_n256_l3/unit", 1.0);
 }
 
-criterion_group!(benches, bench_he, bench_he_sim_resident);
+/// The stream scheduler's overlap gate inputs: 4 pooled evaluators on 4
+/// streams run independent encrypt → multiply → rescale chains; the
+/// overlapped modeled device time must undercut the serialized schedule
+/// by ≥ 1.3× (`overlapped <= 0.77 * serialized` in `bench_smoke.sh`).
+/// Values are modeled nanoseconds from one deterministic run, so the
+/// gate holds on any host.
+fn bench_sim_streams(_c: &mut Criterion) {
+    let r = ntt_bench::experiments::streams(8, 4);
+    record_value(
+        "sim_streams_4ev/overlapped_device_time",
+        r.timeline.overlapped_s * 1e9,
+    );
+    record_value(
+        "sim_streams_4ev/serialized_device_time",
+        r.timeline.serialized_s * 1e9,
+    );
+    println!(
+        "bench: sim_streams_4ev overlap = {:.2}x over {} launches",
+        r.overlap(),
+        r.timeline.launches
+    );
+}
+
+criterion_group!(benches, bench_he, bench_he_sim_resident, bench_sim_streams);
 criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! The experiments behind every figure and table in the paper.
 
 use gpu_sim::{Gpu, GpuConfig};
+use ntt_gpu::backend::SimMemory;
 use ntt_gpu::batch::DeviceBatch;
 use ntt_gpu::dft::DftBatch;
 use ntt_gpu::fpga_baseline::FpgaNtt;
@@ -37,11 +38,15 @@ fn measure(label: impl Into<String>, gpu: &Gpu, report: &RunReport, np: usize) -
     }
 }
 
-fn fresh_batch(log_n: u32, np: usize) -> (Gpu, DeviceBatch) {
-    let mut gpu = Gpu::new(GpuConfig::titan_v());
-    let batch = DeviceBatch::sequential(&mut gpu, log_n, np, 60)
+/// A fresh simulated device **through the handle layer** ([`SimMemory`]):
+/// the batch's buffers are [`ntt_core::backend::DeviceBuf`] handles with
+/// counted, stream-charged staging — the same allocator the residency
+/// layer uses — while the raw views still drive the kernels.
+fn fresh_batch(log_n: u32, np: usize) -> (SimMemory, DeviceBatch) {
+    let mut mem = SimMemory::new(GpuConfig::titan_v());
+    let batch = DeviceBatch::sequential_on(&mut mem, log_n, np, 60)
         .expect("paper parameters always have valid prime chains");
-    (gpu, batch)
+    (mem, batch)
 }
 
 /// The best-performing SMEM split for a given `log N`, determined the way
@@ -49,11 +54,12 @@ fn fresh_batch(log_n: u32, np: usize) -> (Gpu, DeviceBatch) {
 pub fn best_split(log_n: u32, np: usize, ot_stages: u32) -> (usize, Measurement) {
     let mut best: Option<(usize, Measurement)> = None;
     for n1 in SmemConfig::paper_splits(log_n) {
-        let (mut gpu, batch) = fresh_batch(log_n, np);
+        let (mut mem, batch) = fresh_batch(log_n, np);
+        let gpu = mem.gpu_mut();
         let cfg = SmemConfig::new(n1).ot_stages(ot_stages);
-        let rep = smem::run(&mut gpu, &batch, &cfg);
-        debug_assert!(rep.verify(&gpu, &batch));
-        let m = measure(cfg.label(batch.n()), &gpu, &rep, np);
+        let rep = smem::run(gpu, &batch, &cfg);
+        debug_assert!(rep.verify(gpu, &batch));
+        let m = measure(cfg.label(batch.n()), gpu, &rep, np);
         if best.as_ref().is_none_or(|(_, b)| m.time_us < b.time_us) {
             best = Some((n1, m));
         }
@@ -68,15 +74,16 @@ pub fn fig1(log_n: u32, np: usize) -> Vec<Measurement> {
     [ModMul::Shoup, ModMul::Native]
         .into_iter()
         .map(|mode| {
-            let (mut gpu, batch) = fresh_batch(log_n, np);
+            let (mut mem, batch) = fresh_batch(log_n, np);
+            let gpu = mem.gpu_mut();
             let cfg = SmemConfig::new(n1).modmul(mode);
-            let rep = smem::run(&mut gpu, &batch, &cfg);
+            let rep = smem::run(gpu, &batch, &cfg);
             measure(
                 match mode {
                     ModMul::Shoup => "Shoup",
                     ModMul::Native => "Native",
                 },
-                &gpu,
+                gpu,
                 &rep,
                 np,
             )
@@ -90,9 +97,10 @@ pub fn fig3a(log_n: u32, batch_sizes: &[usize]) -> Vec<Measurement> {
     batch_sizes
         .iter()
         .map(|&np| {
-            let (mut gpu, batch) = fresh_batch(log_n, np);
-            let rep = radix2::run(&mut gpu, &batch, ModMul::Shoup);
-            measure(format!("batch {np}"), &gpu, &rep, np)
+            let (mut mem, batch) = fresh_batch(log_n, np);
+            let gpu = mem.gpu_mut();
+            let rep = radix2::run(gpu, &batch, ModMul::Shoup);
+            measure(format!("batch {np}"), gpu, &rep, np)
         })
         .collect()
 }
@@ -116,9 +124,10 @@ pub fn fig4(log_n: u32, np: usize, radices: &[usize]) -> Vec<Measurement> {
     radices
         .iter()
         .map(|&r| {
-            let (mut gpu, batch) = fresh_batch(log_n, np);
-            let rep = high_radix::run(&mut gpu, &batch, r);
-            measure(format!("radix-{r}"), &gpu, &rep, np)
+            let (mut mem, batch) = fresh_batch(log_n, np);
+            let gpu = mem.gpu_mut();
+            let rep = high_radix::run(gpu, &batch, r);
+            measure(format!("radix-{r}"), gpu, &rep, np)
         })
         .collect()
 }
@@ -143,9 +152,10 @@ pub fn fig7(log_n: u32, np: usize, k1_sizes: &[usize]) -> Vec<Measurement> {
     let mut out = Vec::new();
     for &n1 in k1_sizes {
         for coalesced in [false, true] {
-            let (mut gpu, batch) = fresh_batch(log_n, np);
+            let (mut mem, batch) = fresh_batch(log_n, np);
+            let gpu = mem.gpu_mut();
             let cfg = SmemConfig::new(n1).coalesced(coalesced);
-            let rep = smem::run(&mut gpu, &batch, &cfg);
+            let rep = smem::run(gpu, &batch, &cfg);
             let k1_us = rep.launches[0].timing.total_s * 1e6;
             out.push(Measurement {
                 label: format!(
@@ -183,9 +193,10 @@ pub fn fig8(log_n: u32) -> Vec<(u32, f64)> {
 /// exactly from the first stage whose slice-pair fills a 32-byte sector
 /// (`m ≥ 4` — below that the model floors at one sector per table).
 pub fn fig8_measured(log_n: u32, np: usize) -> Vec<(u32, f64, f64)> {
-    let (mut gpu, batch) = fresh_batch(log_n, np);
+    let (mut mem, batch) = fresh_batch(log_n, np);
+    let gpu = mem.gpu_mut();
     let n = batch.n();
-    let rep = radix2::run(&mut gpu, &batch, ModMul::Shoup);
+    let rep = radix2::run(gpu, &batch, ModMul::Shoup);
     let analytic = fig8(log_n);
     rep.launches
         .iter()
@@ -207,9 +218,10 @@ pub fn fig9(log_n: u32, np: usize, k1_sizes: &[usize]) -> Vec<Measurement> {
     let mut out = Vec::new();
     for &n1 in k1_sizes {
         for preload in [false, true] {
-            let (mut gpu, batch) = fresh_batch(log_n, np);
+            let (mut mem, batch) = fresh_batch(log_n, np);
+            let gpu = mem.gpu_mut();
             let cfg = SmemConfig::new(n1).preload(preload);
-            let rep = smem::run(&mut gpu, &batch, &cfg);
+            let rep = smem::run(gpu, &batch, &cfg);
             let k1_us = rep.launches[0].timing.total_s * 1e6;
             out.push(Measurement {
                 label: format!("K1={n1} {}", if preload { "preload" } else { "direct" }),
@@ -229,10 +241,11 @@ pub fn fig11a(log_n: u32, np: usize) -> Vec<Measurement> {
     let mut out = Vec::new();
     for t in [2usize, 4, 8] {
         for n1 in SmemConfig::paper_splits(log_n) {
-            let (mut gpu, batch) = fresh_batch(log_n, np);
+            let (mut mem, batch) = fresh_batch(log_n, np);
+            let gpu = mem.gpu_mut();
             let cfg = SmemConfig::new(n1).per_thread(t);
-            let rep = smem::run(&mut gpu, &batch, &cfg);
-            out.push(measure(cfg.label(batch.n()), &gpu, &rep, np));
+            let rep = smem::run(gpu, &batch, &cfg);
+            out.push(measure(cfg.label(batch.n()), gpu, &rep, np));
         }
     }
     out
@@ -262,10 +275,11 @@ pub fn fig11c(log_n: u32, np: usize) -> Vec<Measurement> {
     let mut out = Vec::new();
     for ot in [0u32, 1, 2] {
         for n1 in SmemConfig::paper_splits(log_n) {
-            let (mut gpu, batch) = fresh_batch(log_n, np);
+            let (mut mem, batch) = fresh_batch(log_n, np);
+            let gpu = mem.gpu_mut();
             let cfg = SmemConfig::new(n1).ot_stages(ot);
-            let rep = smem::run(&mut gpu, &batch, &cfg);
-            out.push(measure(cfg.label(batch.n()), &gpu, &rep, np));
+            let rep = smem::run(gpu, &batch, &cfg);
+            out.push(measure(cfg.label(batch.n()), gpu, &rep, np));
         }
     }
     out
@@ -291,10 +305,11 @@ pub fn fig13(log_n: u32, batch_sizes: &[usize]) -> Vec<Measurement> {
     batch_sizes
         .iter()
         .map(|&np| {
-            let (mut gpu, batch) = fresh_batch(log_n, np);
+            let (mut mem, batch) = fresh_batch(log_n, np);
+            let gpu = mem.gpu_mut();
             let cfg = SmemConfig::new(n1);
-            let rep = smem::run(&mut gpu, &batch, &cfg);
-            measure(format!("np={np} logQ={}", 60 * np), &gpu, &rep, np)
+            let rep = smem::run(gpu, &batch, &cfg);
+            measure(format!("np={np} logQ={}", 60 * np), gpu, &rep, np)
         })
         .collect()
 }
@@ -305,9 +320,10 @@ pub fn table2(log_ns: &[u32], np: usize) -> Vec<(u32, Measurement, Measurement, 
     log_ns
         .iter()
         .map(|&log_n| {
-            let (mut gpu, batch) = fresh_batch(log_n, np);
-            let rep = radix2::run(&mut gpu, &batch, ModMul::Shoup);
-            let r2 = measure("radix-2", &gpu, &rep, np);
+            let (mut mem, batch) = fresh_batch(log_n, np);
+            let gpu = mem.gpu_mut();
+            let rep = radix2::run(gpu, &batch, ModMul::Shoup);
+            let r2 = measure("radix-2", gpu, &rep, np);
             let (_, s) = best_split(log_n, np, 0);
             let (_, s_ot) = best_split(log_n, np, 2);
             (log_n, r2, s, s_ot)
@@ -336,14 +352,16 @@ pub fn fpga_comparison(log_n: u32, batch_sizes: &[usize]) -> Vec<(usize, f64, f6
 pub fn wordsize(log_n: u32) -> Vec<Measurement> {
     // 60-bit path: 20 primes of full-width words.
     let n1 = SmemConfig::paper_splits(log_n)[0];
-    let (mut gpu, batch) = fresh_batch(log_n, 20);
-    let rep = smem::run(&mut gpu, &batch, &SmemConfig::new(n1));
-    let m60 = measure("20 x 60-bit", &gpu, &rep, 20);
+    let (mut mem, batch) = fresh_batch(log_n, 20);
+    let gpu = mem.gpu_mut();
+    let rep = smem::run(gpu, &batch, &SmemConfig::new(n1));
+    let m60 = measure("20 x 60-bit", gpu, &rep, 20);
     // 30-bit path: 40 primes; elements are half-width so the modeled time
     // halves the per-element traffic but doubles the transform count.
-    let (mut gpu2, batch2) = fresh_batch(log_n, 40);
-    let rep2 = smem::run(&mut gpu2, &batch2, &SmemConfig::new(n1));
-    let mut m30 = measure("40 x 30-bit", &gpu2, &rep2, 40);
+    let (mut mem2, batch2) = fresh_batch(log_n, 40);
+    let gpu2 = mem2.gpu_mut();
+    let rep2 = smem::run(gpu2, &batch2, &SmemConfig::new(n1));
+    let mut m30 = measure("40 x 30-bit", gpu2, &rep2, 40);
     m30.time_us *= 0.5;
     m30.dram_mb *= 0.5;
     vec![m60, m30]
@@ -361,6 +379,9 @@ pub struct ResidencyReport {
     /// Transfers during one steady-state multiply/relinearize/rescale —
     /// the quantity the residency gates pin to zero.
     pub steady: ntt_core::TransferStats,
+    /// Modeled device-time accounting (serialized vs overlapped) over the
+    /// steady-state window — the `figures residency` overlap line.
+    pub timeline: gpu_sim::DeviceTimeline,
 }
 
 /// Run keygen → encrypt ×2 → multiply on a `SimBackend`-resident
@@ -378,19 +399,163 @@ pub fn residency(log_n: u32) -> ResidencyReport {
         gadget_bits: 10,
         error_eta: 6,
     };
-    let ctx = HeContext::with_backend(params, Box::new(ntt_gpu::SimBackend::titan_v()))
-        .expect("sim context builds");
+    let backend = ntt_gpu::SimBackend::titan_v();
+    let dev = backend.memory_handle();
+    let timeline_of = |dev: &std::sync::Arc<std::sync::Mutex<SimMemory>>| {
+        dev.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .gpu()
+            .timeline()
+    };
+    let ctx = HeContext::with_backend(params, Box::new(backend)).expect("sim context builds");
     let keys = ctx.keygen(&mut sampling::seeded_rng(42));
     let mut rng = sampling::seeded_rng(7);
     let a = ctx.encrypt(&ctx.encode(&[2.5, -1.0]), &keys.public, &mut rng);
     let b = ctx.encrypt(&ctx.encode(&[3.0, 0.5]), &keys.public, &mut rng);
     let initial = ctx.transfer_stats();
+    let t0 = timeline_of(&dev);
     let _ = ctx.multiply(&a, &b, &keys.relin);
     let steady = ctx.transfer_stats().since(&initial);
+    let timeline = timeline_of(&dev).since(&t0);
     ResidencyReport {
         params: format!("{params}"),
         initial,
         steady,
+        timeline,
+    }
+}
+
+/// Modeled-overlap accounting for independent chains on pooled-evaluator
+/// streams (the `figures streams` line and the `bench_guard` overlap
+/// gate's input).
+#[derive(Debug, Clone, Copy)]
+pub struct StreamsReport {
+    /// Evaluators (= streams = chains).
+    pub evaluators: usize,
+    /// The measured window's device-time accounting (serialized schedule
+    /// cost vs overlapped makespan, launch/transfer counts).
+    pub timeline: gpu_sim::DeviceTimeline,
+}
+
+impl StreamsReport {
+    /// Serialized / overlapped — the headline overlap factor (gated at
+    /// ≥ 1.3× for the 4-evaluator chain in `scripts/bench_smoke.sh`).
+    pub fn overlap(&self) -> f64 {
+        self.timeline.overlap()
+    }
+}
+
+/// Run `evaluators` independent encrypt → multiply → rescale chains, one
+/// per pooled `SimBackend` fork (each fork owns a device stream), and
+/// report serialized vs overlapped modeled device time over the chain
+/// window.
+///
+/// The driver is single-threaded and fully deterministic: overlap comes
+/// from the *stream schedule*, not host threading — chain `i`'s kernels
+/// enqueue on fork `i`'s stream, fenced only by the shared "public key"
+/// upload on the root (setup) stream, so the modeled makespan approaches
+/// the longest single chain rather than the serial sum.
+pub fn streams(log_n: u32, evaluators: usize) -> StreamsReport {
+    use ntt_core::backend::{Evaluator, NttBackend};
+    use ntt_core::{RnsPoly, RnsRing};
+    use ntt_gpu::SimBackend;
+
+    let n = 1usize << log_n;
+    let ring = RnsRing::new(n, ntt_math::ntt_primes(50, 2 * n as u64, 3)).expect("valid ring");
+    let root = SimBackend::titan_v();
+    let dev = root.memory_handle();
+    let forks: Vec<Box<dyn NttBackend>> = (0..evaluators).map(|_| root.fork()).collect();
+    let mut setup = Evaluator::with_backend(&ring, Box::new(root));
+    let mut evs: Vec<Evaluator> = forks
+        .into_iter()
+        .map(|b| Evaluator::new(ring.plan(), b))
+        .collect();
+
+    let sample = |seed: i64| -> RnsPoly {
+        let coeffs: Vec<i64> = (0..n as i64)
+            .map(|i| (seed.wrapping_mul(i + 3) % 97) - 48)
+            .collect();
+        RnsPoly::from_i64_coeffs(&ring, &coeffs)
+    };
+
+    // Shared "public key" halves, uploaded and transformed on the root
+    // backend's stream — the setup stream every chain fences on once.
+    let (mut pk_b, mut pk_a) = (sample(3), sample(5));
+    setup.make_resident(&mut pk_b);
+    setup.make_resident(&mut pk_a);
+    setup.to_evaluation(&mut pk_b);
+    setup.to_evaluation(&mut pk_a);
+
+    let timeline = |dev: &std::sync::Arc<std::sync::Mutex<SimMemory>>| {
+        dev.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .gpu()
+            .timeline()
+    };
+    // Drain the device before opening the window (modeled
+    // `cudaDeviceSynchronize`): every fork stream is fenced on the setup
+    // work, so the makespan growth below is exactly the chain schedule's
+    // length — no chain work can hide under the setup schedule's tail
+    // and inflate the overlap factor.
+    dev.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .gpu_mut()
+        .sync_all();
+    let t0 = timeline(&dev);
+
+    // One independent chain per evaluator. Host execution is sequential;
+    // the stream schedule overlaps the modeled device time. Every chain
+    // keeps its device buffers alive until the window closes — the
+    // multi-stream discipline real CUDA code follows: a freed buffer may
+    // be recycled by another stream, whose first use then (correctly)
+    // fences on the previous owner's completion event and serializes the
+    // chains right back.
+    let mut keep: Vec<RnsPoly> = Vec::new();
+    for (i, ev) in evs.iter_mut().enumerate() {
+        let seed = 11 + 7 * i as i64;
+        let encrypt = |ev: &mut Evaluator, keep: &mut Vec<RnsPoly>, s: i64| -> (RnsPoly, RnsPoly) {
+            let (mut u, mut e0, mut e1, mut msg) =
+                (sample(s), sample(s + 1), sample(s + 2), sample(s + 3));
+            ev.make_resident(&mut u);
+            ev.make_resident(&mut e0);
+            ev.make_resident(&mut e1);
+            ev.make_resident(&mut msg);
+            ev.forward_polys(&mut [&mut u, &mut e0, &mut e1, &mut msg]);
+            let mut c0 = pk_b.clone();
+            ev.mul_pointwise(&mut c0, &u);
+            ev.add_assign(&mut c0, &e0);
+            ev.add_assign(&mut c0, &msg);
+            let mut c1 = pk_a.clone();
+            ev.mul_pointwise(&mut c1, &u);
+            ev.add_assign(&mut c1, &e1);
+            keep.extend([u, e0, e1, msg]);
+            (c0, c1)
+        };
+        let (mut c0, c1) = encrypt(ev, &mut keep, seed);
+        let (d0, d1) = encrypt(ev, &mut keep, seed + 40);
+        // Tensor multiply (no relinearization: chains stay independent).
+        let mut cross = c0.clone();
+        ev.mul_pointwise(&mut cross, &d1);
+        let mut cross2 = c1.clone();
+        ev.mul_pointwise(&mut cross2, &d0);
+        ev.add_assign(&mut cross, &cross2);
+        let mut e2 = c1.clone();
+        ev.mul_pointwise(&mut e2, &d1);
+        ev.mul_pointwise(&mut c0, &d0);
+        // Rescale every component a level down.
+        for poly in [&mut c0, &mut cross, &mut e2] {
+            ev.to_coefficient(poly);
+            ev.rescale(poly);
+            ev.to_evaluation(poly);
+        }
+        keep.extend([c0, c1, d0, d1, cross, cross2, e2]);
+    }
+
+    let d = timeline(&dev).since(&t0);
+    drop(keep);
+    StreamsReport {
+        evaluators,
+        timeline: d,
     }
 }
 
@@ -405,13 +570,14 @@ pub fn ot_base_sweep(log_n: u32, np: usize) -> Vec<(usize, usize, usize, f64)> {
         .into_iter()
         .map(|c| {
             let time = if c.base * c.base >= n && c.base >= 2 {
-                let (mut gpu, batch) = fresh_batch(log_n, np);
-                let ot = DeviceOt::upload(&mut gpu, &batch, c.base);
+                let (mut mem, batch) = fresh_batch(log_n, np);
+                let gpu = mem.gpu_mut();
+                let ot = DeviceOt::upload(gpu, &batch, c.base);
                 let cfg = SmemConfig {
                     ot_base: c.base,
                     ..SmemConfig::new(n1).ot_stages(2)
                 };
-                let rep = smem::run_with_ot(&mut gpu, &batch, &cfg, Some(&ot));
+                let rep = smem::run_with_ot(gpu, &batch, &cfg, Some(&ot));
                 rep.total_us()
             } else {
                 f64::NAN
@@ -427,6 +593,32 @@ mod tests {
 
     // Shape tests at reduced size (log_n = 10, np = 3) so the suite stays
     // fast; the figures binary runs the paper-scale versions.
+
+    #[test]
+    fn streams_overlap_independent_chains() {
+        let r = streams(6, 4);
+        assert_eq!(r.evaluators, 4);
+        assert!(r.timeline.launches > 0);
+        assert!(
+            r.timeline.overlapped_s <= r.timeline.serialized_s + 1e-12,
+            "overlap cannot exceed the serialized schedule: {r:?}"
+        );
+        assert!(
+            r.overlap() > 1.3,
+            "4 independent chains must overlap >= 1.3x, got {:.2}x",
+            r.overlap()
+        );
+        // More evaluators -> more overlap than a single-stream run.
+        let solo = streams(6, 1);
+        assert!(r.overlap() > solo.overlap());
+    }
+
+    #[test]
+    fn residency_reports_overlap_line() {
+        let r = residency(6);
+        assert!(r.timeline.serialized_s > 0.0);
+        assert!(r.timeline.overlapped_s <= r.timeline.serialized_s + 1e-12);
+    }
 
     #[test]
     fn fig1_shoup_wins() {

@@ -859,6 +859,14 @@ pub trait NttBackend: Send {
         false
     }
 
+    /// Route device-memory traffic initiated *outside* the backend — lazy
+    /// polynomial uploads/downloads through [`NttBackend::memory`] — to
+    /// this executor's stream in the backend's overlapped-time model.
+    /// Called by the [`Evaluator`] before such transfers; backends without
+    /// a stream model (e.g. [`CpuBackend`]) ignore it. Purely a
+    /// performance-model hint: results never depend on it.
+    fn bind_stream(&self) {}
+
     /// Forward-NTT a device-resident batch in place (`buf` = rows × N
     /// words, row `r` mod prime `r % level`). Default: staged through
     /// [`NttBackend::memory`] with counted transfers — override to stay on
@@ -1411,6 +1419,7 @@ impl Evaluator {
     /// already resident and clean here). From then on every evaluator
     /// operation on it runs device-side.
     pub fn make_resident(&mut self, poly: &mut RnsPoly) {
+        self.backend.bind_stream();
         let mem = self.backend.memory();
         poly.make_resident_in(&mem);
     }
@@ -1419,6 +1428,7 @@ impl Evaluator {
     /// host rows, in sync, no transfer charged (allocation is not an
     /// upload). Accumulators in device-resident chains start here.
     pub fn zero_resident(&mut self, level: usize, repr: Representation) -> RnsPoly {
+        self.backend.bind_stream();
         let mut poly = RnsPoly::zero_with_repr(self.plan.ring(), level, repr);
         let mem = self.backend.memory();
         let buf = lock_memory(&mem).alloc(level * self.plan.degree());
@@ -1705,6 +1715,7 @@ impl Evaluator {
                 Representation::Coefficient,
                 "rhs must be coefficients"
             );
+            self.backend.bind_stream();
             let mem = self.backend.memory();
             let stage = |mem: &SharedDeviceMemory, x: &RnsPoly| -> DeviceBuf {
                 let mut guard = lock_memory(mem);

@@ -63,13 +63,23 @@ impl Calibration {
         Some(Self { entries })
     }
 
-    /// Write the table atomically (temp file + rename). Errors are
+    /// Write the table atomically (unique temp file + rename). Errors are
     /// returned for tests but callers in the hot path ignore them.
+    ///
+    /// The temp name is unique per process *and* per call: concurrent
+    /// writers (threads of one process, or several processes sharing one
+    /// `NTT_WARP_CALIB_FILE`) each stage their own complete image and the
+    /// rename is atomic, so a reader can never observe a torn file — the
+    /// final contents are simply whichever complete write landed last.
+    /// (A shared `.tmp` name would let two writers interleave into one
+    /// staging file and publish garbage.)
     ///
     /// # Errors
     ///
     /// Propagates filesystem failures.
     pub fn store(&self, path: &Path) -> std::io::Result<()> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
         let mut text = format!("{VERSION_HEADER} host={}\n", hostname());
         for (k, v) in &self.entries {
             text.push_str(k);
@@ -80,9 +90,17 @@ impl Calibration {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
-        let tmp = path.with_extension("tmp");
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         std::fs::write(&tmp, text)?;
-        std::fs::rename(&tmp, path)
+        let renamed = std::fs::rename(&tmp, path);
+        if renamed.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        renamed
     }
 
     /// Look up a key.
@@ -116,21 +134,37 @@ fn hostname() -> String {
 /// empty disables persistence → `None`), else
 /// `<cache dir>/ntt-warp/calibration-<host>.v1.txt`.
 pub fn calibration_path() -> Option<PathBuf> {
-    if let Ok(p) = std::env::var("NTT_WARP_CALIB_FILE") {
+    let var = std::env::var("NTT_WARP_CALIB_FILE").ok();
+    let cache_root = std::env::var_os("XDG_CACHE_HOME")
+        .map(PathBuf::from)
+        .or_else(|| std::env::var_os("HOME").map(|h| PathBuf::from(h).join(".cache")))
+        .unwrap_or_else(std::env::temp_dir);
+    resolve_calibration_path(var.as_deref(), &cache_root, &hostname())
+}
+
+/// The pure resolution behind [`calibration_path`] — the override
+/// precedence, testable without touching process environment:
+///
+/// 1. an explicit override set to `off` / `none` / `0` / empty disables
+///    persistence entirely (`None`);
+/// 2. any other override value is used verbatim as the path;
+/// 3. no override → `<cache_root>/ntt-warp/calibration-<host>.v1.txt`.
+pub fn resolve_calibration_path(
+    override_var: Option<&str>,
+    cache_root: &Path,
+    host: &str,
+) -> Option<PathBuf> {
+    if let Some(p) = override_var {
         let p = p.trim().to_string();
         return match p.to_ascii_lowercase().as_str() {
             "" | "off" | "none" | "0" => None,
             _ => Some(PathBuf::from(p)),
         };
     }
-    let cache_root = std::env::var_os("XDG_CACHE_HOME")
-        .map(PathBuf::from)
-        .or_else(|| std::env::var_os("HOME").map(|h| PathBuf::from(h).join(".cache")))
-        .unwrap_or_else(std::env::temp_dir);
     Some(
         cache_root
             .join("ntt-warp")
-            .join(format!("calibration-{}.v1.txt", hostname())),
+            .join(format!("calibration-{host}.v1.txt")),
     )
 }
 
@@ -221,5 +255,120 @@ mod tests {
         if let Some(p) = calibration_path() {
             assert!(p.to_string_lossy().contains("calibration-"));
         }
+    }
+
+    #[test]
+    fn env_override_precedence() {
+        let root = Path::new("/cache");
+        // 1. Disabling values win outright (case-insensitive, trimmed).
+        for off in ["off", "none", "0", "", "  OFF  ", " None "] {
+            assert_eq!(
+                resolve_calibration_path(Some(off), root, "h"),
+                None,
+                "override {off:?} must disable persistence"
+            );
+        }
+        // 2. Any other override is used verbatim, beating the default.
+        assert_eq!(
+            resolve_calibration_path(Some("/tmp/my-calib.txt"), root, "h"),
+            Some(PathBuf::from("/tmp/my-calib.txt"))
+        );
+        // A path that merely *contains* "off" is not a disable keyword.
+        assert_eq!(
+            resolve_calibration_path(Some("/data/offline.txt"), root, "h"),
+            Some(PathBuf::from("/data/offline.txt"))
+        );
+        // 3. No override: per-host file under the cache root.
+        assert_eq!(
+            resolve_calibration_path(None, root, "myhost"),
+            Some(PathBuf::from("/cache/ntt-warp/calibration-myhost.v1.txt"))
+        );
+    }
+
+    #[test]
+    fn truncated_and_partially_written_files_recover() {
+        let path = temp_path("truncated");
+        // Mid-line truncation (writer died before the newline): the pair
+        // still splits, the unrecognized value yields no verdict, and a
+        // re-measure rewrites the file cleanly.
+        std::fs::write(
+            &path,
+            format!("{VERSION_HEADER} host=x\npointwise_class_0 montg"),
+        )
+        .unwrap();
+        assert_eq!(load_pointwise_verdict(&path, 0), None, "torn value");
+        // Truncation inside the key (no separator at all) drops the file.
+        std::fs::write(&path, format!("{VERSION_HEADER} host=x\npointwise_cl")).unwrap();
+        assert_eq!(Calibration::load(&path), None, "unsplittable tail line");
+        // A zero-byte file (open() landed, write didn't) is ignored too.
+        std::fs::write(&path, "").unwrap();
+        assert_eq!(Calibration::load(&path), None, "empty file");
+        // Recovery: the next store produces a fully valid file.
+        store_pointwise_verdict(&path, 0, true);
+        assert_eq!(load_pointwise_verdict(&path, 0), Some(true));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_never_publish_a_torn_file() {
+        // N threads hammer one calibration file with conflicting verdicts
+        // while a reader polls. Unique temp names + atomic rename mean
+        // every observed file is a complete image from exactly one writer
+        // (the old shared-".tmp" scheme could interleave two writers into
+        // one staging file and rename garbage into place).
+        let path = temp_path("race");
+        let _ = std::fs::remove_file(&path);
+        const WRITERS: usize = 8;
+        const ROUNDS: usize = 20;
+        std::thread::scope(|s| {
+            for w in 0..WRITERS {
+                let path = path.clone();
+                s.spawn(move || {
+                    for r in 0..ROUNDS {
+                        store_pointwise_verdict(&path, w % 2, (w + r) % 2 == 0);
+                    }
+                });
+            }
+            // Reader thread: every successfully loaded snapshot must be a
+            // valid, complete calibration file.
+            let rpath = path.clone();
+            s.spawn(move || {
+                for _ in 0..200 {
+                    if let Some(cal) = Calibration::load(&rpath) {
+                        for class in 0..2 {
+                            if let Some(v) = cal.get(&format!("pointwise_class_{class}")) {
+                                assert!(
+                                    v == "montgomery" || v == "barrett",
+                                    "torn value observed: {v:?}"
+                                );
+                            }
+                        }
+                    }
+                    std::hint::spin_loop();
+                }
+            });
+        });
+        // Final state: parseable and complete. Which classes survive is
+        // last-writer-wins (read-modify-write races can drop the other
+        // class's key), but every value present must be valid.
+        let cal = Calibration::load(&path).expect("file survives the race");
+        let valid: Vec<&str> = (0..2)
+            .filter_map(|class| cal.get(&format!("pointwise_class_{class}")))
+            .collect();
+        assert!(!valid.is_empty(), "at least one verdict survives");
+        for v in valid {
+            assert!(v == "montgomery" || v == "barrett");
+        }
+        // No staging litter left behind.
+        let dir = path.parent().unwrap();
+        let stem = path.file_name().unwrap().to_string_lossy().to_string();
+        let leftovers: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(&stem.replace(".txt", "")) && n.contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "staging files leaked: {leftovers:?}");
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -86,6 +86,14 @@ pub const ROW_ACTIVATION_BYTES: f64 = 16.0;
 /// per thread over a kernel (one store + one reload of 4 bytes each).
 pub const SPILL_BYTES_PER_REG: f64 = 8.0;
 
+/// Fixed latency per host↔device transfer, seconds (driver + DMA setup).
+///
+/// Anchor: small `cudaMemcpy` calls bottom out around ~10 µs end to end
+/// on PCIe 3.0 regardless of payload; the stream scheduler charges this on
+/// top of the bandwidth term so many tiny staging copies stay visibly
+/// worse than one batched upload.
+pub const PCIE_LATENCY_S: f64 = 10.0e-6;
+
 /// Exponent of the power-mean used to combine memory and compute time.
 ///
 /// Real kernels overlap memory and arithmetic imperfectly;

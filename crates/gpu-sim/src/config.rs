@@ -42,6 +42,9 @@ pub struct GpuConfig {
     pub smem_bytes_per_cycle_per_sm: u32,
     /// Core clock in Hz.
     pub clock_hz: f64,
+    /// Host↔device (PCIe) bandwidth in bytes/second — the bus the stream
+    /// scheduler charges uploads/downloads against.
+    pub pcie_bw: f64,
 }
 
 impl GpuConfig {
@@ -64,6 +67,8 @@ impl GpuConfig {
             l2_bw: 2.1e12,
             smem_bytes_per_cycle_per_sm: 128,
             clock_hz: 1.455e9,
+            // Titan V: PCIe 3.0 x16, ~12 GB/s effective.
+            pcie_bw: 12.0e9,
         }
     }
 

@@ -49,30 +49,17 @@ pub enum Limiter {
 /// paper's observation for radix-64/128 that "the compiler allocates LMEM
 /// … while the occupancy remains mostly unchanged".
 pub fn occupancy(cfg: &GpuConfig, launch: &LaunchConfig) -> OccupancyInfo {
-    let threads = launch.threads_per_block as u32;
     let regs_demand = launch.regs_per_thread.max(1);
-    // The compiler caps allocation at the hardware per-thread limit AND at
-    // whatever lets at least one block fit the register file (the effect
-    // of `maxrregcount`); everything beyond spills to local memory.
-    let fit_cap = (cfg.regfile_words_per_sm / threads.max(1)).max(16);
-    let regs_allocated = regs_demand.min(cfg.max_regs_per_thread).min(fit_cap);
-    let regs_spilled = regs_demand - regs_allocated;
+    let threads = launch.threads_per_block as u32;
+    let bounds = resource_bounds(cfg, launch);
+    let regs_spilled = regs_demand - bounds.regs_allocated;
 
-    let by_regs = cfg.regfile_words_per_sm / (regs_allocated * threads).max(1);
-    let by_smem = if launch.smem_bytes_per_block == 0 {
-        u32::MAX
-    } else {
-        cfg.smem_bytes_per_sm / launch.smem_bytes_per_block as u32
-    };
-    let by_threads = cfg.max_threads_per_sm / threads.max(1);
-    let by_blocks = cfg.max_blocks_per_sm;
-
-    let mut blocks_per_sm = by_regs.min(by_smem).min(by_threads).min(by_blocks);
-    let mut limiter = if blocks_per_sm == by_regs {
+    let mut blocks_per_sm = bounds.blocks_per_sm();
+    let mut limiter = if blocks_per_sm == bounds.by_regs {
         Limiter::Registers
-    } else if blocks_per_sm == by_smem {
+    } else if blocks_per_sm == bounds.by_smem {
         Limiter::SharedMemory
-    } else if blocks_per_sm == by_threads {
+    } else if blocks_per_sm == bounds.by_threads {
         Limiter::Threads
     } else {
         Limiter::Blocks
@@ -90,10 +77,68 @@ pub fn occupancy(cfg: &GpuConfig, launch: &LaunchConfig) -> OccupancyInfo {
         blocks_per_sm,
         threads_per_sm,
         occupancy: f64::from(threads_per_sm) / f64::from(cfg.max_threads_per_sm),
-        regs_allocated,
+        regs_allocated: bounds.regs_allocated,
         regs_spilled,
         limiter,
     }
+}
+
+/// The per-resource residency bounds for one launch — the single source
+/// both [`occupancy`] (block count + limiter classification) and the
+/// stream scheduler's [`resource_blocks_per_sm`] derive from.
+struct ResourceBounds {
+    by_regs: u32,
+    by_smem: u32,
+    by_threads: u32,
+    by_blocks: u32,
+    regs_allocated: u32,
+}
+
+impl ResourceBounds {
+    fn blocks_per_sm(&self) -> u32 {
+        self.by_regs
+            .min(self.by_smem)
+            .min(self.by_threads)
+            .min(self.by_blocks)
+    }
+}
+
+fn resource_bounds(cfg: &GpuConfig, launch: &LaunchConfig) -> ResourceBounds {
+    let threads = launch.threads_per_block as u32;
+    let regs_demand = launch.regs_per_thread.max(1);
+    // The compiler caps allocation at the hardware per-thread limit AND at
+    // whatever lets at least one block fit the register file (the effect
+    // of `maxrregcount`); everything beyond spills to local memory.
+    let fit_cap = (cfg.regfile_words_per_sm / threads.max(1)).max(16);
+    let regs_allocated = regs_demand.min(cfg.max_regs_per_thread).min(fit_cap);
+    ResourceBounds {
+        by_regs: cfg.regfile_words_per_sm / (regs_allocated * threads).max(1),
+        by_smem: if launch.smem_bytes_per_block == 0 {
+            u32::MAX
+        } else {
+            cfg.smem_bytes_per_sm / launch.smem_bytes_per_block as u32
+        },
+        by_threads: cfg.max_threads_per_sm / threads.max(1),
+        by_blocks: cfg.max_blocks_per_sm,
+        regs_allocated,
+    }
+}
+
+/// Blocks one SM can hold for this launch, limited by **resources only**
+/// (registers, shared memory, thread and block caps) — without the
+/// small-grid clamp [`occupancy`] applies. This is the residency the
+/// stream scheduler divides the grid by to get a launch's SM demand.
+pub fn resource_blocks_per_sm(cfg: &GpuConfig, launch: &LaunchConfig) -> u32 {
+    resource_bounds(cfg, launch).blocks_per_sm()
+}
+
+/// SMs a launch needs to keep its whole grid resident at once, capped at
+/// the device size — the stream scheduler's admission demand: small grids
+/// leave SMs for kernels from other streams, device-filling grids
+/// serialize.
+pub fn sm_demand(cfg: &GpuConfig, launch: &LaunchConfig) -> u32 {
+    let per_sm = resource_blocks_per_sm(cfg, launch).max(1);
+    ((launch.blocks as u64).div_ceil(u64::from(per_sm)) as u32).clamp(1, cfg.sm_count)
 }
 
 #[cfg(test)]
@@ -151,6 +196,17 @@ mod tests {
         let o = occupancy(&cfg, &launch(10_000, 128, 32, 48 * 1024));
         assert_eq!(o.limiter, Limiter::SharedMemory);
         assert_eq!(o.blocks_per_sm, 2);
+    }
+
+    #[test]
+    fn sm_demand_tracks_grid_and_resources() {
+        let cfg = GpuConfig::titan_v();
+        // 3 blocks fit one SM (6 blocks/SM by registers): demand 1 SM.
+        assert_eq!(sm_demand(&cfg, &launch(3, 256, 40, 0)), 1);
+        // A device-filling grid demands every SM.
+        assert_eq!(sm_demand(&cfg, &launch(10_000, 256, 32, 0)), cfg.sm_count);
+        // Resource pressure raises demand: 1 block/SM at 176 regs.
+        assert_eq!(sm_demand(&cfg, &launch(8, 256, 176, 0)), 8);
     }
 
     #[test]

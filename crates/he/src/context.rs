@@ -8,7 +8,7 @@
 //! [`HeContext::with_backend`] accepts any
 //! [`ntt_core::backend::NttBackend`].
 //!
-//! Two properties of the execution model matter for throughput:
+//! Three properties of the execution model matter for throughput:
 //!
 //! * **Evaluator pool** — concurrent scheme operations on one shared
 //!   context no longer serialize on a single evaluator lock: each
@@ -16,6 +16,12 @@
 //!   the backend when the pool runs dry), so `k` threads driving one
 //!   context run on `k` evaluators sharing one [`ntt_core::RingPlan`]
 //!   and one device memory.
+//! * **Per-evaluator streams** — each pool member's backend fork owns a
+//!   device stream, so on `SimBackend` the *modeled device time* of
+//!   independent operations overlaps too (subject to SM occupancy; see
+//!   `gpu_sim::stream`), not just the host-side work. Cross-evaluator
+//!   data dependencies are fenced by per-buffer events, so any pool
+//!   scheduling stays timing-consistent.
 //! * **Device residency** — on backends with a real host↔device boundary
 //!   ([`ntt_core::backend::NttBackend::prefers_residency`], e.g. the
 //!   simulated GPU), key material and ciphertexts are uploaded once and
@@ -280,6 +286,12 @@ impl HeContext {
     /// — on residency-preferring backends — uploaded once so that every
     /// later operation finds it on the device (part of a chain's "initial
     /// upload").
+    ///
+    /// The uploads are enqueued on the keygen evaluator's own stream (a
+    /// *setup stream* in the backend's overlapped-time model): on
+    /// `SimBackend`, concurrent encrypts running on other pool members'
+    /// streams overlap the key upload instead of waiting behind it — the
+    /// modeled window that shrinks a chain's initial-upload cost.
     pub fn keygen<R: Rng + RngExt>(&self, rng: &mut R) -> KeySet {
         let mut keys = self.with_eval(|st| self.keygen_host(&mut st.ev, rng));
         if self.resident {

@@ -52,7 +52,7 @@
 use crate::ot::DeviceOt;
 use crate::radix2::{launch_forward, launch_inverse, ModMul};
 use crate::smem::{self, SmemConfig, SmemJob};
-use gpu_sim::{Buf, Gpu, GpuConfig, LaunchConfig, OpClass, WarpCtx, WarpKernel};
+use gpu_sim::{Buf, Event, Gpu, GpuConfig, LaunchConfig, OpClass, Stream, WarpCtx, WarpKernel};
 use ntt_core::backend::{
     DeviceBuf, DeviceMemory, LimbBatch, NttBackend, RingPlan, SharedDeviceMemory, TransferStats,
 };
@@ -105,25 +105,41 @@ impl DevData {
 }
 
 /// The simulated device memory behind [`SimBackend`]: the [`Gpu`] itself
-/// (GMEM + launch trace), the [`DeviceBuf`] handle map, and the shared
-/// plan tables. One mutex guards all of it — forks of a backend share
-/// this structure, so resident data is visible to every fork (and kernel
-/// launches from concurrent evaluators serialize on the device, the way
-/// same-stream launches do on real hardware).
+/// (GMEM + launch trace + stream scheduler), the [`DeviceBuf`] handle map,
+/// the shared plan tables, and the per-buffer readiness events that guard
+/// cross-stream buffer reuse. One mutex guards all of it — forks of a
+/// backend share this structure, so resident data is visible to every
+/// fork. The mutex keeps the *functional* execution sequentially
+/// consistent (one simulated address space); the *modeled* time is no
+/// longer serialized: each fork enqueues its kernels and transfers on its
+/// own [`Stream`], and the scheduler overlaps them subject to SM capacity
+/// (see [`gpu_sim::stream`]).
 pub struct SimMemory {
     gpu: Gpu,
     bufs: HashMap<u64, Buf>,
     next_id: u64,
     tables: Option<DevTables>,
+    /// Completion event of the last *write* touching an allocation, keyed
+    /// by its GMEM base address. Because the free list recycles exact
+    /// sizes at stable addresses, a recycled buffer inherits its previous
+    /// life's event — which is precisely the fence a new owner on another
+    /// stream must wait on before reusing the storage.
+    buf_ready: HashMap<usize, Event>,
+    /// Fence for the one-time plan-table upload (every kernel reads the
+    /// tables, so every op waits on it).
+    tables_ready: Event,
 }
 
 impl SimMemory {
-    fn new(config: GpuConfig) -> Self {
+    /// Fresh simulated device memory over an explicit device model.
+    pub fn new(config: GpuConfig) -> Self {
         Self {
             gpu: Gpu::new(config),
             bufs: HashMap::new(),
             next_id: 0,
             tables: None,
+            buf_ready: HashMap::new(),
+            tables_ready: Event::DONE,
         }
     }
 
@@ -133,6 +149,59 @@ impl SimMemory {
             .get(&buf.id())
             .expect("freed or foreign DeviceBuf")
             .sub(buf.base(), buf.len())
+    }
+
+    /// The GMEM view behind a handle (for kernels driven outside the
+    /// backend, e.g. figure experiments on the handle layer).
+    pub fn raw_buf(&self, buf: DeviceBuf) -> Buf {
+        self.resolve(buf)
+    }
+
+    /// The simulated device (launch trace, traffic counters, timeline).
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// Mutable access to the simulated device (for experiments that drive
+    /// kernels directly over handle-layer buffers).
+    pub fn gpu_mut(&mut self) -> &mut Gpu {
+        &mut self.gpu
+    }
+
+    /// Root allocation base of a handle (the readiness-map key).
+    fn root_base(&self, buf: DeviceBuf) -> usize {
+        self.bufs
+            .get(&buf.id())
+            .expect("freed or foreign DeviceBuf")
+            .base()
+    }
+
+    /// Route subsequent launches and charged transfers to `s`.
+    fn bind(&mut self, s: Stream) {
+        self.gpu.set_active_stream(s);
+    }
+
+    /// Fence the active stream on the table upload and on the last write
+    /// to each involved allocation (keys are GMEM base addresses).
+    fn wait_ready(&mut self, bases: &[usize]) {
+        let s = self.gpu.active_stream();
+        let mut fence = self.tables_ready;
+        for b in bases {
+            if let Some(e) = self.buf_ready.get(b) {
+                fence = fence.max(*e);
+            }
+        }
+        self.gpu.wait_event(s, fence);
+    }
+
+    /// Record the active stream's completion event as the readiness fence
+    /// of each written allocation.
+    fn mark_written(&mut self, bases: &[usize]) {
+        let s = self.gpu.active_stream();
+        let e = self.gpu.record_event(s);
+        for &b in bases {
+            self.buf_ready.insert(b, e);
+        }
     }
 }
 
@@ -146,17 +215,25 @@ impl DeviceMemory for SimMemory {
 
     fn upload(&mut self, dst: DeviceBuf, src: &[u64]) {
         let b = self.resolve(dst);
-        self.gpu.gmem.upload(b, 0, src);
+        let root = self.root_base(dst);
+        self.wait_ready(&[root]);
+        self.gpu.stream_upload(b, 0, src);
+        self.mark_written(&[root]);
     }
 
     fn download(&mut self, src: DeviceBuf, dst: &mut [u64]) {
         let b = self.resolve(src);
-        self.gpu.gmem.download(b.sub(0, dst.len()), dst);
+        let root = self.root_base(src);
+        self.wait_ready(&[root]);
+        self.gpu.stream_download(b.sub(0, dst.len()), dst);
     }
 
     fn copy(&mut self, src: DeviceBuf, dst: DeviceBuf) {
         let (s, d) = (self.resolve(src), self.resolve(dst));
+        let roots = [self.root_base(src), self.root_base(dst)];
+        self.wait_ready(&roots);
         self.gpu.gmem.copy(s, d);
+        self.mark_written(&roots[1..]);
     }
 
     fn free(&mut self, buf: DeviceBuf) {
@@ -489,16 +566,27 @@ fn ensure_tables(m: &mut SimMemory, plan: &RingPlan) {
         itwc.extend_from_slice(t.inverse_companions());
         n_inv.push((t.n_inv().value(), t.n_inv().companion(), t.modulus()));
     }
+    // Table uploads are charged to whichever stream first needs the plan
+    // (typically the keygen/setup stream); every later op on any stream
+    // fences on `tables_ready` before launching.
+    let up = |m: &mut SimMemory, host: &[u64]| -> Buf {
+        let b = m.gpu.gmem.alloc(host.len());
+        m.gpu.stream_upload(b, 0, host);
+        b
+    };
+    let (tw, twc, itw, itwc) = (up(m, &tw), up(m, &twc), up(m, &itw), up(m, &itwc));
     m.tables = Some(DevTables {
         n,
         primes: primes.to_vec(),
-        tw: m.gpu.gmem.alloc_from(&tw),
-        twc: m.gpu.gmem.alloc_from(&twc),
-        itw: m.gpu.gmem.alloc_from(&itw),
-        itwc: m.gpu.gmem.alloc_from(&itwc),
+        tw,
+        twc,
+        itw,
+        itwc,
         n_inv,
         ot: None,
     });
+    let s = m.gpu.active_stream();
+    m.tables_ready = m.gpu.record_event(s);
 }
 
 /// The cached OT factor tables for the current plan tables, built on the
@@ -595,10 +683,18 @@ fn launch_elemwise(
 }
 
 /// The simulated-GPU backend: shared device memory (GMEM + handle map +
-/// plan tables) plus per-fork staging buffers and the memoized forward
-/// routing table.
+/// plan tables) plus per-fork staging buffers, the memoized forward
+/// routing table, and this executor's [`Stream`].
+///
+/// The root backend runs on [`Stream::DEFAULT`]; every [`NttBackend::fork`]
+/// allocates its own stream, so concurrent evaluators from the pool
+/// enqueue on independent queues and their modeled device time overlaps
+/// (subject to SM capacity) instead of serializing the way the old
+/// single-launch-lock model did.
 pub struct SimBackend {
     mem: Arc<Mutex<SimMemory>>,
+    /// The stream this executor's launches and transfers are charged to.
+    stream: Stream,
     /// Staging buffer for host-batch primary operands.
     data: DevData,
     /// Staging buffer for host-batch secondary operands.
@@ -616,11 +712,20 @@ impl Default for SimBackend {
     }
 }
 
+impl Drop for SimBackend {
+    fn drop(&mut self) {
+        if self.stream != Stream::DEFAULT {
+            self.lock().gpu.destroy_stream(self.stream);
+        }
+    }
+}
+
 impl SimBackend {
     /// Backend over an explicit device model.
     pub fn new(config: GpuConfig) -> Self {
         Self {
             mem: Arc::new(Mutex::new(SimMemory::new(config))),
+            stream: Stream::DEFAULT,
             data: DevData::default(),
             scratch: DevData::default(),
             mul_scratch: DevData::default(),
@@ -637,6 +742,19 @@ impl SimBackend {
         lock_mem(&self.mem)
     }
 
+    /// The stream this executor enqueues on (the root backend uses the
+    /// default stream; forks get their own).
+    pub fn stream(&self) -> Stream {
+        self.stream
+    }
+
+    /// A clone of the shared device-memory handle, typed — lets harnesses
+    /// observe the device (timeline, trace) after the backend has been
+    /// boxed into an evaluator or `HeContext`.
+    pub fn memory_handle(&self) -> Arc<Mutex<SimMemory>> {
+        Arc::clone(&self.mem)
+    }
+
     /// Inspect the underlying simulated device (launch trace, traffic
     /// counters) under the shared-memory lock.
     pub fn with_gpu<R>(&self, f: impl FnOnce(&Gpu) -> R) -> R {
@@ -651,6 +769,12 @@ impl SimBackend {
     /// The host↔device transfer ledger (see [`gpu_sim::Gmem`]).
     pub fn transfer_stats(&self) -> TransferStats {
         self.lock().stats()
+    }
+
+    /// The device's stream-schedule accounting: serialized vs overlapped
+    /// modeled time across every fork's stream.
+    pub fn timeline(&self) -> gpu_sim::DeviceTimeline {
+        self.lock().gpu.timeline()
     }
 
     /// The forward implementation for an `n`-point batch: the env
@@ -701,11 +825,13 @@ fn calibrate_forward_choice(config: &GpuConfig, n: usize, rows: usize) -> ShapeC
     let log_n = n.trailing_zeros();
     let np = rows.clamp(1, 4);
     let bench = |cfg: Option<&SmemConfig>| -> Option<f64> {
-        let mut gpu = Gpu::new(config.clone());
-        let batch = crate::batch::DeviceBatch::sequential(&mut gpu, log_n, np, 60).ok()?;
+        // Scratch device through the handle layer, so even calibration
+        // sweeps exercise the same allocator as resident execution.
+        let mut mem = SimMemory::new(config.clone());
+        let batch = crate::batch::DeviceBatch::sequential_on(&mut mem, log_n, np, 60).ok()?;
         let rep = match cfg {
-            None => crate::radix2::run(&mut gpu, &batch, ModMul::Shoup),
-            Some(c) => smem::run(&mut gpu, &batch, c),
+            None => crate::radix2::run(mem.gpu_mut(), &batch, ModMul::Shoup),
+            Some(c) => smem::run(mem.gpu_mut(), &batch, c),
         };
         Some(rep.total_s())
     };
@@ -751,8 +877,10 @@ impl NttBackend for SimBackend {
     }
 
     fn fork(&self) -> Box<dyn NttBackend> {
+        let stream = self.lock().gpu.create_stream();
         Box::new(SimBackend {
             mem: Arc::clone(&self.mem),
+            stream,
             data: DevData::default(),
             scratch: DevData::default(),
             mul_scratch: DevData::default(),
@@ -764,18 +892,25 @@ impl NttBackend for SimBackend {
         true
     }
 
+    fn bind_stream(&self) {
+        self.lock().bind(self.stream);
+    }
+
     fn forward_batch(&mut self, plan: &RingPlan, mut batch: LimbBatch<'_>) {
         let (n, level) = (batch.n(), batch.level());
         let rows = batch.rows();
         let choice = self.forward_choice(n, rows);
         let row_prime: Vec<usize> = (0..rows).map(|r| r % level).collect();
         let mut m = lock_mem(&self.mem);
+        m.bind(self.stream);
         ensure_tables(&mut m, plan);
         let buf = self.data.ensure(&mut m.gpu, batch.as_slice().len());
         let buf = buf.sub(0, batch.as_slice().len());
-        m.gpu.gmem.upload(buf, 0, batch.as_slice());
+        m.wait_ready(&[buf.base()]);
+        m.gpu.stream_upload(buf, 0, batch.as_slice());
         run_forward(&mut m, plan, buf, &row_prime, choice);
-        m.gpu.gmem.download(buf, batch.data());
+        m.gpu.stream_download(buf, batch.data());
+        m.mark_written(&[buf.base()]);
     }
 
     fn inverse_batch(&mut self, plan: &RingPlan, mut batch: LimbBatch<'_>) {
@@ -783,12 +918,15 @@ impl NttBackend for SimBackend {
         let rows = batch.as_slice().len() / n;
         let row_prime: Vec<usize> = (0..rows).map(|r| r % level).collect();
         let mut m = lock_mem(&self.mem);
+        m.bind(self.stream);
         ensure_tables(&mut m, plan);
         let buf = self.data.ensure(&mut m.gpu, batch.as_slice().len());
         let buf = buf.sub(0, batch.as_slice().len());
-        m.gpu.gmem.upload(buf, 0, batch.as_slice());
+        m.wait_ready(&[buf.base()]);
+        m.gpu.stream_upload(buf, 0, batch.as_slice());
         run_inverse(&mut m, buf, &row_prime);
-        m.gpu.gmem.download(buf, batch.data());
+        m.gpu.stream_download(buf, batch.data());
+        m.mark_written(&[buf.base()]);
     }
 
     fn pointwise_batch(&mut self, plan: &RingPlan, mut acc: LimbBatch<'_>, rhs: &[u64]) {
@@ -797,15 +935,18 @@ impl NttBackend for SimBackend {
         let rows = acc.as_slice().len() / n;
         let row_prime: Vec<usize> = (0..rows).map(|r| r % level).collect();
         let mut m = lock_mem(&self.mem);
+        m.bind(self.stream);
         ensure_tables(&mut m, plan);
         let abuf = self.data.ensure(&mut m.gpu, acc.as_slice().len());
         let abuf = abuf.sub(0, acc.as_slice().len());
-        m.gpu.gmem.upload(abuf, 0, acc.as_slice());
         let bbuf = self.scratch.ensure(&mut m.gpu, rhs.len());
         let bbuf = bbuf.sub(0, rhs.len());
-        m.gpu.gmem.upload(bbuf, 0, rhs);
+        m.wait_ready(&[abuf.base(), bbuf.base()]);
+        m.gpu.stream_upload(abuf, 0, acc.as_slice());
+        m.gpu.stream_upload(bbuf, 0, rhs);
         launch_elemwise(&mut m, ElemOp::Mul, abuf, Some(bbuf), None, n, &row_prime);
-        m.gpu.gmem.download(abuf, acc.data());
+        m.gpu.stream_download(abuf, acc.data());
+        m.mark_written(&[abuf.base(), bbuf.base()]);
     }
 
     fn multiply_batch(&mut self, plan: &RingPlan, a: &[u64], b: &[u64], mut out: LimbBatch<'_>) {
@@ -816,20 +957,23 @@ impl NttBackend for SimBackend {
         let choice = self.forward_choice(n, rows);
         let row_prime: Vec<usize> = (0..rows).map(|r| r % level).collect();
         let mut m = lock_mem(&self.mem);
+        m.bind(self.stream);
         ensure_tables(&mut m, plan);
         let abuf = self.data.ensure(&mut m.gpu, a.len());
         let abuf = abuf.sub(0, a.len());
-        m.gpu.gmem.upload(abuf, 0, a);
         let bbuf = self.scratch.ensure(&mut m.gpu, b.len());
         let bbuf = bbuf.sub(0, b.len());
-        m.gpu.gmem.upload(bbuf, 0, b);
+        m.wait_ready(&[abuf.base(), bbuf.base()]);
+        m.gpu.stream_upload(abuf, 0, a);
+        m.gpu.stream_upload(bbuf, 0, b);
         // The classic device pipeline: NTT(a), NTT(b), pointwise, iNTT —
         // four launch groups over one resident batch.
         run_forward(&mut m, plan, abuf, &row_prime, choice);
         run_forward(&mut m, plan, bbuf, &row_prime, choice);
         launch_elemwise(&mut m, ElemOp::Mul, abuf, Some(bbuf), None, n, &row_prime);
         run_inverse(&mut m, abuf, &row_prime);
-        m.gpu.gmem.download(abuf, out.data());
+        m.gpu.stream_download(abuf, out.data());
+        m.mark_written(&[abuf.base(), bbuf.base()]);
     }
 
     // ---- Device-resident execution (zero host↔device traffic) ----------
@@ -840,18 +984,26 @@ impl NttBackend for SimBackend {
         let choice = self.forward_choice(n, rows);
         let row_prime: Vec<usize> = (0..rows).map(|r| r % level).collect();
         let mut m = lock_mem(&self.mem);
+        m.bind(self.stream);
         ensure_tables(&mut m, plan);
         let data = m.resolve(buf);
+        let root = m.root_base(buf);
+        m.wait_ready(&[root]);
         run_forward(&mut m, plan, data, &row_prime, choice);
+        m.mark_written(&[root]);
     }
 
     fn dev_inverse(&mut self, plan: &RingPlan, buf: DeviceBuf, level: usize) {
         let n = plan.degree();
         let row_prime: Vec<usize> = (0..buf.len() / n).map(|r| r % level).collect();
         let mut m = lock_mem(&self.mem);
+        m.bind(self.stream);
         ensure_tables(&mut m, plan);
         let data = m.resolve(buf);
+        let root = m.root_base(buf);
+        m.wait_ready(&[root]);
         run_inverse(&mut m, data, &row_prime);
+        m.mark_written(&[root]);
     }
 
     fn dev_multiply(
@@ -867,12 +1019,20 @@ impl NttBackend for SimBackend {
         let choice = self.forward_choice(n, rows);
         let row_prime: Vec<usize> = (0..rows).map(|r| r % level).collect();
         let mut m = lock_mem(&self.mem);
+        m.bind(self.stream);
         ensure_tables(&mut m, plan);
         let (abuf, bbuf, obuf) = (m.resolve(a), m.resolve(b), m.resolve(out));
-        // Stage both operands on the device (d2d; inputs stay intact).
-        m.gpu.gmem.copy(abuf, obuf);
         let scratch = self.mul_scratch.ensure(&mut m.gpu, bbuf.len());
         let scratch = scratch.sub(0, bbuf.len());
+        let reads = [
+            m.root_base(a),
+            m.root_base(b),
+            m.root_base(out),
+            scratch.base(),
+        ];
+        m.wait_ready(&reads);
+        // Stage both operands on the device (d2d; inputs stay intact).
+        m.gpu.gmem.copy(abuf, obuf);
         m.gpu.gmem.copy(bbuf, scratch);
         run_forward(&mut m, plan, obuf, &row_prime, choice);
         run_forward(&mut m, plan, scratch, &row_prime, choice);
@@ -886,15 +1046,20 @@ impl NttBackend for SimBackend {
             &row_prime,
         );
         run_inverse(&mut m, obuf, &row_prime);
+        m.mark_written(&[reads[2], reads[3]]);
     }
 
     fn dev_pointwise(&mut self, plan: &RingPlan, acc: DeviceBuf, rhs: DeviceBuf, level: usize) {
         let n = plan.degree();
         let row_prime: Vec<usize> = (0..acc.len() / n).map(|r| r % level).collect();
         let mut m = lock_mem(&self.mem);
+        m.bind(self.stream);
         ensure_tables(&mut m, plan);
         let (a, b) = (m.resolve(acc), m.resolve(rhs));
+        let roots = [m.root_base(acc), m.root_base(rhs)];
+        m.wait_ready(&roots);
         launch_elemwise(&mut m, ElemOp::Mul, a, Some(b), None, n, &row_prime);
+        m.mark_written(&roots[..1]);
     }
 
     fn dev_fma(
@@ -908,9 +1073,13 @@ impl NttBackend for SimBackend {
         let n = plan.degree();
         let row_prime: Vec<usize> = (0..acc.len() / n).map(|r| r % level).collect();
         let mut m = lock_mem(&self.mem);
+        m.bind(self.stream);
         ensure_tables(&mut m, plan);
         let (a, xb, yb) = (m.resolve(acc), m.resolve(x), m.resolve(y));
+        let roots = [m.root_base(acc), m.root_base(x), m.root_base(y)];
+        m.wait_ready(&roots);
         launch_elemwise(&mut m, ElemOp::Fma, a, Some(xb), Some(yb), n, &row_prime);
+        m.mark_written(&roots[..1]);
     }
 
     fn dev_addsub(
@@ -925,18 +1094,26 @@ impl NttBackend for SimBackend {
         let row_prime: Vec<usize> = (0..acc.len() / n).map(|r| r % level).collect();
         let op = if subtract { ElemOp::Sub } else { ElemOp::Add };
         let mut m = lock_mem(&self.mem);
+        m.bind(self.stream);
         ensure_tables(&mut m, plan);
         let (a, b) = (m.resolve(acc), m.resolve(rhs));
+        let roots = [m.root_base(acc), m.root_base(rhs)];
+        m.wait_ready(&roots);
         launch_elemwise(&mut m, op, a, Some(b), None, n, &row_prime);
+        m.mark_written(&roots[..1]);
     }
 
     fn dev_negate(&mut self, plan: &RingPlan, buf: DeviceBuf, level: usize) {
         let n = plan.degree();
         let row_prime: Vec<usize> = (0..buf.len() / n).map(|r| r % level).collect();
         let mut m = lock_mem(&self.mem);
+        m.bind(self.stream);
         ensure_tables(&mut m, plan);
         let a = m.resolve(buf);
+        let root = m.root_base(buf);
+        m.wait_ready(&[root]);
         launch_elemwise(&mut m, ElemOp::Neg, a, None, None, n, &row_prime);
+        m.mark_written(&[root]);
     }
 
     fn dev_rescale(&mut self, plan: &RingPlan, buf: DeviceBuf, level: usize) {
@@ -954,8 +1131,11 @@ impl NttBackend for SimBackend {
             })
             .collect();
         let mut m = lock_mem(&self.mem);
+        m.bind(self.stream);
         ensure_tables(&mut m, plan);
         let data = m.resolve(buf);
+        let root = m.root_base(buf);
+        m.wait_ready(&[root]);
         let kernel = RescaleKernel {
             data,
             n,
@@ -965,6 +1145,7 @@ impl NttBackend for SimBackend {
         let blocks = ((level - 1) * n).div_ceil(THREADS);
         let cfg = LaunchConfig::new("sim-rescale", blocks, THREADS).regs_per_thread(40);
         m.gpu.launch(&kernel, &cfg);
+        m.mark_written(&[root]);
     }
 
     fn dev_decompose(
@@ -984,6 +1165,7 @@ impl NttBackend for SimBackend {
             "digit buffer shape mismatch"
         );
         let mut m = lock_mem(&self.mem);
+        m.bind(self.stream);
         ensure_tables(&mut m, plan);
         let kernel = DecomposeKernel {
             src: m.resolve(src),
@@ -993,9 +1175,12 @@ impl NttBackend for SimBackend {
             digits,
             gadget_bits,
         };
+        let roots = [m.root_base(src), m.root_base(dst)];
+        m.wait_ready(&roots);
         let blocks = (level * digits * level * n).div_ceil(THREADS);
         let cfg = LaunchConfig::new("sim-decompose", blocks, THREADS).regs_per_thread(40);
         m.gpu.launch(&kernel, &cfg);
+        m.mark_written(&roots[1..]);
     }
 }
 

@@ -5,8 +5,21 @@
 //! companions, bit-reversed order) — the precomputed data whose size
 //! drives the paper's bandwidth analysis. Prime moduli travel as host
 //! constants (CMEM in the paper's terms: broadcast, no DRAM traffic).
+//!
+//! Two allocation paths:
+//!
+//! * [`DeviceBatch::upload`] — raw GMEM buffers on a bare [`Gpu`]
+//!   (self-contained micro-experiments and tests);
+//! * [`DeviceBatch::upload_on`] / [`DeviceBatch::sequential_on`] — through
+//!   the [`SimMemory`] **handle layer** ([`DeviceBuf`] handles + counted
+//!   transfer ledger + stream-charged uploads), the same allocator the
+//!   `SimBackend` residency layer uses. The figure experiments run on
+//!   this path, so their setup traffic shows up in the same ledger and
+//!   device timeline as everything else.
 
+use crate::backend::SimMemory;
 use gpu_sim::{Buf, Gpu};
+use ntt_core::backend::{DeviceBuf, DeviceMemory};
 use ntt_core::poly::RingError;
 use ntt_core::NttTable;
 
@@ -25,8 +38,61 @@ pub struct DeviceBatch {
     pub twiddles: Buf,
     /// `np × n` Shoup companions.
     pub companions: Buf,
+    /// Handle-layer identities of `[data, twiddles, companions]` when the
+    /// batch was allocated through a [`SimMemory`] (None on the raw path).
+    handles: Option<[DeviceBuf; 3]>,
     /// Pristine input copy (host side) for verification.
     input: Vec<Vec<u64>>,
+}
+
+/// Host-side staging for one batch: tables plus the flat upload images.
+struct HostBatch {
+    tables: Vec<NttTable>,
+    primes: Vec<u64>,
+    data: Vec<u64>,
+    tw: Vec<u64>,
+    twc: Vec<u64>,
+}
+
+fn build_host(log_n: u32, prime_bits: u32, rows: &[Vec<u64>]) -> Result<HostBatch, RingError> {
+    let n = 1usize << log_n;
+    let np = rows.len();
+    assert!(np > 0, "batch needs at least one prime");
+    let primes = ntt_math::ntt_primes(prime_bits, 2 * n as u64, np);
+    let tables = primes
+        .iter()
+        .map(|&p| NttTable::new(n, p).map_err(RingError::from))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let mut data = Vec::with_capacity(np * n);
+    let mut tw = Vec::with_capacity(np * n);
+    let mut twc = Vec::with_capacity(np * n);
+    for (row, table) in rows.iter().zip(&tables) {
+        assert_eq!(row.len(), n, "row length must equal N");
+        data.extend_from_slice(row);
+        tw.extend_from_slice(table.forward_values());
+        twc.extend_from_slice(table.forward_companions());
+    }
+    Ok(HostBatch {
+        tables,
+        primes,
+        data,
+        tw,
+        twc,
+    })
+}
+
+/// Deterministic pseudo-input rows
+/// (`x_i = (i * 0x9E3779B97F4A7C15) mod p` per prime).
+fn sequential_rows(n: usize, primes: &[u64]) -> Vec<Vec<u64>> {
+    primes
+        .iter()
+        .map(|&p| {
+            (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % p)
+                .collect()
+        })
+        .collect()
 }
 
 impl DeviceBatch {
@@ -45,36 +111,63 @@ impl DeviceBatch {
         prime_bits: u32,
         rows: Vec<Vec<u64>>,
     ) -> Result<Self, RingError> {
-        let n = 1usize << log_n;
-        let np = rows.len();
-        assert!(np > 0, "batch needs at least one prime");
-        let primes = ntt_math::ntt_primes(prime_bits, 2 * n as u64, np);
-        let tables = primes
-            .iter()
-            .map(|&p| NttTable::new(n, p).map_err(RingError::from))
-            .collect::<Result<Vec<_>, _>>()?;
-
-        let mut data_host = Vec::with_capacity(np * n);
-        let mut tw_host = Vec::with_capacity(np * n);
-        let mut twc_host = Vec::with_capacity(np * n);
-        for (row, table) in rows.iter().zip(&tables) {
-            assert_eq!(row.len(), n, "row length must equal N");
-            data_host.extend_from_slice(row);
-            tw_host.extend_from_slice(table.forward_values());
-            twc_host.extend_from_slice(table.forward_companions());
-        }
-        let data = gpu.gmem.alloc_from(&data_host);
-        let twiddles = gpu.gmem.alloc_from(&tw_host);
-        let companions = gpu.gmem.alloc_from(&twc_host);
+        let host = build_host(log_n, prime_bits, &rows)?;
+        let data = gpu.gmem.alloc_from(&host.data);
+        let twiddles = gpu.gmem.alloc_from(&host.tw);
+        let companions = gpu.gmem.alloc_from(&host.twc);
         Ok(Self {
-            n,
+            n: 1 << log_n,
             log_n,
-            np,
-            moduli: primes,
-            tables,
+            np: rows.len(),
+            moduli: host.primes,
+            tables: host.tables,
             data,
             twiddles,
             companions,
+            handles: None,
+            input: rows,
+        })
+    }
+
+    /// Upload a batch through the [`SimMemory`] handle layer: buffers are
+    /// allocated as [`DeviceBuf`] handles and staged with counted,
+    /// stream-charged transfers — the same path `SimBackend`-resident
+    /// polynomials take. The raw GMEM views stay available in
+    /// [`DeviceBatch::data`] and friends for driving kernels directly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table construction failures ([`RingError`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != np` or any row length differs from `N`.
+    pub fn upload_on(
+        mem: &mut SimMemory,
+        log_n: u32,
+        prime_bits: u32,
+        rows: Vec<Vec<u64>>,
+    ) -> Result<Self, RingError> {
+        let host = build_host(log_n, prime_bits, &rows)?;
+        let mut stage = |image: &[u64]| -> (DeviceBuf, Buf) {
+            let h = mem.alloc(image.len());
+            mem.upload(h, image);
+            let raw = mem.raw_buf(h);
+            (h, raw)
+        };
+        let (dh, data) = stage(&host.data);
+        let (th, twiddles) = stage(&host.tw);
+        let (ch, companions) = stage(&host.twc);
+        Ok(Self {
+            n: 1 << log_n,
+            log_n,
+            np: rows.len(),
+            moduli: host.primes,
+            tables: host.tables,
+            data,
+            twiddles,
+            companions,
+            handles: Some([dh, th, ch]),
             input: rows,
         })
     }
@@ -93,15 +186,30 @@ impl DeviceBatch {
     ) -> Result<Self, RingError> {
         let n = 1usize << log_n;
         let primes = ntt_math::ntt_primes(prime_bits, 2 * n as u64, np);
-        let rows = primes
-            .iter()
-            .map(|&p| {
-                (0..n as u64)
-                    .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % p)
-                    .collect()
-            })
-            .collect();
-        Self::upload(gpu, log_n, prime_bits, rows)
+        Self::upload(gpu, log_n, prime_bits, sequential_rows(n, &primes))
+    }
+
+    /// [`DeviceBatch::sequential`] through the handle layer (see
+    /// [`DeviceBatch::upload_on`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates table construction failures.
+    pub fn sequential_on(
+        mem: &mut SimMemory,
+        log_n: u32,
+        np: usize,
+        prime_bits: u32,
+    ) -> Result<Self, RingError> {
+        let n = 1usize << log_n;
+        let primes = ntt_math::ntt_primes(prime_bits, 2 * n as u64, np);
+        Self::upload_on(mem, log_n, prime_bits, sequential_rows(n, &primes))
+    }
+
+    /// The handle-layer identities of `[data, twiddles, companions]`
+    /// (`None` when the batch was allocated on the raw GMEM path).
+    pub fn handles(&self) -> Option<&[DeviceBuf; 3]> {
+        self.handles.as_ref()
     }
 
     /// Transform size `N`.
@@ -221,6 +329,26 @@ mod tests {
         let mut back = exp[1].clone();
         ntt_core::ct::intt(&mut back, b.table(1));
         assert_eq!(back, b.input()[1]);
+    }
+
+    #[test]
+    fn handle_layer_batch_matches_raw_path_and_counts_transfers() {
+        let mut mem = SimMemory::new(GpuConfig::titan_v());
+        let b = DeviceBatch::sequential_on(&mut mem, 6, 3, 59).unwrap();
+        let handles = *b.handles().expect("handle-layer batch carries ids");
+        assert_eq!(handles[0].len(), 3 * 64);
+        // The three staging uploads land in the counted ledger…
+        let stats = mem.stats();
+        assert_eq!(stats.uploads, 3);
+        assert_eq!(stats.allocs, 3);
+        // …and in the modeled device timeline (stream-charged).
+        assert_eq!(mem.gpu().timeline().transfers, 3);
+        // Raw views still drive kernels / reads like the raw path.
+        assert_eq!(mem.gpu().gmem.slice(b.data.sub(0, 64)), &b.input()[0][..]);
+        // Same bits as the raw-path batch.
+        let mut gpu = Gpu::new(GpuConfig::titan_v());
+        let raw = DeviceBatch::sequential(&mut gpu, 6, 3, 59).unwrap();
+        assert_eq!(mem.gpu().gmem.slice(b.data), gpu.gmem.slice(raw.data));
     }
 
     #[test]
