@@ -139,5 +139,35 @@ fn bench_sim_streams(_c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_he, bench_he_sim_resident, bench_sim_streams);
+/// The request batcher's gate inputs: the same 8 encrypt → eval →
+/// decrypt serving jobs dispatched through the he-serve batcher once as
+/// three flat group calls and once one job at a time. Batched modeled
+/// device time must undercut the unbatched control by ≥ 1.5×
+/// (`batched <= 0.667 * unbatched` in `bench_smoke.sh`). Both sides are
+/// modeled nanoseconds from one deterministic run, so the gate holds on
+/// any host.
+fn bench_serve_batching(_c: &mut Criterion) {
+    let r = ntt_bench::experiments::serve_batching(6, 8);
+    record_value(
+        "he_serve_sim/batched_device_time",
+        r.batched.serialized_s * 1e9,
+    );
+    record_value(
+        "he_serve_sim/unbatched_device_time",
+        r.unbatched.serialized_s * 1e9,
+    );
+    println!(
+        "bench: he_serve_sim batching = {:.2}x over {} jobs",
+        r.speedup(),
+        r.jobs
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_he,
+    bench_he_sim_resident,
+    bench_sim_streams,
+    bench_serve_batching
+);
 criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! ```text
 //! figures [--quick] [fig1 fig3 fig4 fig5 fig7 fig8 fig9 fig11a fig11b
 //!          fig11c fig12 fig13 table2 fpga wordsize residency streams
-//!          otbase]
+//!          serve otbase]
 //! ```
 //!
 //! With no figure names, everything runs. `--quick` shrinks N/np so a full
@@ -408,6 +408,46 @@ fn main() {
             } else {
                 "VIOLATED"
             }
+        );
+    }
+
+    if run("serve") {
+        header(
+            "Serve: HE-as-a-service over the evaluator pool",
+            "multi-tenant request serving is the workload GPU NTT acceleration feeds",
+        );
+        let log_n = if quick { 6 } else { 9 };
+        let (tenants, chains) = if quick { (3, 2) } else { (6, 4) };
+        println!(
+            "{:<9} {:>9} {:>9} {:>8} {:>10} {:>10} {:>10} {:>12}",
+            "workers", "jobs", "rejected", "batches", "p50 us", "p99 us", "jobs/s", "dev-ser us"
+        );
+        for workers in [1usize, 2, 4] {
+            let r = ex::serve(log_n, workers, tenants, chains);
+            println!(
+                "{:<9} {:>9} {:>9} {:>8} {:>10.1} {:>10.1} {:>10.0} {:>12.1}",
+                r.workers,
+                r.completed,
+                r.rejected,
+                r.batches,
+                r.p50_us,
+                r.p99_us,
+                r.throughput,
+                r.timeline.serialized_s * 1e6
+            );
+            assert_eq!(r.mismatches, 0, "served chain results drifted");
+        }
+        let b = ex::serve_batching(log_n, if quick { 6 } else { 12 });
+        println!(
+            "batching ({} jobs): unbatched {:.1} us vs batched {:.1} us modeled device time",
+            b.jobs,
+            b.unbatched.serialized_s * 1e6,
+            b.batched.serialized_s * 1e6
+        );
+        println!(
+            "   batching gate (>= 1.5x): {:.2}x {}",
+            b.speedup(),
+            if b.speedup() >= 1.5 { "OK" } else { "VIOLATED" }
         );
     }
 

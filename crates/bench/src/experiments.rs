@@ -445,6 +445,171 @@ impl StreamsReport {
     }
 }
 
+/// A [`streams`] run plus the result digest needed for cross-driver
+/// bit-identity checks: the synced host rows of every polynomial each
+/// chain produced, in chain order. Streams (and host threads) are a
+/// performance model, never a semantic one — any driver enqueueing the
+/// same chains must produce an equal digest, which `tests/streams.rs`
+/// pins for the threaded driver against the serialized one.
+#[derive(Debug, Clone)]
+pub struct StreamsRun {
+    /// Modeled-time accounting over the chain window.
+    pub report: StreamsReport,
+    /// Per-chain host rows of every polynomial the chain produced.
+    pub digest: Vec<Vec<u64>>,
+}
+
+/// Deterministic chain input polynomial.
+fn streams_poly(ring: &ntt_core::RnsRing, seed: i64) -> ntt_core::RnsPoly {
+    let coeffs: Vec<i64> = (0..ring.degree() as i64)
+        .map(|i| (seed.wrapping_mul(i + 3) % 97) - 48)
+        .collect();
+    ntt_core::RnsPoly::from_i64_coeffs(ring, &coeffs)
+}
+
+/// One independent encrypt ×2 → tensor-multiply → rescale chain on one
+/// evaluator. Returns every polynomial the chain touched so its device
+/// buffers stay alive until the measurement window closes — the
+/// multi-stream discipline real CUDA code follows: a freed buffer may be
+/// recycled by another stream, whose first use then (correctly) fences
+/// on the previous owner's completion event and serializes the chains
+/// right back.
+fn streams_chain(
+    ev: &mut ntt_core::backend::Evaluator,
+    ring: &ntt_core::RnsRing,
+    pk_b: &ntt_core::RnsPoly,
+    pk_a: &ntt_core::RnsPoly,
+    index: usize,
+) -> Vec<ntt_core::RnsPoly> {
+    use ntt_core::backend::Evaluator;
+    use ntt_core::RnsPoly;
+
+    let seed = 11 + 7 * index as i64;
+    let mut keep: Vec<RnsPoly> = Vec::new();
+    let encrypt = |ev: &mut Evaluator, keep: &mut Vec<RnsPoly>, s: i64| -> (RnsPoly, RnsPoly) {
+        let (mut u, mut e0, mut e1, mut msg) = (
+            streams_poly(ring, s),
+            streams_poly(ring, s + 1),
+            streams_poly(ring, s + 2),
+            streams_poly(ring, s + 3),
+        );
+        ev.make_resident(&mut u);
+        ev.make_resident(&mut e0);
+        ev.make_resident(&mut e1);
+        ev.make_resident(&mut msg);
+        ev.forward_polys(&mut [&mut u, &mut e0, &mut e1, &mut msg]);
+        let mut c0 = pk_b.clone();
+        ev.mul_pointwise(&mut c0, &u);
+        ev.add_assign(&mut c0, &e0);
+        ev.add_assign(&mut c0, &msg);
+        let mut c1 = pk_a.clone();
+        ev.mul_pointwise(&mut c1, &u);
+        ev.add_assign(&mut c1, &e1);
+        keep.extend([u, e0, e1, msg]);
+        (c0, c1)
+    };
+    let (mut c0, c1) = encrypt(ev, &mut keep, seed);
+    let (d0, d1) = encrypt(ev, &mut keep, seed + 40);
+    // Tensor multiply (no relinearization: chains stay independent).
+    let mut cross = c0.clone();
+    ev.mul_pointwise(&mut cross, &d1);
+    let mut cross2 = c1.clone();
+    ev.mul_pointwise(&mut cross2, &d0);
+    ev.add_assign(&mut cross, &cross2);
+    let mut e2 = c1.clone();
+    ev.mul_pointwise(&mut e2, &d1);
+    ev.mul_pointwise(&mut c0, &d0);
+    // Rescale every component a level down.
+    for poly in [&mut c0, &mut cross, &mut e2] {
+        ev.to_coefficient(poly);
+        ev.rescale(poly);
+        ev.to_evaluation(poly);
+    }
+    keep.extend([c0, c1, d0, d1, cross, cross2, e2]);
+    keep
+}
+
+/// Everything the streams drivers share: the ring, the device handle, the
+/// setup evaluator (owner of the root stream and the resident "public
+/// key" halves every chain fences on), and one forked evaluator per
+/// chain. The device is drained on return, so the caller's window starts
+/// from a synchronized clock.
+struct StreamsSetup {
+    ring: ntt_core::RnsRing,
+    dev: std::sync::Arc<std::sync::Mutex<SimMemory>>,
+    /// Keeps the root backend (and its stream) alive for the run.
+    _setup: ntt_core::backend::Evaluator,
+    evs: Vec<ntt_core::backend::Evaluator>,
+    pk_b: ntt_core::RnsPoly,
+    pk_a: ntt_core::RnsPoly,
+}
+
+fn streams_setup(log_n: u32, evaluators: usize) -> StreamsSetup {
+    use ntt_core::backend::{Evaluator, NttBackend};
+    use ntt_core::RnsRing;
+    use ntt_gpu::SimBackend;
+
+    let n = 1usize << log_n;
+    let ring = RnsRing::new(n, ntt_math::ntt_primes(50, 2 * n as u64, 3)).expect("valid ring");
+    let root = SimBackend::titan_v();
+    let dev = root.memory_handle();
+    let forks: Vec<Box<dyn NttBackend>> = (0..evaluators).map(|_| root.fork()).collect();
+    let mut setup = Evaluator::with_backend(&ring, Box::new(root));
+    let evs: Vec<Evaluator> = forks
+        .into_iter()
+        .map(|b| Evaluator::new(ring.plan(), b))
+        .collect();
+
+    // Shared "public key" halves, uploaded and transformed on the root
+    // backend's stream — the setup stream every chain fences on once.
+    let (mut pk_b, mut pk_a) = (streams_poly(&ring, 3), streams_poly(&ring, 5));
+    setup.make_resident(&mut pk_b);
+    setup.make_resident(&mut pk_a);
+    setup.to_evaluation(&mut pk_b);
+    setup.to_evaluation(&mut pk_a);
+
+    // Drain the device before the window opens (modeled
+    // `cudaDeviceSynchronize`): every fork stream is fenced on the setup
+    // work, so the makespan growth the caller measures is exactly the
+    // chain schedule's length — no chain work can hide under the setup
+    // schedule's tail and inflate the overlap factor.
+    dev.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .gpu_mut()
+        .sync_all();
+    StreamsSetup {
+        ring,
+        dev,
+        _setup: setup,
+        evs,
+        pk_b,
+        pk_a,
+    }
+}
+
+fn device_timeline(dev: &std::sync::Arc<std::sync::Mutex<SimMemory>>) -> gpu_sim::DeviceTimeline {
+    dev.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .gpu()
+        .timeline()
+}
+
+/// Sync every chain polynomial and flatten its host rows, per chain.
+fn streams_digest(chains: &mut [Vec<ntt_core::RnsPoly>]) -> Vec<Vec<u64>> {
+    chains
+        .iter_mut()
+        .map(|polys| {
+            polys
+                .iter_mut()
+                .flat_map(|p| {
+                    p.sync();
+                    p.flat().to_vec()
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// Run `evaluators` independent encrypt → multiply → rescale chains, one
 /// per pooled `SimBackend` fork (each fork owns a device stream), and
 /// report serialized vs overlapped modeled device time over the chain
@@ -456,106 +621,248 @@ impl StreamsReport {
 /// upload on the root (setup) stream, so the modeled makespan approaches
 /// the longest single chain rather than the serial sum.
 pub fn streams(log_n: u32, evaluators: usize) -> StreamsReport {
-    use ntt_core::backend::{Evaluator, NttBackend};
-    use ntt_core::{RnsPoly, RnsRing};
-    use ntt_gpu::SimBackend;
+    streams_run(log_n, evaluators).report
+}
 
-    let n = 1usize << log_n;
-    let ring = RnsRing::new(n, ntt_math::ntt_primes(50, 2 * n as u64, 3)).expect("valid ring");
-    let root = SimBackend::titan_v();
-    let dev = root.memory_handle();
-    let forks: Vec<Box<dyn NttBackend>> = (0..evaluators).map(|_| root.fork()).collect();
-    let mut setup = Evaluator::with_backend(&ring, Box::new(root));
-    let mut evs: Vec<Evaluator> = forks
-        .into_iter()
-        .map(|b| Evaluator::new(ring.plan(), b))
+/// [`streams`] with the result digest attached (the serialized driver).
+pub fn streams_run(log_n: u32, evaluators: usize) -> StreamsRun {
+    let mut s = streams_setup(log_n, evaluators);
+    let t0 = device_timeline(&s.dev);
+    let mut chains: Vec<Vec<ntt_core::RnsPoly>> = s
+        .evs
+        .iter_mut()
+        .enumerate()
+        .map(|(i, ev)| streams_chain(ev, &s.ring, &s.pk_b, &s.pk_a, i))
         .collect();
+    let d = device_timeline(&s.dev).since(&t0);
+    StreamsRun {
+        report: StreamsReport {
+            evaluators,
+            timeline: d,
+        },
+        digest: streams_digest(&mut chains),
+    }
+}
 
-    let sample = |seed: i64| -> RnsPoly {
-        let coeffs: Vec<i64> = (0..n as i64)
-            .map(|i| (seed.wrapping_mul(i + 3) % 97) - 48)
+/// The same chains driven by **real host threads** — one thread per
+/// evaluator, racing on the shared device mutex, allocator and bus the
+/// way a multi-tenant server does (ROADMAP item o). Stream assignment,
+/// event fencing and the free-list recycling discipline must keep every
+/// chain's results bit-identical to [`streams_run`]'s serialized driver,
+/// whatever interleaving the OS scheduler picks; `tests/streams.rs`
+/// asserts exactly that on the returned digest.
+pub fn streams_threaded(log_n: u32, evaluators: usize) -> StreamsRun {
+    let s = streams_setup(log_n, evaluators);
+    let StreamsSetup {
+        ring,
+        dev,
+        _setup,
+        mut evs,
+        pk_b,
+        pk_a,
+    } = s;
+    let t0 = device_timeline(&dev);
+    let barrier = std::sync::Barrier::new(evs.len().max(1));
+    let mut chains: Vec<Vec<ntt_core::RnsPoly>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = evs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, ev)| {
+                let (ring, pk_b, pk_a, barrier) = (&ring, &pk_b, &pk_a, &barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    streams_chain(ev, ring, pk_b, pk_a, i)
+                })
+            })
             .collect();
-        RnsPoly::from_i64_coeffs(&ring, &coeffs)
-    };
+        chains = handles
+            .into_iter()
+            .map(|h| h.join().expect("chain thread panicked"))
+            .collect();
+    });
+    let d = device_timeline(&dev).since(&t0);
+    StreamsRun {
+        report: StreamsReport {
+            evaluators,
+            timeline: d,
+        },
+        digest: streams_digest(&mut chains),
+    }
+}
 
-    // Shared "public key" halves, uploaded and transformed on the root
-    // backend's stream — the setup stream every chain fences on once.
-    let (mut pk_b, mut pk_a) = (sample(3), sample(5));
-    setup.make_resident(&mut pk_b);
-    setup.make_resident(&mut pk_a);
-    setup.to_evaluation(&mut pk_b);
-    setup.to_evaluation(&mut pk_a);
+/// One serving configuration's outcome: wall-clock throughput and tail
+/// latency from a closed-loop multi-tenant load run, plus the modeled
+/// device-time accounting over the serving window (the `figures serve`
+/// rows).
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Serving worker threads (each borrows a pooled evaluator, so this
+    /// is also the stream count).
+    pub workers: usize,
+    /// Jobs answered.
+    pub completed: u64,
+    /// Jobs refused with backpressure.
+    pub rejected: u64,
+    /// Dispatch groups executed (`batched_jobs / batches` is the
+    /// achieved batching factor).
+    pub batches: u64,
+    /// Jobs executed across all groups.
+    pub batched_jobs: u64,
+    /// Chain results that missed the expected value (must be 0).
+    pub mismatches: u64,
+    /// Median end-to-end latency, microseconds (bucketed upper bound).
+    pub p50_us: f64,
+    /// 99th-percentile end-to-end latency, microseconds.
+    pub p99_us: f64,
+    /// Answered jobs per wall-clock second.
+    pub throughput: f64,
+    /// Modeled device time over the serving window.
+    pub timeline: gpu_sim::DeviceTimeline,
+}
 
-    let timeline = |dev: &std::sync::Arc<std::sync::Mutex<SimMemory>>| {
-        dev.lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .gpu()
-            .timeline()
-    };
-    // Drain the device before opening the window (modeled
-    // `cudaDeviceSynchronize`): every fork stream is fenced on the setup
-    // work, so the makespan growth below is exactly the chain schedule's
-    // length — no chain work can hide under the setup schedule's tail
-    // and inflate the overlap factor.
+fn serve_params(log_n: u32) -> he_lite::HeLiteParams {
+    he_lite::HeLiteParams {
+        log_n,
+        prime_bits: 50,
+        levels: 3,
+        scale_bits: 40,
+        gadget_bits: 10,
+        error_eta: 4,
+    }
+}
+
+fn drain_device(dev: &std::sync::Arc<std::sync::Mutex<SimMemory>>) {
     dev.lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .gpu_mut()
         .sync_all();
-    let t0 = timeline(&dev);
+}
 
-    // One independent chain per evaluator. Host execution is sequential;
-    // the stream schedule overlaps the modeled device time. Every chain
-    // keeps its device buffers alive until the window closes — the
-    // multi-stream discipline real CUDA code follows: a freed buffer may
-    // be recycled by another stream, whose first use then (correctly)
-    // fences on the previous owner's completion event and serializes the
-    // chains right back.
-    let mut keep: Vec<RnsPoly> = Vec::new();
-    for (i, ev) in evs.iter_mut().enumerate() {
-        let seed = 11 + 7 * i as i64;
-        let encrypt = |ev: &mut Evaluator, keep: &mut Vec<RnsPoly>, s: i64| -> (RnsPoly, RnsPoly) {
-            let (mut u, mut e0, mut e1, mut msg) =
-                (sample(s), sample(s + 1), sample(s + 2), sample(s + 3));
-            ev.make_resident(&mut u);
-            ev.make_resident(&mut e0);
-            ev.make_resident(&mut e1);
-            ev.make_resident(&mut msg);
-            ev.forward_polys(&mut [&mut u, &mut e0, &mut e1, &mut msg]);
-            let mut c0 = pk_b.clone();
-            ev.mul_pointwise(&mut c0, &u);
-            ev.add_assign(&mut c0, &e0);
-            ev.add_assign(&mut c0, &msg);
-            let mut c1 = pk_a.clone();
-            ev.mul_pointwise(&mut c1, &u);
-            ev.add_assign(&mut c1, &e1);
-            keep.extend([u, e0, e1, msg]);
-            (c0, c1)
-        };
-        let (mut c0, c1) = encrypt(ev, &mut keep, seed);
-        let (d0, d1) = encrypt(ev, &mut keep, seed + 40);
-        // Tensor multiply (no relinearization: chains stay independent).
-        let mut cross = c0.clone();
-        ev.mul_pointwise(&mut cross, &d1);
-        let mut cross2 = c1.clone();
-        ev.mul_pointwise(&mut cross2, &d0);
-        ev.add_assign(&mut cross, &cross2);
-        let mut e2 = c1.clone();
-        ev.mul_pointwise(&mut e2, &d1);
-        ev.mul_pointwise(&mut c0, &d0);
-        // Rescale every component a level down.
-        for poly in [&mut c0, &mut cross, &mut e2] {
-            ev.to_coefficient(poly);
-            ev.rescale(poly);
-            ev.to_evaluation(poly);
-        }
-        keep.extend([c0, c1, d0, d1, cross, cross2, e2]);
+/// Serve a closed-loop multi-tenant load (encrypt → eval → decrypt
+/// chains per tenant) through an [`he_serve::HeServer`] on a simulated
+/// device, and report throughput, tail latency and the modeled device
+/// window. Deterministic in results (seeded randomness end to end);
+/// wall-clock throughput and batch sizes vary with the host scheduler.
+pub fn serve(log_n: u32, workers: usize, tenants: u32, chains_per_tenant: usize) -> ServeReport {
+    use he_serve::{loadgen, ArrivalMode, HeServer, LoadConfig, ServeConfig};
+
+    let backend = ntt_gpu::SimBackend::titan_v();
+    let dev = backend.memory_handle();
+    let ctx = he_lite::HeContext::with_backend(serve_params(log_n), Box::new(backend))
+        .expect("sim context builds");
+    let server = HeServer::start(
+        ctx,
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        },
+    );
+    // Key generation is setup traffic; open the window after it drains.
+    drain_device(&dev);
+    let t0 = device_timeline(&dev);
+    let load = loadgen::run(
+        &server,
+        &LoadConfig {
+            tenants,
+            chains_per_tenant,
+            mode: ArrivalMode::Closed,
+            max_values: 8,
+            seed: 1,
+        },
+    );
+    let snap = server.shutdown();
+    drain_device(&dev);
+    let timeline = device_timeline(&dev).since(&t0);
+    let lat = snap.merged_latency();
+    ServeReport {
+        workers,
+        completed: snap.completed(),
+        rejected: snap.rejected(),
+        batches: snap.batches,
+        batched_jobs: snap.batched_jobs,
+        mismatches: load.mismatches,
+        p50_us: lat.p50() as f64 / 1e3,
+        p99_us: lat.p99() as f64 / 1e3,
+        throughput: load.throughput(),
+        timeline,
     }
+}
 
-    let d = timeline(&dev).since(&t0);
-    drop(keep);
-    StreamsReport {
-        evaluators,
-        timeline: d,
+/// Modeled device time for one job set through the batched pipelines vs
+/// the identical set dispatched one job at a time — the deterministic
+/// input to the `bench_smoke` batching gate (≥ 1.5× required).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBatchingReport {
+    /// Jobs in the set.
+    pub jobs: usize,
+    /// Modeled device window for the batched dispatch (one flat call
+    /// per pipeline stage for the whole set).
+    pub batched: gpu_sim::DeviceTimeline,
+    /// Modeled device window for the chunk-of-1 control.
+    pub unbatched: gpu_sim::DeviceTimeline,
+}
+
+impl ServeBatchingReport {
+    /// Unbatched / batched modeled serialized device time — how much
+    /// schedule the batcher saves by amortizing staging round trips and
+    /// launch overhead.
+    pub fn speedup(&self) -> f64 {
+        self.unbatched.serialized_s / self.batched.serialized_s.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Run `jobs` encrypt → eval → decrypt chains through the
+/// [`he_serve::Batcher`] twice on a simulated device — once batched
+/// (three group dispatches) and once as a chunk-of-1 control — and
+/// measure the modeled device time of each window. Asserts the two
+/// dispatch shapes produce identical results before returning.
+pub fn serve_batching(log_n: u32, jobs: usize) -> ServeBatchingReport {
+    use he_serve::{job_seed, Batcher, EncryptJob, TenantId};
+
+    let backend = ntt_gpu::SimBackend::titan_v();
+    let dev = backend.memory_handle();
+    let ctx = he_lite::HeContext::with_backend(serve_params(log_n), Box::new(backend))
+        .expect("sim context builds");
+    let keys = ctx.keygen(&mut he_lite::sampling::seeded_rng(7));
+    let batcher = Batcher::new(&keys);
+    let encrypt_jobs: Vec<EncryptJob> = (0..jobs)
+        .map(|j| EncryptJob {
+            seed: job_seed(7, TenantId(j as u32), 0),
+            values: vec![1.0 + j as f64, -0.5 * j as f64],
+        })
+        .collect();
+    let chain = |group: &[EncryptJob]| -> Vec<Vec<f64>> {
+        ctx.with_pooled_evaluator(|ev| {
+            let cts = batcher.encrypt_batch(&ctx, ev, group);
+            let evald = batcher.eval_batch(
+                &ctx,
+                ev,
+                cts.into_iter().map(|ct| (ct, vec![2.0])).collect(),
+            );
+            batcher.decrypt_batch(&ctx, ev, evald)
+        })
+    };
+
+    drain_device(&dev);
+    let t0 = device_timeline(&dev);
+    let batched_out = chain(&encrypt_jobs);
+    drain_device(&dev);
+    let batched = device_timeline(&dev).since(&t0);
+
+    let t1 = device_timeline(&dev);
+    let unbatched_out: Vec<Vec<f64>> = encrypt_jobs.chunks(1).flat_map(&chain).collect();
+    drain_device(&dev);
+    let unbatched = device_timeline(&dev).since(&t1);
+
+    assert_eq!(
+        batched_out, unbatched_out,
+        "batched dispatch changed the bits"
+    );
+    ServeBatchingReport {
+        jobs,
+        batched,
+        unbatched,
     }
 }
 

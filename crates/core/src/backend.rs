@@ -867,6 +867,24 @@ pub trait NttBackend: Send {
     /// performance-model hint: results never depend on it.
     fn bind_stream(&self) {}
 
+    /// Stage a host slice into a freshly allocated device buffer that a
+    /// device op on this executor is about to read (the mixed-residency
+    /// path of [`Evaluator::multiply`]). The default allocates and
+    /// uploads through [`NttBackend::memory`] on whatever stream is
+    /// bound — correct, but it serializes compute behind the copy.
+    /// Backends with a stream model override this to issue the upload on
+    /// a dedicated copy stream and fence the consuming compute stream on
+    /// its completion event, so queued compute overlaps the transfer.
+    /// Purely a performance-model hint: results never depend on it. The
+    /// caller owns the returned buffer and must free it.
+    fn stage_upload(&mut self, data: &[u64]) -> DeviceBuf {
+        let mem = self.memory();
+        let mut guard = lock_memory(&mem);
+        let buf = guard.alloc(data.len());
+        guard.upload(buf, data);
+        buf
+    }
+
     /// Forward-NTT a device-resident batch in place (`buf` = rows × N
     /// words, row `r` mod prime `r % level`). Default: staged through
     /// [`NttBackend::memory`] with counted transfers — override to stay on
@@ -1514,6 +1532,31 @@ impl Evaluator {
             .forward_batch(&self.plan, LimbBatch::new(data, n, level));
     }
 
+    /// Inverse counterpart of [`Evaluator::forward_flat`]: inverse-NTT a
+    /// raw `rows × N` batch (row `r` mod prime `r % level`) in **one**
+    /// backend call — the dispatch shape request batchers use to pack
+    /// many small ciphertext ops into a single kernel schedule.
+    pub fn inverse_flat(&mut self, level: usize, data: &mut [u64]) {
+        let n = self.plan.degree();
+        self.backend
+            .inverse_batch(&self.plan, LimbBatch::new(data, n, level));
+    }
+
+    /// Element-wise product over packed rows, `acc[r] *= rhs[r]` with row
+    /// `r` reduced mod prime `r % level` — the flat companion of
+    /// [`Evaluator::mul_pointwise`]. One backend call covers every packed
+    /// polynomial, whatever the row count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` does not match `acc`'s shape.
+    pub fn pointwise_flat(&mut self, level: usize, acc: &mut [u64], rhs: &[u64]) {
+        assert_eq!(acc.len(), rhs.len(), "operand shape mismatch");
+        let n = self.plan.degree();
+        self.backend
+            .pointwise_batch(&self.plan, LimbBatch::new(acc, n, level), rhs);
+    }
+
     /// Dispatch guard for binary ops: device path iff `rhs` is
     /// device-fresh in this backend's memory (then `acc` is pulled to the
     /// device too). Returns the pair of device views, or `None` for the
@@ -1717,23 +1760,22 @@ impl Evaluator {
             );
             self.backend.bind_stream();
             let mem = self.backend.memory();
-            let stage = |mem: &SharedDeviceMemory, x: &RnsPoly| -> DeviceBuf {
-                let mut guard = lock_memory(mem);
-                let buf = guard.alloc(x.flat().len());
-                guard.upload(buf, x.flat());
-                buf
-            };
+            // Host co-operands are prefetched through the backend's
+            // staging hook: on stream-modeling backends the upload rides
+            // a copy stream fenced by an event, so compute already queued
+            // on this executor's stream overlaps the transfer instead of
+            // waiting behind it (ROADMAP item p).
             let (abuf, atmp) = match da {
                 Some(buf) => (buf, None),
                 None => {
-                    let t = stage(&mem, a);
+                    let t = self.backend.stage_upload(a.flat());
                     (t, Some(t))
                 }
             };
             let (bbuf, btmp) = match db {
                 Some(buf) => (buf, None),
                 None => {
-                    let t = stage(&mem, b);
+                    let t = self.backend.stage_upload(b.flat());
                     (t, Some(t))
                 }
             };

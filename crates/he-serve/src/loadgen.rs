@@ -1,0 +1,243 @@
+//! Closed- and open-loop multi-tenant load generation.
+//!
+//! Drives an [`HeServer`](crate::HeServer) the way production traffic
+//! would: every tenant runs encrypt → eval → decrypt chains with
+//! heavy-tailed value-vector sizes, and the report carries enough
+//! counters for the `figures serve` section to plot throughput against
+//! tail latency.
+
+use crate::request::{Request, Response, SubmitError, TenantId};
+use crate::server::HeServer;
+use rand::{Rng, RngExt};
+use std::time::{Duration, Instant};
+
+/// How requests arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalMode {
+    /// Each tenant keeps exactly one chain in flight (waits for every
+    /// answer before the next submit) — latency under light load.
+    Closed,
+    /// One submitter issues jobs round-robin across tenants with a fixed
+    /// inter-arrival gap, collecting answers at the end — pressure on
+    /// the queue and batcher.
+    Open {
+        /// Pause between consecutive submits (zero floods the queue).
+        gap: Duration,
+    },
+}
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Simulated tenants.
+    pub tenants: u32,
+    /// Encrypt→eval→decrypt chains per tenant.
+    pub chains_per_tenant: usize,
+    /// Arrival discipline.
+    pub mode: ArrivalMode,
+    /// Cap on value-vector length (clamped to the ring degree). Actual
+    /// lengths are heavy-tailed: length `max >> k` with probability
+    /// `2^-(k+1)`, so most requests are small and a few are near-max.
+    pub max_values: usize,
+    /// Seeds the generator's value/length randomness.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            tenants: 4,
+            chains_per_tenant: 4,
+            mode: ArrivalMode::Closed,
+            max_values: 16,
+            seed: 1,
+        }
+    }
+}
+
+/// What a load run did.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Jobs offered to the server (including refused ones).
+    pub submitted: u64,
+    /// Jobs answered.
+    pub completed: u64,
+    /// Jobs refused with [`SubmitError::Backpressure`].
+    pub rejected: u64,
+    /// Decrypted chain results further than `1e-2` from the expected
+    /// product (0 on a healthy run).
+    pub mismatches: u64,
+    /// Wall-clock time from first submit to last answer.
+    pub wall: Duration,
+}
+
+impl LoadReport {
+    /// Answered jobs per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.completed as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// Heavy-tailed length in `1..=max`: geometric over the trailing-zero
+/// count of a uniform draw, so half the requests are `max`-halved once,
+/// a quarter twice, and so on.
+fn heavy_tail_len<R: Rng>(rng: &mut R, max: usize) -> usize {
+    let shift = (rng.next_u64().trailing_zeros() as usize).min(max.ilog2() as usize);
+    (max >> shift).max(1)
+}
+
+fn chain_values<R: Rng + RngExt>(rng: &mut R, max: usize) -> (Vec<f64>, Vec<f64>) {
+    let len = heavy_tail_len(rng, max);
+    let values = (0..len).map(|_| rng.random_range(-4.0..4.0)).collect();
+    // Constant weight polynomial: under coefficient encoding eval is a
+    // negacyclic poly product, and a degree-0 weight scales every value
+    // — which keeps the expected chain output checkable in closed form.
+    let weights = vec![rng.random_range(-2.0..2.0)];
+    (values, weights)
+}
+
+/// One encrypt → (eval if a level remains) → decrypt chain, fully
+/// synchronous. Returns (submitted, completed, rejected, mismatches).
+fn run_chain(
+    server: &HeServer,
+    values: Vec<f64>,
+    weights: Vec<f64>,
+    tenant: TenantId,
+) -> LoadReport {
+    let mut r = LoadReport::default();
+    let submit = |req: Request, r: &mut LoadReport| -> Option<Response> {
+        r.submitted += 1;
+        match server.submit(tenant, req) {
+            Ok(ticket) => {
+                let done = ticket.wait()?;
+                r.completed += 1;
+                Some(done.response)
+            }
+            Err(SubmitError::Backpressure { .. }) => {
+                r.rejected += 1;
+                None
+            }
+            Err(_) => None,
+        }
+    };
+
+    let Some(Response::Encrypted(ct)) = submit(
+        Request::Encrypt {
+            values: values.clone(),
+        },
+        &mut r,
+    ) else {
+        return r;
+    };
+    let (ct, expect): (_, Vec<f64>) = if ct.level() >= 2 {
+        let Some(Response::Evaluated(ct)) = submit(
+            Request::Eval {
+                ct,
+                weights: weights.clone(),
+            },
+            &mut r,
+        ) else {
+            return r;
+        };
+        (ct, values.iter().map(|v| v * weights[0]).collect())
+    } else {
+        (ct, values)
+    };
+    let Some(Response::Decrypted(out)) = submit(Request::Decrypt { ct }, &mut r) else {
+        return r;
+    };
+    for (got, want) in out.iter().zip(expect) {
+        if (got - want).abs() > 1e-2 {
+            r.mismatches += 1;
+        }
+    }
+    r
+}
+
+fn merge(into: &mut LoadReport, part: LoadReport) {
+    into.submitted += part.submitted;
+    into.completed += part.completed;
+    into.rejected += part.rejected;
+    into.mismatches += part.mismatches;
+}
+
+/// Run a load pattern against `server` and report what happened.
+///
+/// Closed mode spawns one thread per tenant; open mode submits from a
+/// single thread and waits for every ticket at the end.
+pub fn run(server: &HeServer, cfg: &LoadConfig) -> LoadReport {
+    let max = cfg.max_values.clamp(1, server.context().params().n());
+    let start = Instant::now();
+    let mut report = LoadReport::default();
+    match cfg.mode {
+        ArrivalMode::Closed => {
+            let parts: Vec<LoadReport> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..cfg.tenants)
+                    .map(|t| {
+                        scope.spawn(move || {
+                            let mut part = LoadReport::default();
+                            let mut rng =
+                                he_lite::sampling::seeded_rng(cfg.seed ^ (u64::from(t) << 17));
+                            for _ in 0..cfg.chains_per_tenant {
+                                let (values, weights) = chain_values(&mut rng, max);
+                                merge(&mut part, run_chain(server, values, weights, TenantId(t)));
+                            }
+                            part
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("load tenant thread"))
+                    .collect()
+            });
+            for part in parts {
+                merge(&mut report, part);
+            }
+        }
+        ArrivalMode::Open { gap } => {
+            // Open loop cannot chain (each stage needs the previous
+            // answer), so it floods independent encrypt jobs and a
+            // decrypt per answered encrypt at the end.
+            let mut rng = he_lite::sampling::seeded_rng(cfg.seed);
+            let mut tickets = Vec::new();
+            for i in 0..(cfg.tenants as usize * cfg.chains_per_tenant) {
+                let tenant = TenantId((i % cfg.tenants.max(1) as usize) as u32);
+                let (values, _) = chain_values(&mut rng, max);
+                report.submitted += 1;
+                match server.submit(tenant, Request::Encrypt { values }) {
+                    Ok(t) => tickets.push((tenant, t)),
+                    Err(SubmitError::Backpressure { .. }) => report.rejected += 1,
+                    Err(_) => {}
+                }
+                if !gap.is_zero() {
+                    std::thread::sleep(gap);
+                }
+            }
+            let mut followups = Vec::new();
+            for (tenant, ticket) in tickets {
+                let Some(done) = ticket.wait() else { continue };
+                report.completed += 1;
+                if let Response::Encrypted(ct) = done.response {
+                    report.submitted += 1;
+                    match server.submit(tenant, Request::Decrypt { ct }) {
+                        Ok(t) => followups.push(t),
+                        Err(SubmitError::Backpressure { .. }) => report.rejected += 1,
+                        Err(_) => {}
+                    }
+                }
+            }
+            for ticket in followups {
+                if ticket.wait().is_some() {
+                    report.completed += 1;
+                }
+            }
+        }
+    }
+    report.wall = start.elapsed();
+    report
+}

@@ -1,0 +1,214 @@
+//! Per-tenant accounting: latency histograms, batch counters and
+//! transfer attribution.
+
+use crate::request::TenantId;
+use std::collections::BTreeMap;
+
+/// Number of log2 latency buckets: bucket `b` holds samples in
+/// `[2^(b-1), 2^b)` nanoseconds (bucket 0 holds `0..2` ns), which spans
+/// sub-microsecond dispatch up to ~9 years at the top.
+const BUCKETS: usize = 48;
+
+/// A fixed-size log2-bucketed latency histogram.
+///
+/// Quantiles are read as the *upper bound* of the bucket where the
+/// cumulative count crosses the rank — at most 2× off, which is plenty
+/// for p50/p99 spread over decades of latency, and needs no sample
+/// storage.
+///
+/// # Example
+///
+/// ```
+/// use he_serve::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::default();
+/// for ns in [100, 200, 300, 400, 10_000] {
+///     h.record(ns);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.p50() <= 512, "median bucket covers the 100-400 cluster");
+/// assert!(h.p99() >= 10_000, "tail sample dominates p99");
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    max_ns: u64,
+    sum_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            max_ns: 0,
+            sum_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one latency sample in nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        let bucket = (64 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.max_ns = self.max_ns.max(ns);
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean latency in nanoseconds (exact, not bucketed).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// The latency at quantile `q ∈ [0, 1]`, as the upper bound of the
+    /// bucket holding that rank (0 when empty). Clamped to the exact
+    /// maximum so `quantile(1.0) == max_ns()`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let bound = if b >= 64 { u64::MAX } else { (1u64 << b) - 1 };
+                return bound.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median latency (bucketed upper bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency (bucketed upper bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+    }
+}
+
+/// One tenant's view of the server's accounting.
+#[derive(Debug, Clone, Default)]
+pub struct TenantSnapshot {
+    /// Jobs answered.
+    pub completed: u64,
+    /// Jobs refused at the door (queue full).
+    pub rejected: u64,
+    /// End-to-end latency distribution of completed jobs.
+    pub latency: LatencyHistogram,
+    /// Host→device words attributed to this tenant's jobs (proportional
+    /// share of each batch's transfer delta — approximate when several
+    /// workers dispatch concurrently, since the context's transfer
+    /// ledger is global).
+    pub upload_words: u64,
+    /// Device→host words attributed to this tenant's jobs (same
+    /// proportional-share caveat).
+    pub download_words: u64,
+}
+
+/// A point-in-time copy of the server's accounting.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Per-tenant accounting, keyed by tenant id.
+    pub tenants: BTreeMap<u32, TenantSnapshot>,
+    /// Dispatch groups executed.
+    pub batches: u64,
+    /// Jobs executed across all groups (`batched_jobs / batches` is the
+    /// achieved batching factor).
+    pub batched_jobs: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total jobs answered across tenants.
+    pub fn completed(&self) -> u64 {
+        self.tenants.values().map(|t| t.completed).sum()
+    }
+
+    /// Total jobs refused across tenants.
+    pub fn rejected(&self) -> u64 {
+        self.tenants.values().map(|t| t.rejected).sum()
+    }
+
+    /// One tenant's snapshot (empty default if never seen).
+    pub fn tenant(&self, id: TenantId) -> TenantSnapshot {
+        self.tenants.get(&id.0).cloned().unwrap_or_default()
+    }
+
+    /// Latency distribution across every tenant.
+    pub fn merged_latency(&self) -> LatencyHistogram {
+        let mut all = LatencyHistogram::default();
+        for t in self.tenants.values() {
+            all.merge(&t.latency);
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_walk_cumulative_counts() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(1_000); // bucket upper bound 1023
+        }
+        h.record(1_000_000);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), 1023);
+        assert_eq!(h.p99(), 1023, "rank 99 still in the cluster");
+        assert_eq!(h.quantile(1.0), 1_000_000, "clamped to exact max");
+        assert_eq!(h.max_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        a.record(10);
+        b.record(1 << 20);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max_ns(), 1 << 20);
+        assert!(a.mean_ns() > 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+    }
+}

@@ -1,0 +1,377 @@
+//! The serving loop: worker threads draining the fair queue into the
+//! batcher through the context's evaluator pool.
+
+use crate::batcher::{job_seed, Batcher, EncryptJob};
+use crate::metrics::{LatencyHistogram, MetricsSnapshot, TenantSnapshot};
+use crate::queue::FairQueue;
+use crate::request::{Completed, Job, Request, Response, SubmitError, TenantId};
+use he_lite::{sampling, HeContext};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tuning knobs for [`HeServer`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Per-tenant queue bound; submits past it get
+    /// [`SubmitError::Backpressure`].
+    pub queue_capacity: usize,
+    /// Deficit round-robin quantum in request cost units
+    /// ([`Request::cost`]).
+    pub quantum: u64,
+    /// Most jobs one dispatch drains (the batching window).
+    pub batch_max: usize,
+    /// Worker threads draining the queue. Each dispatch borrows an
+    /// evaluator from the context pool, so the pool grows to at most
+    /// this many.
+    pub workers: usize,
+    /// When false, workers drain one job at a time — the unbatched
+    /// control used to measure the batching win.
+    pub batching: bool,
+    /// Seeds key generation and the per-job encryption randomness
+    /// domain, making a serving run reproducible end to end.
+    pub key_seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 64,
+            quantum: 8,
+            batch_max: 16,
+            workers: 2,
+            batching: true,
+            key_seed: 7,
+        }
+    }
+}
+
+/// A claim on one submitted job's answer.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Completed>,
+}
+
+impl Ticket {
+    /// Block until the server answers. `None` only if the server was
+    /// torn down with the job still queued.
+    pub fn wait(self) -> Option<Completed> {
+        self.rx.recv().ok()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[derive(Default)]
+struct TenantMetrics {
+    completed: u64,
+    latency: LatencyHistogram,
+    upload_words: u64,
+    download_words: u64,
+}
+
+#[derive(Default)]
+struct MetricsInner {
+    tenants: HashMap<u32, TenantMetrics>,
+    batches: u64,
+    batched_jobs: u64,
+}
+
+struct ServerInner {
+    ctx: HeContext,
+    batcher: Batcher,
+    config: ServeConfig,
+    queue: Mutex<FairQueue<Job>>,
+    work_ready: Condvar,
+    seqs: Mutex<HashMap<u32, u64>>,
+    metrics: Mutex<MetricsInner>,
+    shutdown: AtomicBool,
+}
+
+/// A multi-tenant HE serving front end: submit jobs, get [`Ticket`]s,
+/// read per-tenant metrics. See the crate docs for the architecture and
+/// a full example.
+pub struct HeServer {
+    inner: Arc<ServerInner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl HeServer {
+    /// Generate keys from `config.key_seed` and spawn `config.workers`
+    /// serving threads over `ctx`'s evaluator pool.
+    pub fn start(ctx: HeContext, config: ServeConfig) -> Self {
+        let mut rng = sampling::seeded_rng(config.key_seed);
+        let keys = ctx.keygen(&mut rng);
+        let batcher = Batcher::new(&keys);
+        let inner = Arc::new(ServerInner {
+            queue: Mutex::new(FairQueue::new(config.queue_capacity, config.quantum)),
+            work_ready: Condvar::new(),
+            seqs: Mutex::new(HashMap::new()),
+            metrics: Mutex::new(MetricsInner::default()),
+            shutdown: AtomicBool::new(false),
+            ctx,
+            batcher,
+            config,
+        });
+        let workers = (0..inner.config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("he-serve-{i}"))
+                    .spawn(move || inner.worker_loop())
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        HeServer {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Queue one job for `tenant`. Invalid jobs and backpressure are
+    /// refused synchronously; admitted jobs answer through the returned
+    /// [`Ticket`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Invalid`] for jobs that can never execute,
+    /// [`SubmitError::Backpressure`] when the tenant's queue is full,
+    /// [`SubmitError::ShuttingDown`] after [`HeServer::shutdown`] began.
+    pub fn submit(&self, tenant: TenantId, request: Request) -> Result<Ticket, SubmitError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let n = self.inner.ctx.params().n();
+        match &request {
+            Request::Encrypt { values } if values.len() > n => {
+                return Err(SubmitError::Invalid("more values than slots"));
+            }
+            Request::Eval { weights, .. } if weights.len() > n => {
+                return Err(SubmitError::Invalid("more weights than slots"));
+            }
+            Request::Eval { ct, .. } if ct.level() < 2 => {
+                return Err(SubmitError::Invalid("no prime left to rescale into"));
+            }
+            _ => {}
+        }
+        let seq = {
+            let mut seqs = lock(&self.inner.seqs);
+            let c = seqs.entry(tenant.0).or_insert(0);
+            let seq = *c;
+            *c += 1;
+            seq
+        };
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            tenant,
+            seq,
+            request,
+            submitted_at: Instant::now(),
+            reply: tx,
+        };
+        let mut q = lock(&self.inner.queue);
+        let capacity = q.capacity();
+        q.push(tenant, job)
+            .map_err(|_| SubmitError::Backpressure { tenant, capacity })?;
+        drop(q);
+        self.inner.work_ready.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// The context the server runs on.
+    pub fn context(&self) -> &HeContext {
+        &self.inner.ctx
+    }
+
+    /// The configuration the server was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.inner.config
+    }
+
+    /// Jobs currently queued across all tenants.
+    pub fn queued(&self) -> usize {
+        lock(&self.inner.queue).queued()
+    }
+
+    /// A point-in-time copy of the per-tenant accounting.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.snapshot()
+    }
+
+    /// Stop accepting work, drain what is queued, join the workers and
+    /// return the final accounting.
+    pub fn shutdown(&self) -> MetricsSnapshot {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.work_ready.notify_all();
+        for w in lock(&self.workers).drain(..) {
+            let _ = w.join();
+        }
+        self.inner.snapshot()
+    }
+}
+
+impl Drop for HeServer {
+    fn drop(&mut self) {
+        if !self.inner.shutdown.load(Ordering::Acquire) {
+            self.shutdown();
+        }
+    }
+}
+
+impl ServerInner {
+    fn worker_loop(&self) {
+        loop {
+            let drained = {
+                let mut q = lock(&self.queue);
+                loop {
+                    let max = if self.config.batching {
+                        self.config.batch_max.max(1)
+                    } else {
+                        1
+                    };
+                    let batch = q.drain(max);
+                    if !batch.is_empty() {
+                        break batch;
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    q = self
+                        .work_ready
+                        .wait(q)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            // More may remain queued than one drain took; let a sibling
+            // worker overlap with this dispatch.
+            self.work_ready.notify_one();
+
+            // Jobs batch only within one (kind, level) group.
+            let top = self.ctx.params().levels;
+            let mut groups: Vec<((u8, usize), Vec<Job>)> = Vec::new();
+            for (_, job) in drained {
+                let key = job.request.group_key(top);
+                match groups.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, g)) => g.push(job),
+                    None => groups.push((key, vec![job])),
+                }
+            }
+            for (_, group) in groups {
+                self.execute_group(group);
+            }
+        }
+    }
+
+    /// Run one homogeneous group through the batcher on a pooled
+    /// evaluator, then account and answer each job.
+    fn execute_group(&self, jobs: Vec<Job>) {
+        let before = self.ctx.transfer_stats();
+        let domain = self.config.key_seed;
+
+        let mut meta = Vec::with_capacity(jobs.len());
+        let responses: Vec<Response> = match jobs[0].request {
+            Request::Encrypt { .. } => {
+                let mut batch = Vec::with_capacity(jobs.len());
+                for job in &jobs {
+                    let Request::Encrypt { values } = &job.request else {
+                        unreachable!("group is homogeneous");
+                    };
+                    batch.push(EncryptJob {
+                        seed: job_seed(domain, job.tenant, job.seq),
+                        values: values.clone(),
+                    });
+                }
+                self.ctx
+                    .with_pooled_evaluator(|ev| self.batcher.encrypt_batch(&self.ctx, ev, &batch))
+                    .into_iter()
+                    .map(Response::Encrypted)
+                    .collect()
+            }
+            Request::Eval { .. } => {
+                let mut batch = Vec::with_capacity(jobs.len());
+                for job in &jobs {
+                    let Request::Eval { ct, weights } = &job.request else {
+                        unreachable!("group is homogeneous");
+                    };
+                    batch.push((ct.clone(), weights.clone()));
+                }
+                self.ctx
+                    .with_pooled_evaluator(|ev| self.batcher.eval_batch(&self.ctx, ev, batch))
+                    .into_iter()
+                    .map(Response::Evaluated)
+                    .collect()
+            }
+            Request::Decrypt { .. } => {
+                let mut batch = Vec::with_capacity(jobs.len());
+                for job in &jobs {
+                    let Request::Decrypt { ct } = &job.request else {
+                        unreachable!("group is homogeneous");
+                    };
+                    batch.push(ct.clone());
+                }
+                self.ctx
+                    .with_pooled_evaluator(|ev| self.batcher.decrypt_batch(&self.ctx, ev, batch))
+                    .into_iter()
+                    .map(Response::Decrypted)
+                    .collect()
+            }
+        };
+        let delta = self.ctx.transfer_stats().since(&before);
+
+        for (job, response) in jobs.into_iter().zip(responses) {
+            let latency = job.submitted_at.elapsed();
+            meta.push((job.tenant, latency));
+            // A dropped Ticket just discards the answer.
+            let _ = job.reply.send(Completed { response, latency });
+        }
+
+        let mut m = lock(&self.metrics);
+        m.batches += 1;
+        m.batched_jobs += meta.len() as u64;
+        let share = meta.len() as u64;
+        for (tenant, latency) in meta {
+            let t = m.tenants.entry(tenant.0).or_default();
+            t.completed += 1;
+            t.latency
+                .record(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+            // Proportional (per-job) share of this batch's transfer
+            // delta; approximate when workers dispatch concurrently.
+            t.upload_words += delta.upload_words / share;
+            t.download_words += delta.download_words / share;
+        }
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        let m = lock(&self.metrics);
+        let q = lock(&self.queue);
+        let mut snap = MetricsSnapshot {
+            batches: m.batches,
+            batched_jobs: m.batched_jobs,
+            ..Default::default()
+        };
+        for (&id, t) in &m.tenants {
+            snap.tenants.insert(
+                id,
+                TenantSnapshot {
+                    completed: t.completed,
+                    rejected: q.rejected_for(TenantId(id)),
+                    latency: t.latency.clone(),
+                    upload_words: t.upload_words,
+                    download_words: t.download_words,
+                },
+            );
+        }
+        // Tenants that only ever got rejected still deserve a row.
+        for id in q.rejected_tenants() {
+            snap.tenants.entry(id).or_insert_with(|| TenantSnapshot {
+                rejected: q.rejected_for(TenantId(id)),
+                ..Default::default()
+            });
+        }
+        snap
+    }
+}

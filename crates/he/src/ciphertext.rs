@@ -50,6 +50,24 @@ pub struct Ciphertext {
 }
 
 impl Ciphertext {
+    /// Assemble a ciphertext from raw components — the constructor layers
+    /// above the scheme (request batchers, serialization) use after
+    /// producing `(c0, c1)` through their own batched dispatch.
+    ///
+    /// Both polynomials must be in evaluation form at the same level, and
+    /// satisfy `c0 + c1·s ≈ scale · message (mod Q_level)`; nothing here
+    /// can check the last invariant, so a bad pair simply decrypts to
+    /// noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level or representation mismatch between the halves.
+    pub fn from_parts(c0: RnsPoly, c1: RnsPoly, scale: f64) -> Self {
+        assert_eq!(c0.level(), c1.level(), "component level mismatch");
+        assert_eq!(c0.repr(), c1.repr(), "component representation mismatch");
+        Ciphertext { c0, c1, scale }
+    }
+
     /// Active prime count (decreases by one per rescale).
     pub fn level(&self) -> usize {
         self.c0.level()

@@ -15,6 +15,16 @@ pub struct SecretKey {
     pub(crate) s_eval: RnsPoly,
 }
 
+impl SecretKey {
+    /// `s` in evaluation form at full level. This *is* the secret —
+    /// exposed so decrypting layers above the scheme (request batchers)
+    /// can pack `c1·s` products into flat backend calls; anything holding
+    /// `&SecretKey` can already decrypt, so no capability is added.
+    pub fn eval_poly(&self) -> &RnsPoly {
+        &self.s_eval
+    }
+}
+
 /// Ring-LWE public key `(b, a)` with `b = -(a·s) + e`, evaluation form.
 #[derive(Debug, Clone)]
 pub struct PublicKey {
@@ -22,6 +32,15 @@ pub struct PublicKey {
     pub(crate) b: RnsPoly,
     /// Uniform `a`.
     pub(crate) a: RnsPoly,
+}
+
+impl PublicKey {
+    /// The `(b, a)` halves in evaluation form — public material, exposed
+    /// so encrypting layers above the scheme can pack `b·u` / `a·u`
+    /// products into flat backend calls.
+    pub fn halves(&self) -> (&RnsPoly, &RnsPoly) {
+        (&self.b, &self.a)
+    }
 }
 
 /// One relinearization key entry: an encryption of `B^d · g_j · s²`.

@@ -695,6 +695,11 @@ pub struct SimBackend {
     mem: Arc<Mutex<SimMemory>>,
     /// The stream this executor's launches and transfers are charged to.
     stream: Stream,
+    /// Lazily created copy stream for staging prefetches
+    /// ([`NttBackend::stage_upload`]): uploads ride here so compute
+    /// queued on `stream` overlaps the transfer, fenced per buffer by
+    /// the readiness events.
+    copy_stream: Option<Stream>,
     /// Staging buffer for host-batch primary operands.
     data: DevData,
     /// Staging buffer for host-batch secondary operands.
@@ -717,6 +722,9 @@ impl Drop for SimBackend {
         if self.stream != Stream::DEFAULT {
             self.lock().gpu.destroy_stream(self.stream);
         }
+        if let Some(copy) = self.copy_stream {
+            self.lock().gpu.destroy_stream(copy);
+        }
     }
 }
 
@@ -726,6 +734,7 @@ impl SimBackend {
         Self {
             mem: Arc::new(Mutex::new(SimMemory::new(config))),
             stream: Stream::DEFAULT,
+            copy_stream: None,
             data: DevData::default(),
             scratch: DevData::default(),
             mul_scratch: DevData::default(),
@@ -881,6 +890,7 @@ impl NttBackend for SimBackend {
         Box::new(SimBackend {
             mem: Arc::clone(&self.mem),
             stream,
+            copy_stream: None,
             data: DevData::default(),
             scratch: DevData::default(),
             mul_scratch: DevData::default(),
@@ -894,6 +904,26 @@ impl NttBackend for SimBackend {
 
     fn bind_stream(&self) {
         self.lock().bind(self.stream);
+    }
+
+    /// Prefetch a staging upload on this executor's copy stream: the
+    /// transfer is enqueued off the compute stream and the buffer's
+    /// readiness event is recorded on the copy stream, so consuming
+    /// kernels (which fence per buffer via `wait_ready`) start exactly
+    /// when the copy lands while previously queued compute overlaps it
+    /// (ROADMAP item p).
+    fn stage_upload(&mut self, data: &[u64]) -> DeviceBuf {
+        let mut m = lock_mem(&self.mem);
+        let copy = *self
+            .copy_stream
+            .get_or_insert_with(|| m.gpu.create_stream());
+        let buf = m.alloc(data.len());
+        m.bind(copy);
+        // `upload` fences the copy stream on any stale readiness event a
+        // recycled base may carry, then records the new one there.
+        m.upload(buf, data);
+        m.bind(self.stream);
+        buf
     }
 
     fn forward_batch(&mut self, plan: &RingPlan, mut batch: LimbBatch<'_>) {

@@ -87,14 +87,22 @@ impl DeviceOt {
                 hi_c.push(precompute(v, p));
             }
         }
+        // Charge every table upload to the active stream: `alloc_from`
+        // bypasses the PCIe bus model *and* the transfer ledger, which
+        // made OT setup look free in the timeline (ROADMAP item n).
+        let upload = |gpu: &mut Gpu, data: &[u64]| -> Buf {
+            let buf = gpu.gmem.alloc(data.len());
+            gpu.stream_upload(buf, 0, data);
+            buf
+        };
         Self {
             base,
             lo_len,
             hi_len,
-            lo_w: gpu.gmem.alloc_from(&lo_w),
-            lo_c: gpu.gmem.alloc_from(&lo_c),
-            hi_w: gpu.gmem.alloc_from(&hi_w),
-            hi_c: gpu.gmem.alloc_from(&hi_c),
+            lo_w: upload(gpu, &lo_w),
+            lo_c: upload(gpu, &lo_c),
+            hi_w: upload(gpu, &hi_w),
+            hi_c: upload(gpu, &hi_c),
         }
     }
 
@@ -175,6 +183,26 @@ mod tests {
         let ot = DeviceOt::upload(&mut gpu, &batch, 1024);
         assert_eq!(ot.lo_len, 1024);
         assert_eq!(ot.hi_len, (1 << 14) / 1024);
+    }
+
+    /// Regression for ROADMAP item n: the four factor-table uploads must
+    /// cross the modeled PCIe bus (timeline transfers) and be counted in
+    /// the `TransferStats` ledger, like every other host→device copy.
+    #[test]
+    fn table_uploads_charge_bus_and_ledger() {
+        let mut gpu = Gpu::new(GpuConfig::titan_v());
+        let batch = DeviceBatch::sequential(&mut gpu, 8, 2, 60).unwrap();
+        let t0 = gpu.timeline();
+        let s0 = gpu.gmem.transfer_stats();
+        let ot = DeviceOt::upload(&mut gpu, &batch, 32);
+        let dt = gpu.timeline().since(&t0);
+        let ds = gpu.gmem.transfer_stats().since(&s0);
+        assert_eq!(dt.transfers, 4, "four factor tables cross the bus");
+        assert_eq!(ds.uploads, 4, "four uploads in the ledger");
+        // Each table holds np × len entries, and values + companions double it.
+        let words = 2 * (batch.np() * (ot.lo_len + ot.hi_len)) as u64;
+        assert_eq!(ds.upload_words, words, "every table word is counted");
+        assert!(dt.serialized_s > 0.0, "bus time must be charged: {dt:?}");
     }
 
     #[test]

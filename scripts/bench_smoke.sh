@@ -19,7 +19,11 @@
 #     encrypt->multiply->rescale chains on 4 streams overlaps modeled
 #     device time >= 1.3x vs the serialized schedule
 #     (overlapped <= 0.77 * serialized; both sides are modeled time from
-#     one deterministic run, so the gate holds on any host).
+#     one deterministic run, so the gate holds on any host);
+#   * the he-serve request batcher packs 8 encrypt->eval->decrypt jobs
+#     into flat group dispatches at >= 1.5x less modeled device time
+#     than the one-job-at-a-time control (batched <= 0.667 * unbatched;
+#     modeled time again, host-independent).
 #
 # Usage:
 #   scripts/bench_smoke.sh                  # within-run ratio gates (CI)
@@ -56,5 +60,6 @@ else
         --gate "cpu_ntt_pipeline/negacyclic_multiply_4096<=1.15*cpu_ntt_pipeline/negacyclic_multiply_strict_4096" \
         --gate "he_lite_n2048_l3/multiply_relinearize_rescale<=80*he_lite_n2048_l3/forward_ntt_all_primes" \
         --gate "he_lite_sim_n256_l3/steady_transfers_plus_one<=1.0*he_lite_sim_n256_l3/unit" \
-        --gate "sim_streams_4ev/overlapped_device_time<=0.77*sim_streams_4ev/serialized_device_time"
+        --gate "sim_streams_4ev/overlapped_device_time<=0.77*sim_streams_4ev/serialized_device_time" \
+        --gate "he_serve_sim/batched_device_time<=0.667*he_serve_sim/unbatched_device_time"
 fi
