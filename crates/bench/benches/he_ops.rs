@@ -163,11 +163,36 @@ fn bench_serve_batching(_c: &mut Criterion) {
     );
 }
 
+/// The fault plane's zero-fault overhead gate inputs: the same jobs
+/// through the fallible serve pipelines with the plane disarmed vs
+/// armed with all-zero rates. The armed modeled device time must stay
+/// within 5% of off (`fault_plane_armed_zero_device_time <= 1.05 *
+/// fault_plane_off_device_time` in `bench_smoke.sh`) — the fault checks
+/// are bookkeeping only and must never reach the modeled timeline when
+/// no fault fires.
+fn bench_serve_fault_overhead(_c: &mut Criterion) {
+    let r = ntt_bench::experiments::serve_fault_overhead(6, 8);
+    record_value(
+        "he_serve_sim/fault_plane_off_device_time",
+        r.off.serialized_s * 1e9,
+    );
+    record_value(
+        "he_serve_sim/fault_plane_armed_zero_device_time",
+        r.armed.serialized_s * 1e9,
+    );
+    println!(
+        "bench: he_serve_sim fault plane overhead = {:.4}x over {} jobs",
+        r.overhead(),
+        r.jobs
+    );
+}
+
 criterion_group!(
     benches,
     bench_he,
     bench_he_sim_resident,
     bench_sim_streams,
-    bench_serve_batching
+    bench_serve_batching,
+    bench_serve_fault_overhead
 );
 criterion_main!(benches);

@@ -866,6 +866,91 @@ pub fn serve_batching(log_n: u32, jobs: usize) -> ServeBatchingReport {
     }
 }
 
+/// Modeled device time for the serve-path fallible pipelines with the
+/// fault plane disarmed vs armed with all-zero rates — the input to the
+/// `bench_smoke` fault-plane overhead gate (armed must stay within 5%
+/// of off).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeFaultOverheadReport {
+    /// Jobs in the set.
+    pub jobs: usize,
+    /// Modeled device window with no [`gpu_sim::FaultPlan`] armed.
+    pub off: gpu_sim::DeviceTimeline,
+    /// Modeled device window with a zero-rate plan armed: every `try_*`
+    /// dispatch consults the plane, no fault ever fires.
+    pub armed: gpu_sim::DeviceTimeline,
+}
+
+impl ServeFaultOverheadReport {
+    /// Armed / off modeled serialized device time — the fault plane's
+    /// zero-fault overhead factor.
+    pub fn overhead(&self) -> f64 {
+        self.armed.serialized_s / self.off.serialized_s.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Run `jobs` encrypt → eval → decrypt chains through the he-serve
+/// batcher's *fallible* pipelines twice — fault plane disarmed, then
+/// armed with a zero-rate [`gpu_sim::FaultPlan`] — and measure each
+/// window's modeled device time. A zero-rate plan draws the same gate
+/// checks a chaotic one would but never injects, so the difference is
+/// exactly the fault plane's bookkeeping. Asserts both runs produce
+/// identical results before returning.
+pub fn serve_fault_overhead(log_n: u32, jobs: usize) -> ServeFaultOverheadReport {
+    use he_serve::{job_seed, Batcher, EncryptJob, TenantId};
+
+    let backend = ntt_gpu::SimBackend::titan_v();
+    let dev = backend.memory_handle();
+    let ctx = he_lite::HeContext::with_backend(serve_params(log_n), Box::new(backend))
+        .expect("sim context builds");
+    let keys = ctx.keygen(&mut he_lite::sampling::seeded_rng(7));
+    let batcher = Batcher::new(&keys);
+    let encrypt_jobs: Vec<EncryptJob> = (0..jobs)
+        .map(|j| EncryptJob {
+            seed: job_seed(7, TenantId(j as u32), 0),
+            values: vec![1.0 + j as f64, -0.5 * j as f64],
+        })
+        .collect();
+    let chain = |group: &[EncryptJob]| -> Vec<Vec<f64>> {
+        ctx.try_with_pooled_evaluator(|ev| {
+            let cts = batcher.try_encrypt_batch(&ctx, ev, group)?;
+            let evald = batcher.try_eval_batch(
+                &ctx,
+                ev,
+                cts.into_iter().map(|ct| (ct, vec![2.0])).collect(),
+            )?;
+            batcher.try_decrypt_batch(&ctx, ev, evald)
+        })
+        .expect("a zero-rate fault plan never faults")
+    };
+    let set_plan = |plan: Option<gpu_sim::FaultPlan>| {
+        dev.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .gpu_mut()
+            .set_fault_plan(plan);
+    };
+
+    // Warm-up pass: tables, calibration and pool setup happen once, so
+    // the two measured windows see the same steady state.
+    let _ = chain(&encrypt_jobs);
+
+    drain_device(&dev);
+    let t0 = device_timeline(&dev);
+    let off_out = chain(&encrypt_jobs);
+    drain_device(&dev);
+    let off = device_timeline(&dev).since(&t0);
+
+    set_plan(Some(gpu_sim::FaultPlan::seeded(1)));
+    let t1 = device_timeline(&dev);
+    let armed_out = chain(&encrypt_jobs);
+    drain_device(&dev);
+    let armed = device_timeline(&dev).since(&t1);
+    set_plan(None);
+
+    assert_eq!(off_out, armed_out, "the fault plane changed the bits");
+    ServeFaultOverheadReport { jobs, off, armed }
+}
+
 /// §VII — OT base sweep: analytic table cost plus simulated time for the
 /// feasible two-level bases. Returns `(base, entries, modmuls, time_us)`;
 /// time is `NaN` for analytic-only rows.

@@ -446,6 +446,116 @@ impl TransferStats {
     }
 }
 
+/// Classification of a [`BackendError`] — what a caller should *do* about
+/// the failure.
+///
+/// * [`Transient`](FaultClass::Transient) → bounded retry of the identical
+///   operation may succeed.
+/// * [`Fatal`](FaultClass::Fatal) → the executor is gone; quarantine the
+///   backend fork, re-fork, or degrade to the host path.
+/// * [`Oom`](FaultClass::Oom) → device memory exhausted; shrink the
+///   working set or degrade.
+/// * [`Deadline`](FaultClass::Deadline) → a caller-imposed time budget
+///   expired; the work was abandoned, not the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Retryable one-shot fault.
+    Transient,
+    /// The executor is wedged; retrying on it cannot succeed.
+    Fatal,
+    /// Device memory exhausted.
+    Oom,
+    /// A caller-imposed deadline expired.
+    Deadline,
+}
+
+/// Why a fallible (`try_*`) backend operation failed — the typed error
+/// surface of the device layer.
+///
+/// The variants map one-to-one onto [`FaultClass`]; callers almost always
+/// branch on [`class`](BackendError::class) /
+/// [`is_transient`](BackendError::is_transient) rather than the variant,
+/// and carry `op` (the backend entry point that failed) purely for
+/// diagnostics and metrics.
+///
+/// The fallible surface guarantees **failure atomicity** where the
+/// backend can provide it: the shipped backends fire their fault gates
+/// *before* touching operand data, so an `Err` means host and device
+/// state are exactly as they were and the identical call can be retried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// A one-shot fault (flaky link, spurious launch abort): the
+    /// operation did not run, the device is otherwise healthy, and an
+    /// identical retry may succeed.
+    Transient {
+        /// The backend entry point that failed.
+        op: &'static str,
+    },
+    /// The executor is wedged (sticky device fault, freed/foreign buffer
+    /// handle): every further operation on it will fail until it is
+    /// reinitialized.
+    Fatal {
+        /// The backend entry point that failed.
+        op: &'static str,
+    },
+    /// Device memory exhausted.
+    Oom {
+        /// The backend entry point that failed.
+        op: &'static str,
+        /// Words the failing request asked for.
+        words: usize,
+    },
+    /// A caller-imposed deadline expired before (or while) the operation
+    /// ran. Produced by schedulers above the backend, never by the
+    /// device itself.
+    Deadline {
+        /// The operation or request stage that timed out.
+        op: &'static str,
+    },
+}
+
+impl BackendError {
+    /// The failure class callers branch on.
+    pub fn class(&self) -> FaultClass {
+        match self {
+            BackendError::Transient { .. } => FaultClass::Transient,
+            BackendError::Fatal { .. } => FaultClass::Fatal,
+            BackendError::Oom { .. } => FaultClass::Oom,
+            BackendError::Deadline { .. } => FaultClass::Deadline,
+        }
+    }
+
+    /// The backend entry point (or request stage) that failed.
+    pub fn op(&self) -> &'static str {
+        match self {
+            BackendError::Transient { op }
+            | BackendError::Fatal { op }
+            | BackendError::Oom { op, .. }
+            | BackendError::Deadline { op } => op,
+        }
+    }
+
+    /// Whether a bounded retry of the identical operation is worthwhile.
+    pub fn is_transient(&self) -> bool {
+        self.class() == FaultClass::Transient
+    }
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::Transient { op } => write!(f, "transient device fault in {op}"),
+            BackendError::Fatal { op } => write!(f, "fatal device fault in {op}"),
+            BackendError::Oom { op, words } => {
+                write!(f, "device out of memory in {op} ({words} words)")
+            }
+            BackendError::Deadline { op } => write!(f, "deadline expired in {op}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
 /// A backend's device memory: allocation, host↔device staging, and the
 /// transfer ledger.
 ///
@@ -491,6 +601,34 @@ pub trait DeviceMemory: Send {
 
     /// Zero the transfer ledger.
     fn reset_stats(&mut self);
+
+    // ---- Fallible surface -------------------------------------------------
+    //
+    // Backends with a fault model (the simulated GPU under an armed
+    // `FaultPlan`) override these; the defaults delegate to the
+    // infallible methods, so host-memory backends stay zero-cost and
+    // never fail.
+
+    /// Fallible [`DeviceMemory::alloc`]: fails with
+    /// [`BackendError::Oom`] when the device cannot serve the request,
+    /// or a classified fault under an armed fault model.
+    fn try_alloc(&mut self, words: usize) -> Result<DeviceBuf, BackendError> {
+        Ok(self.alloc(words))
+    }
+
+    /// Fallible [`DeviceMemory::upload`]. On `Err` the destination
+    /// buffer is unchanged.
+    fn try_upload(&mut self, dst: DeviceBuf, src: &[u64]) -> Result<(), BackendError> {
+        self.upload(dst, src);
+        Ok(())
+    }
+
+    /// Fallible [`DeviceMemory::download`]. On `Err` the host slice is
+    /// unchanged.
+    fn try_download(&mut self, src: DeviceBuf, dst: &mut [u64]) -> Result<(), BackendError> {
+        self.download(src, dst);
+        Ok(())
+    }
 }
 
 /// The shared handle to a backend's [`DeviceMemory`] — held by the backend
@@ -1041,6 +1179,155 @@ pub trait NttBackend: Send {
         host_decompose_rows(plan.degree(), level, digits, gadget_bits, &hs, &mut hd);
         lock_memory(&self.memory()).upload(dst, &hd);
     }
+
+    // ---- Fallible surface -------------------------------------------------
+    //
+    // The `try_*` variants of the hot ops return a classified
+    // [`BackendError`] instead of panicking, for callers that can retry,
+    // re-fork, or degrade (the serving stack). Defaults delegate to the
+    // infallible methods — the CPU backend never fails, so it inherits
+    // them unchanged; backends with a fault model (the simulated GPU
+    // under an armed `FaultPlan`) override them with fault gates that
+    // fire *before* any data moves, keeping a failed call retry-safe.
+
+    /// Fallible [`NttBackend::forward_batch`]. On `Err` the batch is
+    /// unchanged.
+    fn try_forward_batch(
+        &mut self,
+        plan: &RingPlan,
+        batch: LimbBatch<'_>,
+    ) -> Result<(), BackendError> {
+        self.forward_batch(plan, batch);
+        Ok(())
+    }
+
+    /// Fallible [`NttBackend::inverse_batch`]. On `Err` the batch is
+    /// unchanged.
+    fn try_inverse_batch(
+        &mut self,
+        plan: &RingPlan,
+        batch: LimbBatch<'_>,
+    ) -> Result<(), BackendError> {
+        self.inverse_batch(plan, batch);
+        Ok(())
+    }
+
+    /// Fallible [`NttBackend::pointwise_batch`]. On `Err` the
+    /// accumulator is unchanged.
+    fn try_pointwise_batch(
+        &mut self,
+        plan: &RingPlan,
+        acc: LimbBatch<'_>,
+        rhs: &[u64],
+    ) -> Result<(), BackendError> {
+        self.pointwise_batch(plan, acc, rhs);
+        Ok(())
+    }
+
+    /// Fallible [`NttBackend::multiply_batch`]. On `Err` the output
+    /// batch is unchanged.
+    fn try_multiply_batch(
+        &mut self,
+        plan: &RingPlan,
+        a: &[u64],
+        b: &[u64],
+        out: LimbBatch<'_>,
+    ) -> Result<(), BackendError> {
+        self.multiply_batch(plan, a, b, out);
+        Ok(())
+    }
+
+    /// Fallible [`NttBackend::dev_forward`]. On `Err` the device buffer
+    /// is unchanged.
+    fn try_dev_forward(
+        &mut self,
+        plan: &RingPlan,
+        buf: DeviceBuf,
+        level: usize,
+    ) -> Result<(), BackendError> {
+        self.dev_forward(plan, buf, level);
+        Ok(())
+    }
+
+    /// Fallible [`NttBackend::dev_inverse`]. On `Err` the device buffer
+    /// is unchanged.
+    fn try_dev_inverse(
+        &mut self,
+        plan: &RingPlan,
+        buf: DeviceBuf,
+        level: usize,
+    ) -> Result<(), BackendError> {
+        self.dev_inverse(plan, buf, level);
+        Ok(())
+    }
+
+    /// Fallible [`NttBackend::dev_multiply`]. On `Err` all three
+    /// buffers are unchanged.
+    fn try_dev_multiply(
+        &mut self,
+        plan: &RingPlan,
+        a: DeviceBuf,
+        b: DeviceBuf,
+        out: DeviceBuf,
+        level: usize,
+    ) -> Result<(), BackendError> {
+        self.dev_multiply(plan, a, b, out, level);
+        Ok(())
+    }
+
+    /// Fallible [`NttBackend::dev_pointwise`]. On `Err` the accumulator
+    /// is unchanged.
+    fn try_dev_pointwise(
+        &mut self,
+        plan: &RingPlan,
+        acc: DeviceBuf,
+        rhs: DeviceBuf,
+        level: usize,
+    ) -> Result<(), BackendError> {
+        self.dev_pointwise(plan, acc, rhs, level);
+        Ok(())
+    }
+
+    /// Fallible [`NttBackend::dev_fma`]. On `Err` the accumulator is
+    /// unchanged.
+    fn try_dev_fma(
+        &mut self,
+        plan: &RingPlan,
+        acc: DeviceBuf,
+        x: DeviceBuf,
+        y: DeviceBuf,
+        level: usize,
+    ) -> Result<(), BackendError> {
+        self.dev_fma(plan, acc, x, y, level);
+        Ok(())
+    }
+
+    /// Fallible [`NttBackend::dev_rescale`]. On `Err` the buffer is
+    /// unchanged.
+    fn try_dev_rescale(
+        &mut self,
+        plan: &RingPlan,
+        buf: DeviceBuf,
+        level: usize,
+    ) -> Result<(), BackendError> {
+        self.dev_rescale(plan, buf, level);
+        Ok(())
+    }
+
+    /// Fallible [`NttBackend::dev_decompose`]. On `Err` the destination
+    /// is unchanged.
+    fn try_dev_decompose(
+        &mut self,
+        plan: &RingPlan,
+        src: DeviceBuf,
+        dst: DeviceBuf,
+        level: usize,
+        digits: usize,
+        gadget_bits: u32,
+    ) -> Result<(), BackendError> {
+        self.dev_decompose(plan, src, dst, level, digits, gadget_bits);
+        Ok(())
+    }
 }
 
 /// The reference backend: the fused lazy-reduction CPU engine
@@ -1555,6 +1842,91 @@ impl Evaluator {
         let n = self.plan.degree();
         self.backend
             .pointwise_batch(&self.plan, LimbBatch::new(acc, n, level), rhs);
+    }
+
+    // ---- Fallible surface -------------------------------------------------
+    //
+    // Recoverable counterparts of the hot entry points, for callers that
+    // retry, re-fork, or degrade on a classified [`BackendError`] (the
+    // serving stack). On `Err` the polynomial / buffer is unchanged —
+    // representation flags are only flipped after the backend call
+    // succeeds — so an identical retry is always safe.
+
+    /// Fallible [`Evaluator::make_resident`].
+    pub fn try_make_resident(&mut self, poly: &mut RnsPoly) -> Result<(), BackendError> {
+        self.backend.bind_stream();
+        let mem = self.backend.memory();
+        poly.try_make_resident_in(&mem)
+    }
+
+    /// Fallible [`Evaluator::to_evaluation`]. On `Err` the polynomial
+    /// keeps its representation and data.
+    pub fn try_to_evaluation(&mut self, poly: &mut RnsPoly) -> Result<(), BackendError> {
+        if poly.repr() == Representation::Evaluation {
+            return Ok(());
+        }
+        if let Some(buf) = self.device_target(poly) {
+            self.backend
+                .try_dev_forward(&self.plan, buf, poly.level())?;
+            poly.mark_device_dirty();
+        } else {
+            poly.try_sync()?;
+            self.backend
+                .try_forward_batch(&self.plan, LimbBatch::from_poly(poly))?;
+        }
+        poly.set_repr(Representation::Evaluation);
+        Ok(())
+    }
+
+    /// Fallible [`Evaluator::to_coefficient`]. On `Err` the polynomial
+    /// keeps its representation and data.
+    pub fn try_to_coefficient(&mut self, poly: &mut RnsPoly) -> Result<(), BackendError> {
+        if poly.repr() == Representation::Coefficient {
+            return Ok(());
+        }
+        if let Some(buf) = self.device_target(poly) {
+            self.backend
+                .try_dev_inverse(&self.plan, buf, poly.level())?;
+            poly.mark_device_dirty();
+        } else {
+            poly.try_sync()?;
+            self.backend
+                .try_inverse_batch(&self.plan, LimbBatch::from_poly(poly))?;
+        }
+        poly.set_repr(Representation::Coefficient);
+        Ok(())
+    }
+
+    /// Fallible [`Evaluator::forward_flat`].
+    pub fn try_forward_flat(&mut self, level: usize, data: &mut [u64]) -> Result<(), BackendError> {
+        let n = self.plan.degree();
+        self.backend
+            .try_forward_batch(&self.plan, LimbBatch::new(data, n, level))
+    }
+
+    /// Fallible [`Evaluator::inverse_flat`].
+    pub fn try_inverse_flat(&mut self, level: usize, data: &mut [u64]) -> Result<(), BackendError> {
+        let n = self.plan.degree();
+        self.backend
+            .try_inverse_batch(&self.plan, LimbBatch::new(data, n, level))
+    }
+
+    /// Fallible [`Evaluator::pointwise_flat`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` does not match `acc`'s shape (a caller bug, not a
+    /// device condition).
+    pub fn try_pointwise_flat(
+        &mut self,
+        level: usize,
+        acc: &mut [u64],
+        rhs: &[u64],
+    ) -> Result<(), BackendError> {
+        assert_eq!(acc.len(), rhs.len(), "operand shape mismatch");
+        let n = self.plan.degree();
+        self.backend
+            .try_pointwise_batch(&self.plan, LimbBatch::new(acc, n, level), rhs)
     }
 
     /// Dispatch guard for binary ops: device path iff `rhs` is

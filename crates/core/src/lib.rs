@@ -75,8 +75,8 @@ pub mod stockham;
 pub mod table;
 
 pub use backend::{
-    CpuBackend, DeviceBuf, DeviceMemory, Evaluator, LimbBatch, NttBackend, PointwiseStrategy,
-    RingPlan, SharedDeviceMemory, TransferStats,
+    BackendError, CpuBackend, DeviceBuf, DeviceMemory, Evaluator, FaultClass, LimbBatch,
+    NttBackend, PointwiseStrategy, RingPlan, SharedDeviceMemory, TransferStats,
 };
 pub use ct::{intt, ntt};
 pub use engine::{NttExecutor, ThreadPolicy};

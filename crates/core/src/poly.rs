@@ -5,7 +5,7 @@
 //! RNS prime, and multiplied via `np` independent N-point negacyclic NTTs
 //! — exactly the batched workload the paper accelerates.
 
-use crate::backend::{lock_memory, same_memory, DeviceBuf, SharedDeviceMemory};
+use crate::backend::{lock_memory, same_memory, BackendError, DeviceBuf, SharedDeviceMemory};
 use crate::ct;
 use crate::rns::{RnsBasis, RnsError};
 use crate::table::NttTable;
@@ -607,6 +607,21 @@ impl RnsPoly {
         }
     }
 
+    /// Fallible [`RnsPoly::sync`]: the download can report a classified
+    /// fault instead of panicking. On `Err` the host rows are unchanged
+    /// and the device copy stays marked fresh, so the sync can be
+    /// retried.
+    pub fn try_sync(&mut self) -> Result<(), BackendError> {
+        let (n, level) = (self.n, self.level);
+        if let Some(m) = &mut self.mirror {
+            if m.dev_dirty {
+                lock_memory(&m.mem).try_download(m.buf.sub(0, level * n), &mut self.data)?;
+                m.dev_dirty = false;
+            }
+        }
+        Ok(())
+    }
+
     /// Drop the device mirror (downloading first if it was fresh) and
     /// return to [`Residency::HostOnly`]. Frees the device buffer.
     pub fn evict_device(&mut self) {
@@ -681,6 +696,47 @@ impl RnsPoly {
                 });
             }
         }
+    }
+
+    /// Fallible [`RnsPoly::make_resident_in`]: allocation and upload
+    /// faults come back as classified errors. On `Err` the polynomial's
+    /// residency state is unchanged (a buffer allocated before a failed
+    /// first upload is freed, not leaked) and the transition can be
+    /// retried.
+    pub(crate) fn try_make_resident_in(
+        &mut self,
+        mem: &SharedDeviceMemory,
+    ) -> Result<(), BackendError> {
+        if self.mirror.is_some() && !self.has_mirror_in(mem) {
+            self.evict_device();
+        }
+        let active = self.level * self.n;
+        match &mut self.mirror {
+            Some(m) => {
+                if m.host_dirty {
+                    lock_memory(&m.mem).try_upload(m.buf.sub(0, active), &self.data)?;
+                    m.host_dirty = false;
+                }
+            }
+            None => {
+                let buf = {
+                    let mut guard = lock_memory(mem);
+                    let buf = guard.try_alloc(active)?;
+                    if let Err(e) = guard.try_upload(buf, &self.data) {
+                        guard.free(buf);
+                        return Err(e);
+                    }
+                    buf
+                };
+                self.mirror = Some(DeviceMirror {
+                    mem: Arc::clone(mem),
+                    buf,
+                    host_dirty: false,
+                    dev_dirty: false,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Attach a pre-allocated (zeroed) device buffer as an in-sync mirror

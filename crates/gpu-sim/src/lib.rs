@@ -60,6 +60,7 @@
 pub mod calibrate;
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod mem;
 pub mod occupancy;
 pub mod perf;
@@ -68,6 +69,7 @@ pub mod stream;
 
 pub use config::GpuConfig;
 pub use engine::{LaunchConfig, LaunchRecord, WarpCtx, WarpKernel};
+pub use fault::{FaultKind, FaultOp, FaultPlan};
 pub use mem::{Buf, Gmem};
 pub use occupancy::OccupancyInfo;
 pub use perf::KernelTiming;
@@ -90,6 +92,7 @@ pub struct Gpu {
     /// [`stream::StreamScheduler`]).
     pub streams: StreamScheduler,
     active_stream: Stream,
+    fault: Option<FaultPlan>,
 }
 
 impl Gpu {
@@ -102,7 +105,49 @@ impl Gpu {
             trace: Vec::new(),
             streams,
             active_stream: Stream::DEFAULT,
+            fault: None,
         }
+    }
+
+    /// Arm (or with `None`, disarm) a deterministic fault schedule. The
+    /// plan is consulted only by the fallible `try_*` entry points of the
+    /// execution backend via [`Gpu::fault_check`]; infallible paths —
+    /// calibration, the figure harness — never draw from it. Disarming
+    /// also "resets" a sticky-wedged device.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// The armed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Draw the armed fault schedule for one fallible operation of class
+    /// `op` (`Ok(())` when no plan is armed). A fired fault charges a
+    /// zero-word transfer — one PCIe latency — to the active stream, so
+    /// the aborted command still lands on the modeled timeline the way a
+    /// failed command occupies a real hardware queue.
+    pub fn fault_check(&mut self, op: FaultOp) -> Result<(), FaultKind> {
+        let Some(plan) = self.fault.as_mut() else {
+            return Ok(());
+        };
+        plan.check(op).inspect_err(|_| {
+            self.streams.enqueue_transfer(self.active_stream, 0);
+        })
+    }
+
+    /// Draw the armed fault schedule for an allocation that would bring
+    /// the device address space to `projected_words` (OOM cap plus the
+    /// regular [`FaultOp::Alloc`] schedule). Timeline charging as in
+    /// [`Gpu::fault_check`].
+    pub fn fault_check_alloc(&mut self, projected_words: usize) -> Result<(), FaultKind> {
+        let Some(plan) = self.fault.as_mut() else {
+            return Ok(());
+        };
+        plan.check_alloc(projected_words).inspect_err(|_| {
+            self.streams.enqueue_transfer(self.active_stream, 0);
+        })
     }
 
     /// Execute a kernel and record its statistics and modeled time. The

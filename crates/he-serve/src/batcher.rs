@@ -17,7 +17,7 @@
 
 use crate::request::TenantId;
 use he_lite::{sampling, Ciphertext, HeContext, KeySet};
-use ntt_core::backend::Evaluator;
+use ntt_core::backend::{BackendError, Evaluator};
 use ntt_core::poly::{Representation, RnsPoly, RnsRing};
 
 /// One encryption job: explicit randomness seed plus the values to
@@ -92,8 +92,24 @@ impl Batcher {
         ev: &mut Evaluator,
         jobs: &[EncryptJob],
     ) -> Vec<Ciphertext> {
+        self.try_encrypt_batch(ctx, ev, jobs)
+            .expect("backend without a fault surface never fails")
+    }
+
+    /// Fallible [`Batcher::encrypt_batch`]: a classified device fault
+    /// comes back as `Err` instead of panicking. The job inputs are
+    /// borrowed immutably, so the caller can simply call again (with a
+    /// healthy or fallback evaluator) and get bit-identical results —
+    /// per-job randomness comes from [`EncryptJob::seed`], never from
+    /// attempt count.
+    pub fn try_encrypt_batch(
+        &self,
+        ctx: &HeContext,
+        ev: &mut Evaluator,
+        jobs: &[EncryptJob],
+    ) -> Result<Vec<Ciphertext>, BackendError> {
         if jobs.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let ring = ctx.ring();
         let level = ctx.params().levels;
@@ -115,7 +131,7 @@ impl Batcher {
                 fwd.extend_from_slice(p.flat());
             }
         }
-        ev.forward_flat(level, &mut fwd);
+        ev.try_forward_flat(level, &mut fwd)?;
 
         // One pointwise call for every key product: acc packs [u, u] per
         // job against rhs [b, a].
@@ -128,11 +144,11 @@ impl Batcher {
             rhs.extend_from_slice(self.pk_b.flat());
             rhs.extend_from_slice(self.pk_a.flat());
         }
-        ev.pointwise_flat(level, &mut acc, &rhs);
+        ev.try_pointwise_flat(level, &mut acc, &rhs)?;
 
         // c0 = u·b + e0 + m, c1 = u·a + e1 — evaluation form throughout.
         let eval = Representation::Evaluation;
-        (0..k)
+        Ok((0..k)
             .map(|j| {
                 let base = 4 * j * stride;
                 let e0 = poly_from_rows(ring, level, eval, &fwd[base + stride..][..stride]);
@@ -146,7 +162,7 @@ impl Batcher {
                 c1.add_assign(&e1, ring);
                 Ciphertext::from_parts(c0, c1, scales[j])
             })
-            .collect()
+            .collect())
     }
 
     /// Weighted plaintext multiply + rescale for a group of ciphertexts
@@ -164,10 +180,24 @@ impl Batcher {
         &self,
         ctx: &HeContext,
         ev: &mut Evaluator,
-        mut jobs: Vec<(Ciphertext, Vec<f64>)>,
+        jobs: Vec<(Ciphertext, Vec<f64>)>,
     ) -> Vec<Ciphertext> {
+        self.try_eval_batch(ctx, ev, jobs)
+            .expect("backend without a fault surface never fails")
+    }
+
+    /// Fallible [`Batcher::eval_batch`]. On `Err` only this call's local
+    /// staging buffers were touched — the caller's ciphertexts are its
+    /// own clones — so re-running the identical batch on another
+    /// evaluator yields bit-identical results.
+    pub fn try_eval_batch(
+        &self,
+        ctx: &HeContext,
+        ev: &mut Evaluator,
+        mut jobs: Vec<(Ciphertext, Vec<f64>)>,
+    ) -> Result<Vec<Ciphertext>, BackendError> {
         if jobs.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let ring = ctx.ring();
         let level = jobs[0].0.level();
@@ -184,14 +214,14 @@ impl Batcher {
             scales.push(ct.scale() * pt.scale());
             weights.extend_from_slice(pt.poly().truncated(level).flat());
         }
-        ev.forward_flat(level, &mut weights);
+        ev.try_forward_flat(level, &mut weights)?;
 
         // Multiply both halves of every ciphertext by its weight poly,
         // then inverse-transform the lot for the rescale.
         let mut acc = Vec::with_capacity(2 * k * stride);
         let mut rhs = Vec::with_capacity(2 * k * stride);
         for (j, (ct, _)) in jobs.iter_mut().enumerate() {
-            ct.sync();
+            ct.try_sync()?;
             let (c0, c1) = ct.components();
             acc.extend_from_slice(c0.flat());
             acc.extend_from_slice(c1.flat());
@@ -199,8 +229,8 @@ impl Batcher {
             rhs.extend_from_slice(w);
             rhs.extend_from_slice(w);
         }
-        ev.pointwise_flat(level, &mut acc, &rhs);
-        ev.inverse_flat(level, &mut acc);
+        ev.try_pointwise_flat(level, &mut acc, &rhs)?;
+        ev.try_inverse_flat(level, &mut acc)?;
 
         // Exact host rescale per half, then one forward call at the new
         // level to return to evaluation form.
@@ -218,11 +248,11 @@ impl Batcher {
         for p in &rescaled {
             fwd.extend_from_slice(p.flat());
         }
-        ev.forward_flat(new_level, &mut fwd);
+        ev.try_forward_flat(new_level, &mut fwd)?;
 
         let p_last = ring.basis().primes()[level - 1] as f64;
         let eval = Representation::Evaluation;
-        (0..k)
+        Ok((0..k)
             .map(|j| {
                 let c0 = poly_from_rows(
                     ring,
@@ -238,7 +268,7 @@ impl Batcher {
                 );
                 Ciphertext::from_parts(c0, c1, scales[j] / p_last)
             })
-            .collect()
+            .collect())
     }
 
     /// Decrypt + decode a group of ciphertexts sharing one level, in two
@@ -254,10 +284,22 @@ impl Batcher {
         &self,
         ctx: &HeContext,
         ev: &mut Evaluator,
-        mut cts: Vec<Ciphertext>,
+        cts: Vec<Ciphertext>,
     ) -> Vec<Vec<f64>> {
+        self.try_decrypt_batch(ctx, ev, cts)
+            .expect("backend without a fault surface never fails")
+    }
+
+    /// Fallible [`Batcher::decrypt_batch`] (see
+    /// [`Batcher::try_eval_batch`] for the retry contract).
+    pub fn try_decrypt_batch(
+        &self,
+        ctx: &HeContext,
+        ev: &mut Evaluator,
+        mut cts: Vec<Ciphertext>,
+    ) -> Result<Vec<Vec<f64>>, BackendError> {
         if cts.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let ring = ctx.ring();
         let n = ring.degree();
@@ -270,11 +312,11 @@ impl Batcher {
         let mut rhs = Vec::with_capacity(k * stride);
         for ct in &mut cts {
             assert_eq!(ct.level(), level, "decrypt group mixes levels");
-            ct.sync();
+            ct.try_sync()?;
             acc.extend_from_slice(ct.components().1.flat());
             rhs.extend_from_slice(s.flat());
         }
-        ev.pointwise_flat(level, &mut acc, &rhs);
+        ev.try_pointwise_flat(level, &mut acc, &rhs)?;
 
         // Host add of c0, then one inverse call over every sum.
         let eval = Representation::Evaluation;
@@ -283,10 +325,11 @@ impl Batcher {
             m.add_assign(ct.components().0, ring);
             acc[j * stride..(j + 1) * stride].copy_from_slice(m.flat());
         }
-        ev.inverse_flat(level, &mut acc);
+        ev.try_inverse_flat(level, &mut acc)?;
 
         let coef = Representation::Coefficient;
-        cts.iter()
+        Ok(cts
+            .iter()
             .enumerate()
             .map(|(j, ct)| {
                 let m = poly_from_rows(ring, level, coef, &acc[j * stride..][..stride]);
@@ -299,7 +342,7 @@ impl Batcher {
                     })
                     .collect()
             })
-            .collect()
+            .collect())
     }
 }
 

@@ -21,10 +21,38 @@
 //!   arithmetic.
 //! * **[`HeServer`]** — worker threads draining the queue into the
 //!   batcher through [`he_lite::HeContext::with_pooled_evaluator`], with
-//!   per-tenant latency histograms and transfer attribution
-//!   ([`metrics`]).
+//!   per-tenant latency histograms and cost-weighted transfer
+//!   attribution ([`metrics`]).
 //! * **[`loadgen`]** — a closed/open-loop load generator with
 //!   heavy-tailed request sizes, feeding the `figures serve` section.
+//!   Open mode paces submissions independently of service and completes
+//!   every chain through a collector pool, recording per-chain fault
+//!   and retry outcomes.
+//!
+//! # Self-healing dispatch
+//!
+//! The serving loop is written against the fallible backend surface
+//! ([`ntt_core::backend::BackendError`]) and survives an unreliable
+//! device:
+//!
+//! * **Bounded retry** — transient faults are retried under
+//!   [`RetryPolicy`] (exponential backoff, deterministic jitter, capped
+//!   by the tightest live deadline).
+//! * **Quarantine** — a fatal/OOM fault drops the pooled evaluator that
+//!   observed it and re-forks a replacement
+//!   ([`he_lite::HeContext::try_with_pooled_evaluator`]), so no later
+//!   dispatch inherits a wedged executor.
+//! * **Degradation** — a group whose device budget is exhausted re-runs
+//!   on a host/CPU evaluator with bit-identical results; a fatal fault
+//!   marks the device down so later groups skip it entirely.
+//! * **Deadlines & cancellation** — [`ServeConfig::deadline`] bounds
+//!   queue-to-answer time; [`Ticket::cancel`] drops a queued job. Both
+//!   answer [`ServeError`] variants, never silence.
+//!
+//! Every admitted job is answered exactly once: a success, or a
+//! [`Response::Failed`] carrying a classified [`ServeError`] — the
+//! server never returns a silently wrong result, and all of the above
+//! is visible in [`MetricsSnapshot`].
 //!
 //! # Example
 //!
@@ -65,7 +93,8 @@ pub mod server;
 
 pub use batcher::{job_seed, Batcher, EncryptJob};
 pub use loadgen::{ArrivalMode, LoadConfig, LoadReport};
-pub use metrics::{LatencyHistogram, MetricsSnapshot, TenantSnapshot};
+pub use metrics::{FaultCounts, LatencyHistogram, MetricsSnapshot, TenantSnapshot};
+pub use ntt_core::backend::{BackendError, FaultClass};
 pub use queue::{FairQueue, Weighted};
-pub use request::{Completed, Request, Response, SubmitError, TenantId};
-pub use server::{HeServer, ServeConfig, Ticket};
+pub use request::{Completed, Request, Response, ServeError, SubmitError, TenantId};
+pub use server::{HeServer, RetryPolicy, ServeConfig, Ticket};

@@ -2,6 +2,7 @@
 //! transfer attribution.
 
 use crate::request::TenantId;
+use ntt_core::backend::FaultClass;
 use std::collections::BTreeMap;
 
 /// Number of log2 latency buckets: bucket `b` holds samples in
@@ -117,11 +118,45 @@ impl LatencyHistogram {
     }
 }
 
+/// Failure counters by [`FaultClass`] — every fault the serving loop
+/// observed, including ones later absorbed by a retry or CPU fallback.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Transient (retryable) device faults.
+    pub transient: u64,
+    /// Fatal (wedged-executor) device faults.
+    pub fatal: u64,
+    /// Device out-of-memory faults.
+    pub oom: u64,
+    /// Deadline-classified failures.
+    pub deadline: u64,
+}
+
+impl FaultCounts {
+    /// Count one fault of the given class.
+    pub(crate) fn record(&mut self, class: FaultClass) {
+        match class {
+            FaultClass::Transient => self.transient += 1,
+            FaultClass::Fatal => self.fatal += 1,
+            FaultClass::Oom => self.oom += 1,
+            FaultClass::Deadline => self.deadline += 1,
+        }
+    }
+
+    /// Total faults across every class.
+    pub fn total(&self) -> u64 {
+        self.transient + self.fatal + self.oom + self.deadline
+    }
+}
+
 /// One tenant's view of the server's accounting.
 #[derive(Debug, Clone, Default)]
 pub struct TenantSnapshot {
-    /// Jobs answered.
+    /// Jobs answered successfully.
     pub completed: u64,
+    /// Jobs answered with [`Response::Failed`](crate::Response::Failed)
+    /// (fault after all recovery, deadline miss, or cancellation).
+    pub failed: u64,
     /// Jobs refused at the door (queue full).
     pub rejected: u64,
     /// End-to-end latency distribution of completed jobs.
@@ -146,6 +181,24 @@ pub struct MetricsSnapshot {
     /// Jobs executed across all groups (`batched_jobs / batches` is the
     /// achieved batching factor).
     pub batched_jobs: u64,
+    /// Retry attempts made after transient device faults.
+    pub retries: u64,
+    /// Device faults observed, by class (including faults later absorbed
+    /// by a retry or the CPU fallback).
+    pub faults: FaultCounts,
+    /// Jobs whose batch was degraded to the host/CPU evaluator after the
+    /// device path failed.
+    pub degraded_jobs: u64,
+    /// Jobs failed because their deadline expired before execution.
+    pub deadline_misses: u64,
+    /// Jobs failed because their ticket was cancelled.
+    pub cancelled: u64,
+    /// Evaluator-pool members quarantined and re-forked after a
+    /// non-transient fault (see `HeContext::quarantined_count`).
+    pub quarantined: u64,
+    /// Worker dispatches that panicked and were contained (the jobs'
+    /// tickets observe a disconnect; the worker survives).
+    pub worker_panics: u64,
 }
 
 impl MetricsSnapshot {
@@ -157,6 +210,11 @@ impl MetricsSnapshot {
     /// Total jobs refused across tenants.
     pub fn rejected(&self) -> u64 {
         self.tenants.values().map(|t| t.rejected).sum()
+    }
+
+    /// Total jobs answered with a failure across tenants.
+    pub fn failed(&self) -> u64 {
+        self.tenants.values().map(|t| t.failed).sum()
     }
 
     /// One tenant's snapshot (empty default if never seen).

@@ -1,6 +1,9 @@
 //! Request/response vocabulary shared by the queue, batcher and server.
 
 use he_lite::Ciphertext;
+use ntt_core::backend::{BackendError, FaultClass};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A tenant's identity. Tenants need no registration: the first submit
@@ -71,7 +74,55 @@ pub enum Response {
     Evaluated(Ciphertext),
     /// Answer to [`Request::Decrypt`].
     Decrypted(Vec<f64>),
+    /// The job was admitted but could not be completed — every failure
+    /// carries a classified [`ServeError`]; the server never answers
+    /// with a silently wrong result.
+    Failed(ServeError),
 }
+
+/// Why the server failed a job it had admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A device fault survived the bounded retry budget *and* the CPU
+    /// fallback (or degradation was impossible).
+    Fault {
+        /// The classified backend error that ended the job.
+        error: BackendError,
+        /// Retry attempts spent before giving up.
+        retries: u32,
+    },
+    /// The job's deadline expired before (or while) it executed.
+    DeadlineExceeded,
+    /// The job's [`Ticket`](crate::Ticket) was cancelled before it
+    /// executed.
+    Cancelled,
+}
+
+impl ServeError {
+    /// The fault class for metrics, or `None` for a cancellation (which
+    /// is a caller decision, not a fault).
+    pub fn fault_class(&self) -> Option<FaultClass> {
+        match self {
+            ServeError::Fault { error, .. } => Some(error.class()),
+            ServeError::DeadlineExceeded => Some(FaultClass::Deadline),
+            ServeError::Cancelled => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Fault { error, retries } => {
+                write!(f, "{error} (after {retries} retries)")
+            }
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::Cancelled => write!(f, "cancelled by caller"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// A finished job: the response plus its end-to-end latency
 /// (submit → response ready).
@@ -125,6 +176,14 @@ pub(crate) struct Job {
     pub seq: u64,
     pub request: Request,
     pub submitted_at: Instant,
+    /// Fail the job with [`ServeError::DeadlineExceeded`] if it has not
+    /// executed by this instant (from [`ServeConfig::deadline`]).
+    ///
+    /// [`ServeConfig::deadline`]: crate::ServeConfig::deadline
+    pub deadline: Option<Instant>,
+    /// Set by [`Ticket::cancel`](crate::Ticket::cancel); checked at
+    /// dispatch (best-effort — a job already executing completes).
+    pub cancelled: Arc<AtomicBool>,
     pub reply: std::sync::mpsc::Sender<Completed>,
 }
 

@@ -1,16 +1,59 @@
 //! The serving loop: worker threads draining the fair queue into the
-//! batcher through the context's evaluator pool.
+//! batcher through the context's evaluator pool, with a self-healing
+//! dispatch path — bounded retry on transient device faults, evaluator
+//! quarantine on fatal ones, and graceful degradation to a host/CPU
+//! evaluator when the device stays down.
 
 use crate::batcher::{job_seed, Batcher, EncryptJob};
-use crate::metrics::{LatencyHistogram, MetricsSnapshot, TenantSnapshot};
+use crate::metrics::{FaultCounts, LatencyHistogram, MetricsSnapshot, TenantSnapshot};
 use crate::queue::FairQueue;
-use crate::request::{Completed, Job, Request, Response, SubmitError, TenantId};
-use he_lite::{sampling, HeContext};
+use crate::request::{Completed, Job, Request, Response, ServeError, SubmitError, TenantId};
+use he_lite::{sampling, Ciphertext, HeContext};
+use ntt_core::backend::{BackendError, CpuBackend, Evaluator, FaultClass, TransferStats};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Bounded-retry policy for transient device faults.
+///
+/// The pause before attempt `k` is `backoff · 2^(k-1)` plus a
+/// deterministic jitter in `[0, pause/2)`, capped at `backoff_cap` and
+/// never sleeping past the tightest live deadline in the batch. Jitter is
+/// derived from a server-global counter (no entropy source), so runs are
+/// reproducible while concurrent workers still decorrelate.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retry attempts after the first failure (0 disables retry).
+    pub max_retries: u32,
+    /// Base pause before the first retry.
+    pub backoff: Duration,
+    /// Upper bound on the exponential pause.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Reads `NTT_WARP_RETRY_MAX` (default 3) and `NTT_WARP_BACKOFF_US`
+    /// (default 50); the cap is fixed at 100× the base backoff.
+    fn default() -> Self {
+        let max_retries = std::env::var("NTT_WARP_RETRY_MAX")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3);
+        let backoff_us = std::env::var("NTT_WARP_BACKOFF_US")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(50);
+        let backoff = Duration::from_micros(backoff_us);
+        RetryPolicy {
+            max_retries,
+            backoff,
+            backoff_cap: backoff * 100,
+        }
+    }
+}
 
 /// Tuning knobs for [`HeServer`].
 #[derive(Debug, Clone)]
@@ -33,9 +76,19 @@ pub struct ServeConfig {
     /// Seeds key generation and the per-job encryption randomness
     /// domain, making a serving run reproducible end to end.
     pub key_seed: u64,
+    /// Per-request deadline measured from submit. A job that has not
+    /// executed when it expires is answered
+    /// [`ServeError::DeadlineExceeded`]; retry pauses never sleep past
+    /// it. `None` means jobs wait forever.
+    pub deadline: Option<Duration>,
+    /// Retry policy for transient device faults.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ServeConfig {
+    /// The deadline also honors `NTT_WARP_DEADLINE_MS` (unset = no
+    /// deadline); the retry policy reads its own env knobs
+    /// ([`RetryPolicy::default`]).
     fn default() -> Self {
         ServeConfig {
             queue_capacity: 64,
@@ -44,6 +97,11 @@ impl Default for ServeConfig {
             workers: 2,
             batching: true,
             key_seed: 7,
+            deadline: std::env::var("NTT_WARP_DEADLINE_MS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(Duration::from_millis),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -52,13 +110,23 @@ impl Default for ServeConfig {
 #[derive(Debug)]
 pub struct Ticket {
     rx: mpsc::Receiver<Completed>,
+    cancel: Arc<AtomicBool>,
 }
 
 impl Ticket {
     /// Block until the server answers. `None` only if the server was
-    /// torn down with the job still queued.
+    /// torn down with the job still queued, or the dispatch that held
+    /// the job panicked (counted in
+    /// [`MetricsSnapshot::worker_panics`]).
     pub fn wait(self) -> Option<Completed> {
         self.rx.recv().ok()
+    }
+
+    /// Ask the server to drop this job. Best-effort: a job already
+    /// executing completes normally; a job still queued is answered
+    /// [`ServeError::Cancelled`] at dispatch.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Release);
     }
 }
 
@@ -66,9 +134,17 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// One tenant's cost-weighted share of a dispatch's transfer delta:
+/// `delta · cost / total_cost` (integer floor; zero total means no
+/// executed jobs, so no attribution).
+fn cost_share(delta_words: u64, cost: u64, total_cost: u64) -> u64 {
+    (delta_words * cost).checked_div(total_cost).unwrap_or(0)
+}
+
 #[derive(Default)]
 struct TenantMetrics {
     completed: u64,
+    failed: u64,
     latency: LatencyHistogram,
     upload_words: u64,
     download_words: u64,
@@ -79,6 +155,22 @@ struct MetricsInner {
     tenants: HashMap<u32, TenantMetrics>,
     batches: u64,
     batched_jobs: u64,
+    retries: u64,
+    faults: FaultCounts,
+    degraded_jobs: u64,
+    deadline_misses: u64,
+    cancelled: u64,
+    worker_panics: u64,
+}
+
+/// What one job's dispatch produced, for whole-drain transfer
+/// attribution. `executed` is false for jobs shed before touching the
+/// backend (cancelled / already past deadline), which therefore earn no
+/// share of the transfer delta.
+struct JobOutcome {
+    tenant: TenantId,
+    cost: u64,
+    executed: bool,
 }
 
 struct ServerInner {
@@ -90,6 +182,15 @@ struct ServerInner {
     seqs: Mutex<HashMap<u32, u64>>,
     metrics: Mutex<MetricsInner>,
     shutdown: AtomicBool,
+    /// Lazily-built host/CPU evaluator groups degrade to when the device
+    /// path fails. Bit-identical to the device path (the backends are
+    /// conformant), so degradation is invisible in results.
+    fallback: Mutex<Option<Evaluator>>,
+    /// Set after a fatal (sticky) device fault; later dispatches skip
+    /// the device entirely instead of re-discovering the wedge.
+    device_down: AtomicBool,
+    /// Counter feeding the deterministic retry jitter.
+    jitter_salt: AtomicU64,
 }
 
 /// A multi-tenant HE serving front end: submit jobs, get [`Ticket`]s,
@@ -113,6 +214,9 @@ impl HeServer {
             seqs: Mutex::new(HashMap::new()),
             metrics: Mutex::new(MetricsInner::default()),
             shutdown: AtomicBool::new(false),
+            fallback: Mutex::new(None),
+            device_down: AtomicBool::new(false),
+            jitter_salt: AtomicU64::new(0),
             ctx,
             batcher,
             config,
@@ -166,11 +270,15 @@ impl HeServer {
             seq
         };
         let (tx, rx) = mpsc::channel();
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let now = Instant::now();
         let job = Job {
             tenant,
             seq,
             request,
-            submitted_at: Instant::now(),
+            submitted_at: now,
+            deadline: self.inner.config.deadline.map(|d| now + d),
+            cancelled: Arc::clone(&cancelled),
             reply: tx,
         };
         let mut q = lock(&self.inner.queue);
@@ -179,7 +287,10 @@ impl HeServer {
             .map_err(|_| SubmitError::Backpressure { tenant, capacity })?;
         drop(q);
         self.inner.work_ready.notify_one();
-        Ok(Ticket { rx })
+        Ok(Ticket {
+            rx,
+            cancel: cancelled,
+        })
     }
 
     /// The context the server runs on.
@@ -260,89 +371,279 @@ impl ServerInner {
                     None => groups.push((key, vec![job])),
                 }
             }
+
+            // One transfer window around the whole drain: the context's
+            // ledger is global, so per-group deltas would double-count
+            // under concurrent workers no less — and the cost-weighted
+            // split needs every group's jobs in one denominator anyway.
+            let before = self.ctx.transfer_stats();
+            let mut outcomes: Vec<JobOutcome> = Vec::new();
             for (_, group) in groups {
-                self.execute_group(group);
+                // Contain a panicking dispatch: its jobs' tickets observe
+                // a disconnect, the worker and sibling groups survive.
+                match catch_unwind(AssertUnwindSafe(|| self.execute_group(group))) {
+                    Ok(mut done) => outcomes.append(&mut done),
+                    Err(_) => lock(&self.metrics).worker_panics += 1,
+                }
+            }
+            let delta = self.ctx.transfer_stats().since(&before);
+            self.attribute_transfers(&outcomes, &delta);
+        }
+    }
+
+    /// Split the drain's transfer delta across its executed jobs in
+    /// proportion to [`Request::cost`] — a 6-cost encrypt is charged 3×
+    /// the words of a 2-cost decrypt sharing the window, where an even
+    /// split would bill them alike.
+    fn attribute_transfers(&self, outcomes: &[JobOutcome], delta: &TransferStats) {
+        let total: u64 = outcomes.iter().filter(|o| o.executed).map(|o| o.cost).sum();
+        if total == 0 {
+            return;
+        }
+        let mut m = lock(&self.metrics);
+        for o in outcomes.iter().filter(|o| o.executed) {
+            let t = m.tenants.entry(o.tenant.0).or_default();
+            t.upload_words += cost_share(delta.upload_words, o.cost, total);
+            t.download_words += cost_share(delta.download_words, o.cost, total);
+        }
+    }
+
+    /// Run one homogeneous group through the self-healing dispatch path:
+    /// shed cancelled/expired jobs, try the pooled (device) evaluator,
+    /// retry transient faults under the backoff policy, degrade the
+    /// group to the host evaluator when the device path is out of
+    /// budget, and answer every job exactly once.
+    fn execute_group(&self, jobs: Vec<Job>) -> Vec<JobOutcome> {
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        let mut live = jobs;
+        let mut retries_used: u32 = 0;
+        let mut degraded = self.device_down.load(Ordering::Acquire);
+
+        loop {
+            // Shed jobs that were cancelled or expired while queued or
+            // while this loop was backing off.
+            let now = Instant::now();
+            let mut still = Vec::with_capacity(live.len());
+            for job in live {
+                if job.cancelled.load(Ordering::Acquire) {
+                    outcomes.push(self.answer_failed(job, ServeError::Cancelled));
+                } else if job.deadline.is_some_and(|d| now >= d) {
+                    outcomes.push(self.answer_failed(job, ServeError::DeadlineExceeded));
+                } else {
+                    still.push(job);
+                }
+            }
+            live = still;
+            if live.is_empty() {
+                return outcomes;
+            }
+
+            let result = if degraded {
+                self.run_fallback(&live)
+            } else {
+                self.ctx
+                    .try_with_pooled_evaluator(|ev| self.run_batch(ev, &live))
+            };
+
+            match result {
+                Ok(responses) => {
+                    let mut m = lock(&self.metrics);
+                    m.batches += 1;
+                    m.batched_jobs += live.len() as u64;
+                    if degraded {
+                        m.degraded_jobs += live.len() as u64;
+                    }
+                    drop(m);
+                    for (job, response) in live.into_iter().zip(responses) {
+                        outcomes.push(self.answer_ok(job, response));
+                    }
+                    return outcomes;
+                }
+                Err(e) => {
+                    lock(&self.metrics).faults.record(e.class());
+                    if !degraded && e.is_transient() && retries_used < self.config.retry.max_retries
+                    {
+                        retries_used += 1;
+                        lock(&self.metrics).retries += 1;
+                        self.backoff_pause(retries_used, &live);
+                        continue;
+                    }
+                    if !degraded {
+                        // Device path is out of budget for this group.
+                        // A fatal fault means the executor is wedged, not
+                        // just unlucky — remember that globally so later
+                        // groups skip straight to the host evaluator.
+                        if e.class() == FaultClass::Fatal {
+                            self.device_down.store(true, Ordering::Release);
+                        }
+                        degraded = true;
+                        continue;
+                    }
+                    // Even the host evaluator failed: answer a classified
+                    // error rather than retrying forever.
+                    for job in live {
+                        let err = ServeError::Fault {
+                            error: e.clone(),
+                            retries: retries_used,
+                        };
+                        outcomes.push(self.answer_failed(job, err));
+                    }
+                    return outcomes;
+                }
             }
         }
     }
 
-    /// Run one homogeneous group through the batcher on a pooled
-    /// evaluator, then account and answer each job.
-    fn execute_group(&self, jobs: Vec<Job>) {
-        let before = self.ctx.transfer_stats();
+    /// Dispatch one homogeneous group on `ev` through the batcher's
+    /// fallible pipelines. Inputs are cloned per attempt, so a retry (or
+    /// the fallback) re-runs the identical batch.
+    fn run_batch(&self, ev: &mut Evaluator, jobs: &[Job]) -> Result<Vec<Response>, BackendError> {
         let domain = self.config.key_seed;
-
-        let mut meta = Vec::with_capacity(jobs.len());
-        let responses: Vec<Response> = match jobs[0].request {
+        match jobs[0].request {
             Request::Encrypt { .. } => {
-                let mut batch = Vec::with_capacity(jobs.len());
-                for job in &jobs {
-                    let Request::Encrypt { values } = &job.request else {
-                        unreachable!("group is homogeneous");
-                    };
-                    batch.push(EncryptJob {
-                        seed: job_seed(domain, job.tenant, job.seq),
-                        values: values.clone(),
-                    });
-                }
-                self.ctx
-                    .with_pooled_evaluator(|ev| self.batcher.encrypt_batch(&self.ctx, ev, &batch))
+                let batch: Vec<EncryptJob> = jobs
+                    .iter()
+                    .map(|job| {
+                        let Request::Encrypt { values } = &job.request else {
+                            unreachable!("group is homogeneous");
+                        };
+                        EncryptJob {
+                            seed: job_seed(domain, job.tenant, job.seq),
+                            values: values.clone(),
+                        }
+                    })
+                    .collect();
+                Ok(self
+                    .batcher
+                    .try_encrypt_batch(&self.ctx, ev, &batch)?
                     .into_iter()
                     .map(Response::Encrypted)
-                    .collect()
+                    .collect())
             }
             Request::Eval { .. } => {
-                let mut batch = Vec::with_capacity(jobs.len());
-                for job in &jobs {
-                    let Request::Eval { ct, weights } = &job.request else {
-                        unreachable!("group is homogeneous");
-                    };
-                    batch.push((ct.clone(), weights.clone()));
-                }
-                self.ctx
-                    .with_pooled_evaluator(|ev| self.batcher.eval_batch(&self.ctx, ev, batch))
+                let batch: Vec<(Ciphertext, Vec<f64>)> = jobs
+                    .iter()
+                    .map(|job| {
+                        let Request::Eval { ct, weights } = &job.request else {
+                            unreachable!("group is homogeneous");
+                        };
+                        (ct.clone(), weights.clone())
+                    })
+                    .collect();
+                Ok(self
+                    .batcher
+                    .try_eval_batch(&self.ctx, ev, batch)?
                     .into_iter()
                     .map(Response::Evaluated)
-                    .collect()
+                    .collect())
             }
             Request::Decrypt { .. } => {
-                let mut batch = Vec::with_capacity(jobs.len());
-                for job in &jobs {
-                    let Request::Decrypt { ct } = &job.request else {
-                        unreachable!("group is homogeneous");
-                    };
-                    batch.push(ct.clone());
-                }
-                self.ctx
-                    .with_pooled_evaluator(|ev| self.batcher.decrypt_batch(&self.ctx, ev, batch))
+                let batch: Vec<Ciphertext> = jobs
+                    .iter()
+                    .map(|job| {
+                        let Request::Decrypt { ct } = &job.request else {
+                            unreachable!("group is homogeneous");
+                        };
+                        ct.clone()
+                    })
+                    .collect();
+                Ok(self
+                    .batcher
+                    .try_decrypt_batch(&self.ctx, ev, batch)?
                     .into_iter()
                     .map(Response::Decrypted)
-                    .collect()
+                    .collect())
             }
-        };
-        let delta = self.ctx.transfer_stats().since(&before);
-
-        for (job, response) in jobs.into_iter().zip(responses) {
-            let latency = job.submitted_at.elapsed();
-            meta.push((job.tenant, latency));
-            // A dropped Ticket just discards the answer.
-            let _ = job.reply.send(Completed { response, latency });
         }
+    }
 
-        let mut m = lock(&self.metrics);
-        m.batches += 1;
-        m.batched_jobs += meta.len() as u64;
-        let share = meta.len() as u64;
-        for (tenant, latency) in meta {
-            let t = m.tenants.entry(tenant.0).or_default();
+    /// Run the group on the lazily-built host/CPU evaluator. Results are
+    /// bit-identical to the device path (backend conformance), so
+    /// degradation never changes an answer.
+    fn run_fallback(&self, jobs: &[Job]) -> Result<Vec<Response>, BackendError> {
+        let mut guard = lock(&self.fallback);
+        let ev = guard.get_or_insert_with(|| {
+            Evaluator::with_backend(self.ctx.ring(), Box::new(CpuBackend::from_env()))
+        });
+        self.run_batch(ev, jobs)
+    }
+
+    /// Sleep before retry `attempt` (1-based): exponential backoff with
+    /// deterministic jitter, capped by the policy and by the tightest
+    /// live deadline.
+    fn backoff_pause(&self, attempt: u32, live: &[Job]) {
+        let policy = &self.config.retry;
+        if policy.backoff.is_zero() {
+            return;
+        }
+        let exp = 1u32 << (attempt - 1).min(16);
+        let base = policy.backoff.saturating_mul(exp).min(policy.backoff_cap);
+        // splitmix64 over a shared counter: decorrelates workers retrying
+        // into the same fault window without an entropy source.
+        let salt = self.jitter_salt.fetch_add(1, Ordering::Relaxed);
+        let mut x = salt
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(0xda94_2042_e4dd_58b5);
+        x ^= x >> 29;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 32;
+        let half_ns = (base.as_nanos().min(u128::from(u64::MAX)) as u64) / 2;
+        let jitter = if half_ns == 0 { 0 } else { x % half_ns };
+        let mut pause = base + Duration::from_nanos(jitter);
+        if let Some(min_deadline) = live.iter().filter_map(|j| j.deadline).min() {
+            pause = pause.min(min_deadline.saturating_duration_since(Instant::now()));
+        }
+        if !pause.is_zero() {
+            std::thread::sleep(pause);
+        }
+    }
+
+    /// Answer one job successfully and account it.
+    fn answer_ok(&self, job: Job, response: Response) -> JobOutcome {
+        let latency = job.submitted_at.elapsed();
+        {
+            let mut m = lock(&self.metrics);
+            let t = m.tenants.entry(job.tenant.0).or_default();
             t.completed += 1;
             t.latency
                 .record(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
-            // Proportional (per-job) share of this batch's transfer
-            // delta; approximate when workers dispatch concurrently.
-            t.upload_words += delta.upload_words / share;
-            t.download_words += delta.download_words / share;
         }
+        let outcome = JobOutcome {
+            tenant: job.tenant,
+            cost: job.request.cost(),
+            executed: true,
+        };
+        let _ = job.reply.send(Completed { response, latency });
+        outcome
+    }
+
+    /// Answer one job with a classified failure and account it. Jobs
+    /// that failed *after* executing (a device fault ran their batch)
+    /// still earn a transfer share; shed jobs do not.
+    fn answer_failed(&self, job: Job, err: ServeError) -> JobOutcome {
+        let latency = job.submitted_at.elapsed();
+        {
+            let mut m = lock(&self.metrics);
+            match &err {
+                ServeError::DeadlineExceeded => {
+                    m.deadline_misses += 1;
+                    m.faults.record(FaultClass::Deadline);
+                }
+                ServeError::Cancelled => m.cancelled += 1,
+                ServeError::Fault { .. } => {}
+            }
+            m.tenants.entry(job.tenant.0).or_default().failed += 1;
+        }
+        let outcome = JobOutcome {
+            tenant: job.tenant,
+            cost: job.request.cost(),
+            executed: matches!(err, ServeError::Fault { .. }),
+        };
+        let _ = job.reply.send(Completed {
+            response: Response::Failed(err),
+            latency,
+        });
+        outcome
     }
 
     fn snapshot(&self) -> MetricsSnapshot {
@@ -351,6 +652,13 @@ impl ServerInner {
         let mut snap = MetricsSnapshot {
             batches: m.batches,
             batched_jobs: m.batched_jobs,
+            retries: m.retries,
+            faults: m.faults,
+            degraded_jobs: m.degraded_jobs,
+            deadline_misses: m.deadline_misses,
+            cancelled: m.cancelled,
+            quarantined: self.ctx.quarantined_count() as u64,
+            worker_panics: m.worker_panics,
             ..Default::default()
         };
         for (&id, t) in &m.tenants {
@@ -358,6 +666,7 @@ impl ServerInner {
                 id,
                 TenantSnapshot {
                     completed: t.completed,
+                    failed: t.failed,
                     rejected: q.rejected_for(TenantId(id)),
                     latency: t.latency.clone(),
                     upload_words: t.upload_words,
@@ -373,5 +682,21 @@ impl ServerInner {
             });
         }
         snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::cost_share;
+
+    #[test]
+    fn transfer_attribution_is_cost_weighted() {
+        // One 6-cost encrypt and one 2-cost decrypt share a drain whose
+        // delta is 800 words: the encrypt is charged 600, the decrypt
+        // 200 — an even split would have billed 400 each.
+        assert_eq!(cost_share(800, 6, 8), 600);
+        assert_eq!(cost_share(800, 2, 8), 200);
+        // Degenerate denominators attribute nothing rather than panic.
+        assert_eq!(cost_share(800, 6, 0), 0);
     }
 }

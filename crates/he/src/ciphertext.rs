@@ -7,6 +7,7 @@
 //! those sync points for direct component access — decrypt/decode sync
 //! implicitly.
 
+use ntt_core::backend::BackendError;
 use ntt_core::poly::{Residency, RnsPoly};
 
 /// An encoded (but not encrypted) message: scaled integer coefficients in
@@ -92,6 +93,15 @@ impl Ciphertext {
     pub fn sync(&mut self) {
         self.c0.sync();
         self.c1.sync();
+    }
+
+    /// Fallible [`Ciphertext::sync`]: a download fault on either
+    /// component comes back as a classified [`BackendError`] instead of
+    /// panicking. On `Err` the components keep their device-fresh state,
+    /// so the call can simply be retried.
+    pub fn try_sync(&mut self) -> Result<(), BackendError> {
+        self.c0.try_sync()?;
+        self.c1.try_sync()
     }
 
     /// Where the ciphertext currently lives (the components always move

@@ -36,7 +36,9 @@ use crate::ciphertext::{Ciphertext, Plaintext};
 use crate::keys::{KeySet, PublicKey, RelinEntry, RelinKeys, SecretKey};
 use crate::params::HeLiteParams;
 use crate::sampling;
-use ntt_core::backend::{CpuBackend, Evaluator, NttBackend, TransferStats};
+use ntt_core::backend::{
+    BackendError, CpuBackend, Evaluator, FaultClass, NttBackend, TransferStats,
+};
 use ntt_core::poly::{Representation, RingError, RnsPoly, RnsRing};
 use rand::{Rng, RngExt};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -88,6 +90,9 @@ struct EvalPool {
     idle: Mutex<Vec<EvalState>>,
     /// Evaluators ever created (pool high-water mark).
     created: AtomicUsize,
+    /// Pool members dropped after a non-transient fault (each one is
+    /// replaced by a fresh fork, so capacity survives the fault).
+    quarantined: AtomicUsize,
 }
 
 impl std::fmt::Debug for EvalPool {
@@ -188,6 +193,7 @@ impl HeContext {
             proto: Mutex::new(backend),
             idle: Mutex::new(Vec::new()),
             created: AtomicUsize::new(0),
+            quarantined: AtomicUsize::new(0),
         };
         Ok(Self {
             params,
@@ -244,10 +250,50 @@ impl HeContext {
         self.with_eval(|st| f(&mut st.ev))
     }
 
+    /// Fallible [`HeContext::with_pooled_evaluator`] with pool health
+    /// tracking: run `f` on a pooled evaluator and return its result.
+    ///
+    /// A healthy outcome — `Ok`, or an `Err` whose class leaves the
+    /// executor usable ([transient](BackendError::is_transient) faults
+    /// and deadline expiries) — returns the member to the pool. A
+    /// fatal/OOM fault **quarantines** the member: it is dropped (its
+    /// stream and device scratch are released) and a fresh fork of the
+    /// prototype takes its place in the idle set, so pool capacity is
+    /// unchanged and no later checkout inherits a wedged executor. The
+    /// quarantine count is visible via
+    /// [`HeContext::quarantined_count`].
+    pub fn try_with_pooled_evaluator<R>(
+        &self,
+        f: impl FnOnce(&mut Evaluator) -> Result<R, BackendError>,
+    ) -> Result<R, BackendError> {
+        let mut st = lock(&self.pool.idle)
+            .pop()
+            .unwrap_or_else(|| self.new_state());
+        let r = f(&mut st.ev);
+        match &r {
+            Err(e) if !e.is_transient() && e.class() != FaultClass::Deadline => {
+                drop(st);
+                self.pool.quarantined.fetch_add(1, Ordering::Relaxed);
+                let fresh = self.new_state();
+                lock(&self.pool.idle).push(fresh);
+            }
+            _ => lock(&self.pool.idle).push(st),
+        }
+        r
+    }
+
     /// Evaluators created so far (the pool's high-water mark — grows with
-    /// the maximum number of overlapping operations).
+    /// the maximum number of overlapping operations, plus one per
+    /// quarantine replacement).
     pub fn evaluator_count(&self) -> usize {
         self.pool.created.load(Ordering::Relaxed)
+    }
+
+    /// Pool members quarantined (dropped and re-forked) after a
+    /// non-transient fault — see
+    /// [`HeContext::try_with_pooled_evaluator`].
+    pub fn quarantined_count(&self) -> usize {
+        self.pool.quarantined.load(Ordering::Relaxed)
     }
 
     /// Whether this context keeps polynomials device-resident.

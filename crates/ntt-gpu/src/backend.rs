@@ -31,6 +31,42 @@
 //! keep the radix-2 stage kernels. Set `NTT_WARP_SIM_FORWARD=radix2` (or
 //! `smem`) to pin one implementation.
 //!
+//! # Fallible surface and fault injection
+//!
+//! The `try_*` overrides of the [`NttBackend`] / [`DeviceMemory`] hot ops
+//! return a classified [`BackendError`] instead of panicking. They are
+//! **gate-then-delegate**: each draws the device's armed
+//! [`gpu_sim::FaultPlan`] (and validates operand handles) *before* any
+//! data moves, then runs the unchanged infallible body — so an `Err`
+//! always leaves host and device state untouched and the identical call
+//! can be retried. The infallible entry points never consult the plan,
+//! which keeps calibration sweeps and the figure harness fault-free even
+//! when `NTT_WARP_FAULTS` is set (the env plan is armed in
+//! [`SimBackend::new`], not in [`SimMemory::new`], for the same reason).
+//!
+//! # Panic audit
+//!
+//! The panic sites that remain in this crate after the fallible surface
+//! was introduced are *invariant assertions*, not recoverable device
+//! conditions:
+//!
+//! * `resolve`/`root_base`'s "freed or foreign DeviceBuf" — a caller
+//!   using a handle after `free` or against the wrong memory. The
+//!   fallible surface pre-validates handles (`is_live`) and reports
+//!   [`BackendError::Fatal`] instead; reaching the panic means an
+//!   *infallible* caller broke the handle contract.
+//! * "tables uploaded" — every trait op calls `ensure_tables` before the
+//!   kernel helpers run, so an absent table is an internal sequencing
+//!   bug, unreachable through the trait.
+//! * "distinct primes are coprime" (`dev_rescale`) — an RNS basis with a
+//!   repeated prime can't be constructed (`RnsRing::new` rejects it).
+//! * Shape `assert!`s on trait entry (`dev_decompose`, `pointwise`) —
+//!   caller-contract violations, mirrored from the documented panics of
+//!   the `ntt-core` trait defaults.
+//! * Kernel-lane `expect`s ("rhs loaded", "lane active") — a warp lane
+//!   reading a value its own address computation requested; failure is a
+//!   kernel bug, independent of any device state a caller controls.
+//!
 //! # Example
 //!
 //! ```
@@ -54,7 +90,8 @@ use crate::radix2::{launch_forward, launch_inverse, ModMul};
 use crate::smem::{self, SmemConfig, SmemJob};
 use gpu_sim::{Buf, Event, Gpu, GpuConfig, LaunchConfig, OpClass, Stream, WarpCtx, WarpKernel};
 use ntt_core::backend::{
-    DeviceBuf, DeviceMemory, LimbBatch, NttBackend, RingPlan, SharedDeviceMemory, TransferStats,
+    BackendError, DeviceBuf, DeviceMemory, LimbBatch, NttBackend, RingPlan, SharedDeviceMemory,
+    TransferStats,
 };
 use ntt_math::modops::{add_mod, mul_mod, neg_mod, sub_mod};
 use std::collections::HashMap;
@@ -144,6 +181,13 @@ impl SimMemory {
     }
 
     /// Translate an opaque handle view into a GMEM buffer view.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a freed or foreign handle — an invariant assertion on
+    /// the infallible paths (the fallible surface pre-validates with
+    /// [`is_live`](SimMemory::is_live) and returns
+    /// [`BackendError::Fatal`] instead).
     fn resolve(&self, buf: DeviceBuf) -> Buf {
         self.bufs
             .get(&buf.id())
@@ -203,6 +247,35 @@ impl SimMemory {
             self.buf_ready.insert(b, e);
         }
     }
+
+    /// Whether a handle view still resolves to a live allocation (the
+    /// fallible surface's non-panicking counterpart of [`resolve`]).
+    ///
+    /// [`resolve`]: SimMemory::resolve
+    fn is_live(&self, buf: DeviceBuf) -> bool {
+        self.bufs
+            .get(&buf.id())
+            .is_some_and(|b| buf.base() + buf.len() <= b.len())
+    }
+
+    /// Draw the device's armed fault plan (if any) for one fallible
+    /// backend entry point, classifying a fired fault into the typed
+    /// error surface. A fault charges a stall on the active stream — see
+    /// [`Gpu::fault_check`].
+    fn fault_gate(&mut self, op: &'static str, kind: gpu_sim::FaultOp) -> Result<(), BackendError> {
+        self.gpu.fault_check(kind).map_err(|k| classify(k, op, 0))
+    }
+}
+
+/// Map an injected [`gpu_sim::FaultKind`] onto the typed error surface:
+/// transient faults stay retryable, a sticky-wedged device is fatal for
+/// every executor sharing it, and OOM carries the request size.
+fn classify(kind: gpu_sim::FaultKind, op: &'static str, words: usize) -> BackendError {
+    match kind {
+        gpu_sim::FaultKind::Transient => BackendError::Transient { op },
+        gpu_sim::FaultKind::Sticky => BackendError::Fatal { op },
+        gpu_sim::FaultKind::Oom => BackendError::Oom { op, words },
+    }
 }
 
 impl DeviceMemory for SimMemory {
@@ -257,6 +330,36 @@ impl DeviceMemory for SimMemory {
 
     fn reset_stats(&mut self) {
         self.gpu.gmem.reset_transfer_stats();
+    }
+
+    // The fallible surface: each op draws the armed fault plan *before*
+    // touching any data, so an `Err` leaves host and device state exactly
+    // as they were and the identical call can be retried.
+
+    fn try_alloc(&mut self, words: usize) -> Result<DeviceBuf, BackendError> {
+        let projected = self.gpu.gmem.allocated_words() + words;
+        self.gpu
+            .fault_check_alloc(projected)
+            .map_err(|k| classify(k, "alloc", words))?;
+        Ok(self.alloc(words))
+    }
+
+    fn try_upload(&mut self, dst: DeviceBuf, src: &[u64]) -> Result<(), BackendError> {
+        if !self.is_live(dst) {
+            return Err(BackendError::Fatal { op: "upload" });
+        }
+        self.fault_gate("upload", gpu_sim::FaultOp::Upload)?;
+        self.upload(dst, src);
+        Ok(())
+    }
+
+    fn try_download(&mut self, src: DeviceBuf, dst: &mut [u64]) -> Result<(), BackendError> {
+        if !self.is_live(src) {
+            return Err(BackendError::Fatal { op: "download" });
+        }
+        self.fault_gate("download", gpu_sim::FaultOp::Download)?;
+        self.download(src, dst);
+        Ok(())
     }
 }
 
@@ -730,8 +833,13 @@ impl Drop for SimBackend {
 
 impl SimBackend {
     /// Backend over an explicit device model.
+    ///
+    /// If `NTT_WARP_FAULTS` is set, the parsed [`gpu_sim::FaultPlan`] is
+    /// armed on this backend's device. Arming happens *here*, not in
+    /// [`SimMemory::new`], so the scratch devices the forward-choice
+    /// calibration sweeps build stay fault-free by construction.
     pub fn new(config: GpuConfig) -> Self {
-        Self {
+        let backend = Self {
             mem: Arc::new(Mutex::new(SimMemory::new(config))),
             stream: Stream::DEFAULT,
             copy_stream: None,
@@ -739,12 +847,24 @@ impl SimBackend {
             scratch: DevData::default(),
             mul_scratch: DevData::default(),
             split_cache: Arc::new(Mutex::new(HashMap::new())),
+        };
+        if let Some(plan) = gpu_sim::FaultPlan::from_env() {
+            backend.set_fault_plan(Some(plan));
         }
+        backend
     }
 
     /// Backend over the paper's Titan-V device model.
     pub fn titan_v() -> Self {
         Self::new(GpuConfig::titan_v())
+    }
+
+    /// Arm (or with `None`, disarm) a deterministic fault schedule on the
+    /// shared device. Affects every fork sharing this backend's memory;
+    /// only the fallible `try_*` entry points draw from the plan. See
+    /// [`gpu_sim::FaultPlan`].
+    pub fn set_fault_plan(&self, plan: Option<gpu_sim::FaultPlan>) {
+        self.lock().gpu.set_fault_plan(plan);
     }
 
     fn lock(&self) -> MutexGuard<'_, SimMemory> {
@@ -819,6 +939,47 @@ impl SimBackend {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(n, choice);
         choice
+    }
+
+    // ---- Fault gates for the fallible surface ---------------------------
+    //
+    // Every `try_*` override below is gate-then-delegate: draw the armed
+    // fault plan (and validate operand handles) *up front*, then run the
+    // unchanged infallible body. Injected faults therefore fire between
+    // ops — never mid-op — which is what makes a failed call retry-safe:
+    // on `Err`, no operand byte has moved. The gates draw one schedule
+    // slot per hardware command class the op would issue (a staged host
+    // batch is upload + launch + download; a device-resident op is one
+    // launch), so fault *rates* scale with real command traffic.
+
+    /// Gates for one staged host-batch op (upload, launch, download — in
+    /// issue order, on this executor's stream).
+    fn gate_staged(&self, op: &'static str) -> Result<(), BackendError> {
+        let mut m = self.lock();
+        m.bind(self.stream);
+        m.fault_gate(op, gpu_sim::FaultOp::Upload)?;
+        m.fault_gate(op, gpu_sim::FaultOp::Launch)?;
+        m.fault_gate(op, gpu_sim::FaultOp::Download)
+    }
+
+    /// Launch-class gate for one device-resident op.
+    fn gate_launch(&self, op: &'static str) -> Result<(), BackendError> {
+        let mut m = self.lock();
+        m.bind(self.stream);
+        m.fault_gate(op, gpu_sim::FaultOp::Launch)
+    }
+
+    /// Handle validation for device-resident try ops: a freed or foreign
+    /// handle is a caller bug the infallible path treats as an invariant
+    /// violation (panic in [`SimMemory::resolve`]); on the typed surface
+    /// it comes back as a fatal error instead.
+    fn check_handles(&self, op: &'static str, bufs: &[DeviceBuf]) -> Result<(), BackendError> {
+        let m = self.lock();
+        if bufs.iter().all(|&b| m.is_live(b)) {
+            Ok(())
+        } else {
+            Err(BackendError::Fatal { op })
+        }
     }
 }
 
@@ -1211,6 +1372,144 @@ impl NttBackend for SimBackend {
         let cfg = LaunchConfig::new("sim-decompose", blocks, THREADS).regs_per_thread(40);
         m.gpu.launch(&kernel, &cfg);
         m.mark_written(&roots[1..]);
+    }
+
+    // ---- Fallible surface: gate-then-delegate (see the fault-gate
+    // helpers on `SimBackend` for the granularity contract). ------------
+
+    fn try_forward_batch(
+        &mut self,
+        plan: &RingPlan,
+        batch: LimbBatch<'_>,
+    ) -> Result<(), BackendError> {
+        self.gate_staged("forward_batch")?;
+        self.forward_batch(plan, batch);
+        Ok(())
+    }
+
+    fn try_inverse_batch(
+        &mut self,
+        plan: &RingPlan,
+        batch: LimbBatch<'_>,
+    ) -> Result<(), BackendError> {
+        self.gate_staged("inverse_batch")?;
+        self.inverse_batch(plan, batch);
+        Ok(())
+    }
+
+    fn try_pointwise_batch(
+        &mut self,
+        plan: &RingPlan,
+        acc: LimbBatch<'_>,
+        rhs: &[u64],
+    ) -> Result<(), BackendError> {
+        self.gate_staged("pointwise_batch")?;
+        self.pointwise_batch(plan, acc, rhs);
+        Ok(())
+    }
+
+    fn try_multiply_batch(
+        &mut self,
+        plan: &RingPlan,
+        a: &[u64],
+        b: &[u64],
+        out: LimbBatch<'_>,
+    ) -> Result<(), BackendError> {
+        self.gate_staged("multiply_batch")?;
+        self.multiply_batch(plan, a, b, out);
+        Ok(())
+    }
+
+    fn try_dev_forward(
+        &mut self,
+        plan: &RingPlan,
+        buf: DeviceBuf,
+        level: usize,
+    ) -> Result<(), BackendError> {
+        self.check_handles("dev_forward", &[buf])?;
+        self.gate_launch("dev_forward")?;
+        self.dev_forward(plan, buf, level);
+        Ok(())
+    }
+
+    fn try_dev_inverse(
+        &mut self,
+        plan: &RingPlan,
+        buf: DeviceBuf,
+        level: usize,
+    ) -> Result<(), BackendError> {
+        self.check_handles("dev_inverse", &[buf])?;
+        self.gate_launch("dev_inverse")?;
+        self.dev_inverse(plan, buf, level);
+        Ok(())
+    }
+
+    fn try_dev_multiply(
+        &mut self,
+        plan: &RingPlan,
+        a: DeviceBuf,
+        b: DeviceBuf,
+        out: DeviceBuf,
+        level: usize,
+    ) -> Result<(), BackendError> {
+        self.check_handles("dev_multiply", &[a, b, out])?;
+        self.gate_launch("dev_multiply")?;
+        self.dev_multiply(plan, a, b, out, level);
+        Ok(())
+    }
+
+    fn try_dev_pointwise(
+        &mut self,
+        plan: &RingPlan,
+        acc: DeviceBuf,
+        rhs: DeviceBuf,
+        level: usize,
+    ) -> Result<(), BackendError> {
+        self.check_handles("dev_pointwise", &[acc, rhs])?;
+        self.gate_launch("dev_pointwise")?;
+        self.dev_pointwise(plan, acc, rhs, level);
+        Ok(())
+    }
+
+    fn try_dev_fma(
+        &mut self,
+        plan: &RingPlan,
+        acc: DeviceBuf,
+        x: DeviceBuf,
+        y: DeviceBuf,
+        level: usize,
+    ) -> Result<(), BackendError> {
+        self.check_handles("dev_fma", &[acc, x, y])?;
+        self.gate_launch("dev_fma")?;
+        self.dev_fma(plan, acc, x, y, level);
+        Ok(())
+    }
+
+    fn try_dev_rescale(
+        &mut self,
+        plan: &RingPlan,
+        buf: DeviceBuf,
+        level: usize,
+    ) -> Result<(), BackendError> {
+        self.check_handles("dev_rescale", &[buf])?;
+        self.gate_launch("dev_rescale")?;
+        self.dev_rescale(plan, buf, level);
+        Ok(())
+    }
+
+    fn try_dev_decompose(
+        &mut self,
+        plan: &RingPlan,
+        src: DeviceBuf,
+        dst: DeviceBuf,
+        level: usize,
+        digits: usize,
+        gadget_bits: u32,
+    ) -> Result<(), BackendError> {
+        self.check_handles("dev_decompose", &[src, dst])?;
+        self.gate_launch("dev_decompose")?;
+        self.dev_decompose(plan, src, dst, level, digits, gadget_bits);
+        Ok(())
     }
 }
 

@@ -23,7 +23,11 @@
 #   * the he-serve request batcher packs 8 encrypt->eval->decrypt jobs
 #     into flat group dispatches at >= 1.5x less modeled device time
 #     than the one-job-at-a-time control (batched <= 0.667 * unbatched;
-#     modeled time again, host-independent).
+#     modeled time again, host-independent);
+#   * the fault-injection plane is free when no fault fires: the same
+#     jobs through the fallible serve pipelines with a zero-rate
+#     FaultPlan armed stay within 5% modeled device time of the
+#     disarmed run (armed_zero <= 1.05 * off).
 #
 # Usage:
 #   scripts/bench_smoke.sh                  # within-run ratio gates (CI)
@@ -61,5 +65,6 @@ else
         --gate "he_lite_n2048_l3/multiply_relinearize_rescale<=80*he_lite_n2048_l3/forward_ntt_all_primes" \
         --gate "he_lite_sim_n256_l3/steady_transfers_plus_one<=1.0*he_lite_sim_n256_l3/unit" \
         --gate "sim_streams_4ev/overlapped_device_time<=0.77*sim_streams_4ev/serialized_device_time" \
-        --gate "he_serve_sim/batched_device_time<=0.667*he_serve_sim/unbatched_device_time"
+        --gate "he_serve_sim/batched_device_time<=0.667*he_serve_sim/unbatched_device_time" \
+        --gate "he_serve_sim/fault_plane_armed_zero_device_time<=1.05*he_serve_sim/fault_plane_off_device_time"
 fi
