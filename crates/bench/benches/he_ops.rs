@@ -187,12 +187,44 @@ fn bench_serve_fault_overhead(_c: &mut Criterion) {
     );
 }
 
+/// The flagship bootstrap workload's gate inputs: one steady-state
+/// CKKS-style bootstrap on the simulated device, with modeled device
+/// time split by kernel class. Two gates in `bench_smoke.sh`:
+///
+/// * op-mix — NTT + key-switch kernels carry ≥ 60% of the modeled
+///   device time (`total_device_time <= 1.6667 *
+///   ntt_keyswitch_device_time`), the paper's motivating measurement;
+/// * residency — the steady-state bootstrap moves zero words across
+///   the bus (`steady_transfers_plus_one <= 1.0 * unit`).
+///
+/// Both sides of each gate come from one deterministic modeled run, so
+/// they hold on any host.
+fn bench_bootstrap(_c: &mut Criterion) {
+    let r = ntt_bench::experiments::bootstrap(4);
+    record_value("he_boot_sim/total_device_time", r.total_s() * 1e9);
+    record_value(
+        "he_boot_sim/ntt_keyswitch_device_time",
+        (r.ntt.time_s + r.key_switch.time_s) * 1e9,
+    );
+    record_value(
+        "he_boot_sim/steady_transfers_plus_one",
+        (r.steady.host_transfers() + 1) as f64,
+    );
+    record_value("he_boot_sim/unit", 1.0);
+    println!(
+        "bench: he_boot_sim op-mix = {:.1}% NTT+key-switch over {} launches",
+        r.ntt_keyswitch_share() * 100.0,
+        r.ntt.launches + r.key_switch.launches + r.pointwise.launches
+    );
+}
+
 criterion_group!(
     benches,
     bench_he,
     bench_he_sim_resident,
     bench_sim_streams,
     bench_serve_batching,
-    bench_serve_fault_overhead
+    bench_serve_fault_overhead,
+    bench_bootstrap
 );
 criterion_main!(benches);

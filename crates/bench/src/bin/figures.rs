@@ -5,7 +5,7 @@
 //! ```text
 //! figures [--quick] [fig1 fig3 fig4 fig5 fig7 fig8 fig9 fig11a fig11b
 //!          fig11c fig12 fig13 table2 fpga wordsize residency streams
-//!          serve otbase]
+//!          serve bootstrap otbase]
 //! ```
 //!
 //! With no figure names, everything runs. `--quick` shrinks N/np so a full
@@ -448,6 +448,54 @@ fn main() {
             "   batching gate (>= 1.5x): {:.2}x {}",
             b.speedup(),
             if b.speedup() >= 1.5 { "OK" } else { "VIOLATED" }
+        );
+    }
+
+    if run("bootstrap") {
+        header(
+            "Bootstrap: the title workload -- CKKS-style bootstrapping op-mix",
+            "NTT + key-switch kernels dominate bootstrappable HE device time",
+        );
+        let r = ex::bootstrap(if quick { 4 } else { 6 });
+        println!("params: {}", r.params);
+        let total = r.total_s();
+        println!(
+            "{:<14} {:>9} {:>12} {:>8}",
+            "kernel class", "launches", "device us", "share"
+        );
+        for (name, row) in [
+            ("NTT", r.ntt),
+            ("key-switch", r.key_switch),
+            ("pointwise", r.pointwise),
+        ] {
+            println!(
+                "{:<14} {:>9} {:>12.1} {:>7.1}%",
+                name,
+                row.launches,
+                row.time_s * 1e6,
+                row.time_s / total * 100.0
+            );
+        }
+        println!(
+            "total modeled device time: {:.1} us over one steady-state bootstrap",
+            total * 1e6
+        );
+        println!(
+            "   op-mix gate (NTT + key-switch >= 60%): {:.1}% {}",
+            r.ntt_keyswitch_share() * 100.0,
+            if r.ntt_keyswitch_share() >= 0.60 {
+                "OK"
+            } else {
+                "VIOLATED"
+            }
+        );
+        println!(
+            "   residency gate: steady-state bootstrap transfers {} (must be 0)",
+            if r.steady.host_transfers() == 0 {
+                "OK"
+            } else {
+                "VIOLATED"
+            }
         );
     }
 

@@ -951,6 +951,136 @@ pub fn serve_fault_overhead(log_n: u32, jobs: usize) -> ServeFaultOverheadReport
     ServeFaultOverheadReport { jobs, off, armed }
 }
 
+/// One kernel-class row of the bootstrap op-mix: launches and modeled
+/// device seconds attributed to the class.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpMixRow {
+    /// Kernel launches in the class.
+    pub launches: u64,
+    /// Modeled device seconds in the class.
+    pub time_s: f64,
+}
+
+/// The flagship workload's accounting: one full CKKS-style bootstrap on
+/// the simulated GPU, with modeled device time split by kernel class.
+///
+/// The paper's thesis is that NTTs (and the key switches they feed)
+/// dominate bootstrappable HE — `figures bootstrap` prints this split
+/// and `bench_smoke.sh` gates the NTT + key-switch share at ≥ 60% of
+/// the modeled device time.
+#[derive(Debug, Clone)]
+pub struct BootstrapReport {
+    /// Parameter description.
+    pub params: String,
+    /// Transfers during setup: keygen, rotation-key + DFT-diagonal
+    /// upload, encryption, and the warm-up bootstrap that populates the
+    /// EvalMod constant cache.
+    pub initial: ntt_core::TransferStats,
+    /// Transfers during one steady-state bootstrap — pinned to zero by
+    /// `tests/residency.rs` and the bench gate.
+    pub steady: ntt_core::TransferStats,
+    /// Forward/inverse NTT kernels (every transform family the paper
+    /// studies: fused SMEM, radix-2, high-radix, DFT).
+    pub ntt: OpMixRow,
+    /// Key-switch kernels: gadget decompose, fused multiply-add
+    /// accumulation, Galois automorphism.
+    pub key_switch: OpMixRow,
+    /// Everything else (pointwise multiply/add/sub/neg, rescale,
+    /// mod-raise).
+    pub pointwise: OpMixRow,
+}
+
+impl BootstrapReport {
+    /// Total modeled device seconds across every class.
+    pub fn total_s(&self) -> f64 {
+        self.ntt.time_s + self.key_switch.time_s + self.pointwise.time_s
+    }
+
+    /// Fraction of modeled device time in NTT + key-switch kernels —
+    /// the headline the title workload exists to measure.
+    pub fn ntt_keyswitch_share(&self) -> f64 {
+        (self.ntt.time_s + self.key_switch.time_s) / self.total_s()
+    }
+}
+
+/// Kernel class of a simulated launch label (see `BootstrapReport`).
+fn launch_class(label: &str) -> usize {
+    if label.starts_with("smem-k")
+        || label.starts_with("radix")
+        || label.starts_with("iradix2")
+        || label.starts_with("dft-")
+        || label == "intt-scale"
+    {
+        0 // NTT
+    } else if matches!(label, "sim-decompose" | "sim-fma" | "sim-automorphism") {
+        1 // key switch
+    } else {
+        2 // pointwise / other
+    }
+}
+
+/// Run one full bootstrap (ModRaise → CoeffToSlot → EvalMod →
+/// SlotToCoeff) on a device-resident context and split the kernel trace
+/// into the op-mix classes. Depth-minimal [`he_boot::BootParams`], so
+/// the quick CI path stays fast; the mix is structural, not
+/// size-dependent.
+pub fn bootstrap(log_n: u32) -> BootstrapReport {
+    use he_boot::{BootParams, Bootstrapper};
+    use he_lite::{sampling, HeContext};
+    use std::sync::Arc;
+
+    let bp = BootParams::shallow();
+    let params = bp.he_params(log_n, 50);
+    let backend = ntt_gpu::SimBackend::titan_v();
+    let dev = backend.memory_handle();
+    let ctx =
+        Arc::new(HeContext::with_backend(params, Box::new(backend)).expect("sim context builds"));
+    let mut rng = sampling::seeded_rng(42);
+    let keys = ctx.keygen(&mut rng);
+    let boot = Bootstrapper::new(Arc::clone(&ctx), &keys, bp, &mut rng);
+    let pt = ctx.encode_with_scale(&[0.4, -0.2, 0.1], boot.input_scale());
+    let ct = ctx.encrypt(&pt, &keys.public, &mut sampling::seeded_rng(7));
+    let low = ctx.drop_to_level(&ct, 1);
+
+    // Warm-up: uploads the twiddle tables and fills the EvalMod constant
+    // cache, so the measured window is the steady state a serving loop
+    // lives in.
+    let _ = boot.bootstrap(&low);
+    drain_device(&dev);
+
+    let initial = ctx.transfer_stats();
+    let trace_from = dev
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .gpu()
+        .trace
+        .len();
+    let _ = boot.bootstrap(&low);
+    drain_device(&dev);
+    let steady = ctx.transfer_stats().since(&initial);
+
+    let mut rows = [OpMixRow::default(); 3];
+    {
+        let mem = dev
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for rec in &mem.gpu().trace[trace_from..] {
+            let row = &mut rows[launch_class(&rec.launch.label)];
+            row.launches += 1;
+            row.time_s += rec.timing.total_s;
+        }
+    }
+    let [ntt, key_switch, pointwise] = rows;
+    BootstrapReport {
+        params: format!("{params} ({} boot levels)", bp.min_levels()),
+        initial,
+        steady,
+        ntt,
+        key_switch,
+        pointwise,
+    }
+}
+
 /// §VII — OT base sweep: analytic table cost plus simulated time for the
 /// feasible two-level bases. Returns `(base, entries, modmuls, time_us)`;
 /// time is `NaN` for analytic-only rows.

@@ -803,6 +803,61 @@ pub(crate) fn host_negate_rows(plan: &RingPlan, level: usize, data: &mut [u64]) 
     }
 }
 
+/// Galois automorphism `X → X^g` (g odd) of a `level`-row coefficient
+/// buffer: `dst[r·N + (i·g mod 2N)] = ±src[r·N + i]`, negated when the
+/// exponent wraps past `N` (negacyclic: `X^N = −1`), with row `r` reduced
+/// mod prime `r % level`. Out-of-place — the map is a permutation, so an
+/// in-place gather would trample unread inputs.
+pub(crate) fn host_automorphism_rows(
+    plan: &RingPlan,
+    level: usize,
+    g: u64,
+    src: &[u64],
+    dst: &mut [u64],
+) {
+    let n = plan.degree();
+    let two_n = 2 * n as u64;
+    let g = g % two_n;
+    assert_eq!(g % 2, 1, "Galois element must be odd");
+    assert_eq!(src.len(), dst.len(), "operand shape mismatch");
+    let primes = plan.ring().basis().primes();
+    for (r, (out, row)) in dst.chunks_exact_mut(n).zip(src.chunks_exact(n)).enumerate() {
+        let p = primes[r % level];
+        for (i, &x) in row.iter().enumerate() {
+            let idx = (i as u64 * g) % two_n;
+            if idx < n as u64 {
+                out[idx as usize] = x;
+            } else {
+                out[idx as usize - n] = neg_mod(x, p);
+            }
+        }
+    }
+}
+
+/// CKKS mod-raise: re-embed one coefficient row (residues mod the first
+/// prime `p_0`) into `to_level` rows of the full RNS basis via the
+/// centered lift `v ↦ v` if `v ≤ p_0/2` else `v − p_0`. The lift is
+/// exact — the output decrypts to the same small polynomial plus a
+/// `p_0·I` overflow term, which is what `EvalMod` removes.
+pub(crate) fn host_modraise_rows(plan: &RingPlan, to_level: usize, src: &[u64], dst: &mut [u64]) {
+    let n = plan.degree();
+    let primes = plan.ring().basis().primes();
+    let p0 = primes[0];
+    let half = p0 >> 1;
+    assert_eq!(src.len(), n, "source must be one row");
+    assert_eq!(dst.len(), to_level * n, "destination must be to_level x N");
+    for (r, row) in dst.chunks_exact_mut(n).enumerate() {
+        let p = primes[r % to_level];
+        for (out, &v) in row.iter_mut().zip(src) {
+            *out = if v <= half {
+                v % p
+            } else {
+                neg_mod((p0 - v) % p, p)
+            };
+        }
+    }
+}
+
 /// Gadget digit decomposition of one `level`-row coefficient polynomial
 /// into a `level·digits`-polynomial buffer-of-digits: digit `(j, d)`
 /// occupies polynomial slot `j·digits + d` as `level` **replicated** rows
@@ -1180,6 +1235,33 @@ pub trait NttBackend: Send {
         lock_memory(&self.memory()).upload(dst, &hd);
     }
 
+    /// Device-resident CKKS mod-raise (see [`host_modraise_rows`] for the
+    /// lift): `src` holds one coefficient row mod `p_0`, `dst` receives
+    /// `to_level` re-embedded rows of the full basis.
+    fn dev_modraise(&mut self, plan: &RingPlan, src: DeviceBuf, dst: DeviceBuf, to_level: usize) {
+        let (mut hs, mut hd) = (vec![0u64; src.len()], vec![0u64; dst.len()]);
+        lock_memory(&self.memory()).download(src, &mut hs);
+        host_modraise_rows(plan, to_level, &hs, &mut hd);
+        lock_memory(&self.memory()).upload(dst, &hd);
+    }
+
+    /// Device-resident Galois automorphism `X → X^g` (see
+    /// [`host_automorphism_rows`] for the index map): `src` holds `level`
+    /// coefficient rows, `dst` receives the permuted (sign-wrapped) rows.
+    fn dev_automorphism(
+        &mut self,
+        plan: &RingPlan,
+        src: DeviceBuf,
+        dst: DeviceBuf,
+        level: usize,
+        g: u64,
+    ) {
+        let (mut hs, mut hd) = (vec![0u64; src.len()], vec![0u64; dst.len()]);
+        lock_memory(&self.memory()).download(src, &mut hs);
+        host_automorphism_rows(plan, level, g, &hs, &mut hd);
+        lock_memory(&self.memory()).upload(dst, &hd);
+    }
+
     // ---- Fallible surface -------------------------------------------------
     //
     // The `try_*` variants of the hot ops return a classified
@@ -1326,6 +1408,33 @@ pub trait NttBackend: Send {
         gadget_bits: u32,
     ) -> Result<(), BackendError> {
         self.dev_decompose(plan, src, dst, level, digits, gadget_bits);
+        Ok(())
+    }
+
+    /// Fallible [`NttBackend::dev_modraise`]. On `Err` the destination
+    /// is unchanged.
+    fn try_dev_modraise(
+        &mut self,
+        plan: &RingPlan,
+        src: DeviceBuf,
+        dst: DeviceBuf,
+        to_level: usize,
+    ) -> Result<(), BackendError> {
+        self.dev_modraise(plan, src, dst, to_level);
+        Ok(())
+    }
+
+    /// Fallible [`NttBackend::dev_automorphism`]. On `Err` the
+    /// destination is unchanged.
+    fn try_dev_automorphism(
+        &mut self,
+        plan: &RingPlan,
+        src: DeviceBuf,
+        dst: DeviceBuf,
+        level: usize,
+        g: u64,
+    ) -> Result<(), BackendError> {
+        self.dev_automorphism(plan, src, dst, level, g);
         Ok(())
     }
 }
@@ -1598,6 +1707,33 @@ impl NttBackend for CpuBackend {
             &self.stage[1],
             &mut d,
         );
+        self.stage[0] = d;
+        self.stage_out(0, dst);
+    }
+
+    fn dev_automorphism(
+        &mut self,
+        plan: &RingPlan,
+        src: DeviceBuf,
+        dst: DeviceBuf,
+        level: usize,
+        g: u64,
+    ) {
+        self.stage_in(1, src);
+        let mut d = std::mem::take(&mut self.stage[0]);
+        d.clear();
+        d.resize(dst.len(), 0);
+        host_automorphism_rows(plan, level, g, &self.stage[1], &mut d);
+        self.stage[0] = d;
+        self.stage_out(0, dst);
+    }
+
+    fn dev_modraise(&mut self, plan: &RingPlan, src: DeviceBuf, dst: DeviceBuf, to_level: usize) {
+        self.stage_in(1, src);
+        let mut d = std::mem::take(&mut self.stage[0]);
+        d.clear();
+        d.resize(dst.len(), 0);
+        host_modraise_rows(plan, to_level, &self.stage[1], &mut d);
         self.stage[0] = d;
         self.stage_out(0, dst);
     }
@@ -2033,6 +2169,116 @@ impl Evaluator {
             poly.device_truncate_level();
         } else {
             poly.rescale(self.plan.ring());
+        }
+    }
+
+    /// Galois automorphism `X → X^g` in place (coefficient form; `g` odd).
+    /// Device-resident polynomials permute on the device through the
+    /// evaluator's scratch buffer — no host transfer; the write-back is a
+    /// device-to-device copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poly` is in evaluation form or `g` is even.
+    pub fn automorphism(&mut self, poly: &mut RnsPoly, g: u64) {
+        assert_eq!(
+            poly.repr(),
+            Representation::Coefficient,
+            "automorphism requires coefficient form"
+        );
+        if let Some(src) = self.device_target(poly) {
+            let tmp = self.ensure_dev_scratch(src.len());
+            self.backend
+                .dev_automorphism(&self.plan, src, tmp, poly.level(), g);
+            lock_memory(&self.backend.memory()).copy(tmp, src);
+            poly.mark_device_dirty();
+        } else {
+            poly.sync();
+            let mut out = vec![0u64; poly.flat().len()];
+            host_automorphism_rows(&self.plan, poly.level(), g, poly.flat(), &mut out);
+            poly.flat_mut().copy_from_slice(&out);
+        }
+    }
+
+    /// Fallible [`Evaluator::automorphism`]. On `Err` the polynomial is
+    /// unchanged (the scratch write-back only runs after the kernel
+    /// succeeds).
+    pub fn try_automorphism(&mut self, poly: &mut RnsPoly, g: u64) -> Result<(), BackendError> {
+        assert_eq!(
+            poly.repr(),
+            Representation::Coefficient,
+            "automorphism requires coefficient form"
+        );
+        if let Some(src) = self.device_target(poly) {
+            let tmp = self.ensure_dev_scratch(src.len());
+            self.backend
+                .try_dev_automorphism(&self.plan, src, tmp, poly.level(), g)?;
+            lock_memory(&self.backend.memory()).copy(tmp, src);
+            poly.mark_device_dirty();
+        } else {
+            poly.try_sync()?;
+            let mut out = vec![0u64; poly.flat().len()];
+            host_automorphism_rows(&self.plan, poly.level(), g, poly.flat(), &mut out);
+            poly.flat_mut().copy_from_slice(&out);
+        }
+        Ok(())
+    }
+
+    /// Mod-raise: re-embed a last-level (single-prime) coefficient
+    /// polynomial into the first `to_level` primes of the RNS basis by a
+    /// centered lift mod `p₀` — the bootstrapping entry point. The source
+    /// is unchanged; device-resident sources produce a device-resident
+    /// result with no host transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `poly` is at level 1 and in coefficient form.
+    pub fn mod_raise(&mut self, poly: &mut RnsPoly, to_level: usize) -> RnsPoly {
+        assert_eq!(poly.level(), 1, "mod_raise input must be at level 1");
+        assert_eq!(
+            poly.repr(),
+            Representation::Coefficient,
+            "mod_raise requires coefficient form"
+        );
+        if let Some(src) = self.device_target(poly) {
+            let mut out = self.zero_resident(to_level, Representation::Coefficient);
+            let dst = self.dev_buf(&out).expect("zero_resident is mirrored");
+            self.backend.dev_modraise(&self.plan, src, dst, to_level);
+            out.mark_device_dirty();
+            out
+        } else {
+            poly.sync();
+            let mut out =
+                RnsPoly::zero_with_repr(self.plan.ring(), to_level, Representation::Coefficient);
+            host_modraise_rows(&self.plan, to_level, poly.flat(), out.flat_mut());
+            out
+        }
+    }
+
+    /// Drop RNS moduli down to `target` level with no scale change — exact
+    /// basis truncation (the dropped rows are simply discarded). Used to
+    /// align ciphertext levels before an add/multiply. Device-resident
+    /// polynomials shrink their logical view in place; nothing crosses the
+    /// bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is 0 or above the current level.
+    pub fn drop_level(&mut self, poly: &mut RnsPoly, target: usize) {
+        assert!(
+            target >= 1 && target <= poly.level(),
+            "invalid drop_level target"
+        );
+        if poly.level() == target {
+            return;
+        }
+        if self.device_target(poly).is_some() {
+            while poly.level() > target {
+                poly.device_truncate_level();
+            }
+        } else {
+            poly.sync();
+            *poly = poly.truncated(target);
         }
     }
 

@@ -92,6 +92,7 @@ pub mod request;
 pub mod server;
 
 pub use batcher::{job_seed, Batcher, EncryptJob};
+pub use he_boot::{BootParams, Bootstrapper};
 pub use loadgen::{ArrivalMode, LoadConfig, LoadReport};
 pub use metrics::{FaultCounts, LatencyHistogram, MetricsSnapshot, TenantSnapshot};
 pub use ntt_core::backend::{BackendError, FaultClass};

@@ -196,6 +196,9 @@ pub struct MetricsSnapshot {
     /// Evaluator-pool members quarantined and re-forked after a
     /// non-transient fault (see `HeContext::quarantined_count`).
     pub quarantined: u64,
+    /// Host/CPU evaluators built by the degraded-dispatch fallback pool
+    /// (its high-water mark; bounded by the worker count).
+    pub fallback_evaluators: u64,
     /// Worker dispatches that panicked and were contained (the jobs'
     /// tickets observe a disconnect; the worker survives).
     pub worker_panics: u64,

@@ -38,6 +38,13 @@ pub enum Request {
         /// The ciphertext to open.
         ct: Ciphertext,
     },
+    /// Bootstrap a level-1 ciphertext back to evaluation depth (requires
+    /// [`ServeConfig::boot`](crate::ServeConfig::boot)). The input must
+    /// be encoded at the bootstrapper's input scale.
+    Boot {
+        /// The exhausted ciphertext to refresh.
+        ct: Ciphertext,
+    },
 }
 
 impl Request {
@@ -47,6 +54,7 @@ impl Request {
             Request::Encrypt { .. } => (0, top_level),
             Request::Eval { ct, .. } => (1, ct.level()),
             Request::Decrypt { ct } => (2, ct.level()),
+            Request::Boot { ct } => (3, ct.level()),
         }
     }
 
@@ -61,6 +69,10 @@ impl Request {
             Request::Eval { .. } => 7,
             // 1 pointwise + 1 inverse.
             Request::Decrypt { .. } => 2,
+            // ~15 rotations (each a transform pair + key switch) plus
+            // the EvalMod multiply chain — an order of magnitude above
+            // any other kind, so the fair queue prices it accordingly.
+            Request::Boot { .. } => 96,
         }
     }
 }
@@ -74,6 +86,8 @@ pub enum Response {
     Evaluated(Ciphertext),
     /// Answer to [`Request::Decrypt`].
     Decrypted(Vec<f64>),
+    /// Answer to [`Request::Boot`].
+    Bootstrapped(Ciphertext),
     /// The job was admitted but could not be completed — every failure
     /// carries a classified [`ServeError`]; the server never answers
     /// with a silently wrong result.

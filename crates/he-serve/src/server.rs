@@ -8,8 +8,10 @@ use crate::batcher::{job_seed, Batcher, EncryptJob};
 use crate::metrics::{FaultCounts, LatencyHistogram, MetricsSnapshot, TenantSnapshot};
 use crate::queue::FairQueue;
 use crate::request::{Completed, Job, Request, Response, ServeError, SubmitError, TenantId};
+use he_boot::{BootParams, Bootstrapper};
 use he_lite::{sampling, Ciphertext, HeContext};
 use ntt_core::backend::{BackendError, CpuBackend, Evaluator, FaultClass, TransferStats};
+use ntt_core::RnsRing;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -83,6 +85,11 @@ pub struct ServeConfig {
     pub deadline: Option<Duration>,
     /// Retry policy for transient device faults.
     pub retry: RetryPolicy,
+    /// When set, the server builds a [`Bootstrapper`] at startup (keys
+    /// and DFT diagonals resident next to the serving keys) and accepts
+    /// [`Request::Boot`] jobs. The context must provide at least
+    /// [`BootParams::min_levels`] levels.
+    pub boot: Option<BootParams>,
 }
 
 impl Default for ServeConfig {
@@ -102,6 +109,7 @@ impl Default for ServeConfig {
                 .and_then(|v| v.parse::<u64>().ok())
                 .map(Duration::from_millis),
             retry: RetryPolicy::default(),
+            boot: None,
         }
     }
 }
@@ -173,19 +181,65 @@ struct JobOutcome {
     executed: bool,
 }
 
+/// A lazily-grown pool of host/CPU evaluators for degraded dispatches.
+///
+/// The pre-pool design held one `Mutex<Option<Evaluator>>`: once the
+/// device wedged, every degraded group serialized on that single
+/// evaluator, collapsing worker concurrency exactly when throughput was
+/// already hurting. Here each checkout pops an idle evaluator (or builds
+/// a fresh one when none is free), so concurrent degraded groups
+/// proceed in parallel; the pool high-water mark is bounded by the
+/// worker count.
+struct FallbackPool {
+    idle: Mutex<Vec<Evaluator>>,
+    /// Evaluators ever built — the pool's high-water mark (reported as
+    /// [`MetricsSnapshot::fallback_evaluators`]).
+    built: AtomicU64,
+}
+
+impl FallbackPool {
+    fn new() -> Self {
+        FallbackPool {
+            idle: Mutex::new(Vec::new()),
+            built: AtomicU64::new(0),
+        }
+    }
+
+    /// Run `f` on a checked-out host evaluator, returning the evaluator
+    /// to the pool afterwards (host evaluators don't fault, so they are
+    /// always safe to reuse).
+    fn run<R>(&self, ring: &RnsRing, f: impl FnOnce(&mut Evaluator) -> R) -> R {
+        let mut ev = lock(&self.idle).pop().unwrap_or_else(|| {
+            self.built.fetch_add(1, Ordering::Relaxed);
+            Evaluator::with_backend(ring, Box::new(CpuBackend::from_env()))
+        });
+        let out = f(&mut ev);
+        lock(&self.idle).push(ev);
+        out
+    }
+
+    fn built(&self) -> u64 {
+        self.built.load(Ordering::Relaxed)
+    }
+}
+
 struct ServerInner {
-    ctx: HeContext,
+    ctx: Arc<HeContext>,
     batcher: Batcher,
+    /// Built at startup when [`ServeConfig::boot`] is set; owns the
+    /// rotation keys and DFT diagonals (shared device memory, not any
+    /// pool member), so they survive evaluator quarantine + re-fork.
+    boot: Option<Bootstrapper>,
     config: ServeConfig,
     queue: Mutex<FairQueue<Job>>,
     work_ready: Condvar,
     seqs: Mutex<HashMap<u32, u64>>,
     metrics: Mutex<MetricsInner>,
     shutdown: AtomicBool,
-    /// Lazily-built host/CPU evaluator groups degrade to when the device
-    /// path fails. Bit-identical to the device path (the backends are
+    /// Host/CPU evaluators groups degrade to when the device path
+    /// fails. Bit-identical to the device path (the backends are
     /// conformant), so degradation is invisible in results.
-    fallback: Mutex<Option<Evaluator>>,
+    fallback: FallbackPool,
     /// Set after a fatal (sticky) device fault; later dispatches skip
     /// the device entirely instead of re-discovering the wedge.
     device_down: AtomicBool,
@@ -205,20 +259,25 @@ impl HeServer {
     /// Generate keys from `config.key_seed` and spawn `config.workers`
     /// serving threads over `ctx`'s evaluator pool.
     pub fn start(ctx: HeContext, config: ServeConfig) -> Self {
+        let ctx = Arc::new(ctx);
         let mut rng = sampling::seeded_rng(config.key_seed);
         let keys = ctx.keygen(&mut rng);
         let batcher = Batcher::new(&keys);
+        let boot = config
+            .boot
+            .map(|bp| Bootstrapper::new(Arc::clone(&ctx), &keys, bp, &mut rng));
         let inner = Arc::new(ServerInner {
             queue: Mutex::new(FairQueue::new(config.queue_capacity, config.quantum)),
             work_ready: Condvar::new(),
             seqs: Mutex::new(HashMap::new()),
             metrics: Mutex::new(MetricsInner::default()),
             shutdown: AtomicBool::new(false),
-            fallback: Mutex::new(None),
+            fallback: FallbackPool::new(),
             device_down: AtomicBool::new(false),
             jitter_salt: AtomicU64::new(0),
             ctx,
             batcher,
+            boot,
             config,
         });
         let workers = (0..inner.config.workers.max(1))
@@ -260,6 +319,19 @@ impl HeServer {
             Request::Eval { ct, .. } if ct.level() < 2 => {
                 return Err(SubmitError::Invalid("no prime left to rescale into"));
             }
+            Request::Boot { ct } => {
+                let Some(boot) = &self.inner.boot else {
+                    return Err(SubmitError::Invalid("server has no bootstrapper"));
+                };
+                if ct.level() != 1 {
+                    return Err(SubmitError::Invalid("bootstrap input must be at level 1"));
+                }
+                if (ct.scale() / boot.input_scale() - 1.0).abs() > 1e-9 {
+                    return Err(SubmitError::Invalid(
+                        "bootstrap input must be encoded at the bootstrapper's input scale",
+                    ));
+                }
+            }
             _ => {}
         }
         let seq = {
@@ -296,6 +368,13 @@ impl HeServer {
     /// The context the server runs on.
     pub fn context(&self) -> &HeContext {
         &self.inner.ctx
+    }
+
+    /// The bootstrapping engine, when [`ServeConfig::boot`] was set —
+    /// callers need it for [`Bootstrapper::input_scale`] when encoding
+    /// [`Request::Boot`] inputs.
+    pub fn bootstrapper(&self) -> Option<&Bootstrapper> {
+        self.inner.boot.as_ref()
     }
 
     /// The configuration the server was started with.
@@ -554,18 +633,33 @@ impl ServerInner {
                     .map(Response::Decrypted)
                     .collect())
             }
+            Request::Boot { .. } => {
+                // Bootstrap drives the context's own evaluator pool (its
+                // rotations each check out an evaluator via the fallible
+                // path), not the group's `ev` — the engine's keys and
+                // diagonals live in shared device memory, so any pool
+                // member can execute against them.
+                let boot = self.boot.as_ref().expect("Boot jobs validated at submit");
+                jobs.iter()
+                    .map(|job| {
+                        let Request::Boot { ct } = &job.request else {
+                            unreachable!("group is homogeneous");
+                        };
+                        boot.try_bootstrap(ct).map(Response::Bootstrapped)
+                    })
+                    .collect()
+            }
         }
     }
 
-    /// Run the group on the lazily-built host/CPU evaluator. Results are
-    /// bit-identical to the device path (backend conformance), so
-    /// degradation never changes an answer.
+    /// Run the group on a checked-out host/CPU evaluator from the
+    /// fallback pool. Results are bit-identical to the device path
+    /// (backend conformance), so degradation never changes an answer —
+    /// and concurrent degraded groups no longer serialize on a single
+    /// evaluator mutex.
     fn run_fallback(&self, jobs: &[Job]) -> Result<Vec<Response>, BackendError> {
-        let mut guard = lock(&self.fallback);
-        let ev = guard.get_or_insert_with(|| {
-            Evaluator::with_backend(self.ctx.ring(), Box::new(CpuBackend::from_env()))
-        });
-        self.run_batch(ev, jobs)
+        self.fallback
+            .run(self.ctx.ring(), |ev| self.run_batch(ev, jobs))
     }
 
     /// Sleep before retry `attempt` (1-based): exponential backoff with
@@ -658,6 +752,7 @@ impl ServerInner {
             deadline_misses: m.deadline_misses,
             cancelled: m.cancelled,
             quarantined: self.ctx.quarantined_count() as u64,
+            fallback_evaluators: self.fallback.built(),
             worker_panics: m.worker_panics,
             ..Default::default()
         };
@@ -687,7 +782,42 @@ impl ServerInner {
 
 #[cfg(test)]
 mod tests {
-    use super::cost_share;
+    use super::{cost_share, FallbackPool};
+
+    /// Four degraded dispatches held concurrently get four distinct
+    /// evaluators — the single-mutex design this pool replaced would
+    /// deadlock here (each thread waits at the barrier while holding
+    /// the one evaluator the others need).
+    #[test]
+    fn fallback_pool_serves_concurrent_checkouts() {
+        let primes = he_lite::HeLiteParams {
+            log_n: 5,
+            prime_bits: 50,
+            levels: 2,
+            scale_bits: 40,
+            gadget_bits: 10,
+            error_eta: 4,
+        };
+        let ring = he_lite::HeContext::new(primes).unwrap().ring().clone();
+        let pool = FallbackPool::new();
+        let barrier = std::sync::Barrier::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (pool, ring, barrier) = (&pool, &ring, &barrier);
+                s.spawn(move || {
+                    pool.run(ring, |ev| {
+                        // All four checkouts must be live at once.
+                        barrier.wait();
+                        assert_eq!(ev.ring().degree(), 32);
+                    })
+                });
+            }
+        });
+        assert_eq!(pool.built(), 4, "each concurrent group got its own");
+        // Idle evaluators are reused, not rebuilt.
+        pool.run(&ring, |_| {});
+        assert_eq!(pool.built(), 4);
+    }
 
     #[test]
     fn transfer_attribution_is_cost_weighted() {

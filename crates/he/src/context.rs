@@ -33,7 +33,7 @@
 //!   (decrypt/decode, [`Ciphertext::sync`]).
 
 use crate::ciphertext::{Ciphertext, Plaintext};
-use crate::keys::{KeySet, PublicKey, RelinEntry, RelinKeys, SecretKey};
+use crate::keys::{KeySet, PublicKey, RelinEntry, RelinKeys, RotationKeys, SecretKey};
 use crate::params::HeLiteParams;
 use crate::sampling;
 use ntt_core::backend::{
@@ -266,10 +266,20 @@ impl HeContext {
         &self,
         f: impl FnOnce(&mut Evaluator) -> Result<R, BackendError>,
     ) -> Result<R, BackendError> {
+        self.try_with_state(|st| f(&mut st.ev))
+    }
+
+    /// [`HeContext::try_with_pooled_evaluator`] over the full pool state
+    /// (evaluator + key-switch scratch) — the internal shape fallible
+    /// scheme operations like [`HeContext::try_rotate`] run on.
+    fn try_with_state<R>(
+        &self,
+        f: impl FnOnce(&mut EvalState) -> Result<R, BackendError>,
+    ) -> Result<R, BackendError> {
         let mut st = lock(&self.pool.idle)
             .pop()
             .unwrap_or_else(|| self.new_state());
-        let r = f(&mut st.ev);
+        let r = f(&mut st);
         match &r {
             Err(e) if !e.is_transient() && e.class() != FaultClass::Deadline => {
                 drop(st);
@@ -424,6 +434,379 @@ impl HeContext {
             public: PublicKey { b, a },
             relin: RelinKeys { entries },
         }
+    }
+
+    /// Generate rotation (Galois) keys for the elements `gs` at the
+    /// requested `levels` — sparse on both axes, since a bootstrap
+    /// pipeline only rotates at a couple of known levels. Each entry
+    /// encrypts `B^d · g_j · τ_g(s)` under `s` with the same hoisting-
+    /// friendly digit layout as relinearization, so
+    /// [`HeContext::rotate`] reuses the key-switch machinery (including
+    /// the device-resident fast path) unchanged.
+    ///
+    /// Like [`HeContext::keygen`], key material is computed host-side
+    /// (identical bits on every backend) and then uploaded once on
+    /// residency-preferring backends: rotation keys never cross the bus
+    /// again, which is what makes repeated `bootstrap()` calls
+    /// transfer-free in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `g` is even or a level is out of range.
+    pub fn keygen_rotation<R: Rng + RngExt>(
+        &self,
+        sk: &SecretKey,
+        gs: &[u64],
+        levels: &[usize],
+        rng: &mut R,
+    ) -> RotationKeys {
+        let two_n = 2 * self.params.n() as u64;
+        let full = self.params.levels;
+        let mut keys = self.with_eval(|st| {
+            let ev = &mut st.ev;
+            let ring = &self.ring;
+            let eta = self.params.error_eta;
+            let digits = self.params.gadget_digits();
+            let w = self.params.gadget_bits;
+            // Host-only copy of the secret (the device-resident original
+            // stays untouched); all key math below runs host-side.
+            let s = sk.s_eval.truncated(full);
+            let mut by_g = std::collections::BTreeMap::new();
+            for &g_raw in gs {
+                let g = g_raw % two_n;
+                assert_eq!(g % 2, 1, "Galois element must be odd");
+                let mut s_g = s.clone();
+                ev.to_coefficient(&mut s_g);
+                ev.automorphism(&mut s_g, g);
+                ev.to_evaluation(&mut s_g);
+                let mut per_level = std::collections::BTreeMap::new();
+                for &level in levels {
+                    assert!(level >= 1 && level <= full, "level out of range");
+                    let s_l = s.truncated(level);
+                    let sg_l = s_g.truncated(level);
+                    let mut per_j = Vec::with_capacity(level);
+                    for j in 0..level {
+                        let mut per_d = Vec::with_capacity(digits);
+                        for d in 0..digits {
+                            let residues: Vec<u64> = self.gadget[level - 1][j]
+                                .iter()
+                                .zip(&ring.basis().primes()[..level])
+                                .map(|(&gc, &p)| {
+                                    let b_pow = ntt_math::pow_mod(2, u64::from(w) * d as u64, p);
+                                    ntt_math::mul_mod(gc % p, b_pow, p)
+                                })
+                                .collect();
+                            let mut a_jd = sampling::uniform_poly(ring, rng).truncated(level);
+                            ev.to_evaluation(&mut a_jd);
+                            let mut e_jd = sampling::error_poly(ring, eta, rng).truncated(level);
+                            ev.to_evaluation(&mut e_jd);
+                            // b = -(a s) + e + g_{j,d} τ_g(s).
+                            let mut b_jd = a_jd.clone();
+                            ev.mul_pointwise(&mut b_jd, &s_l);
+                            b_jd.negate(ring);
+                            b_jd.add_assign(&e_jd, ring);
+                            let mut gsg = sg_l.clone();
+                            gsg.mul_scalar_residues(&residues, ring);
+                            b_jd.add_assign(&gsg, ring);
+                            per_d.push(RelinEntry { b: b_jd, a: a_jd });
+                        }
+                        per_j.push(per_d);
+                    }
+                    per_level.insert(level, per_j);
+                }
+                by_g.insert(g, per_level);
+            }
+            RotationKeys { by_g }
+        });
+        if self.resident {
+            self.with_eval(|st| {
+                let ev = &mut st.ev;
+                for per_level in keys.by_g.values_mut() {
+                    for per_j in per_level.values_mut() {
+                        for per_d in per_j {
+                            for entry in per_d {
+                                ev.make_resident(&mut entry.b);
+                                ev.make_resident(&mut entry.a);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        keys
+    }
+
+    /// Apply the Galois automorphism `X → X^g` homomorphically: both
+    /// components are permuted, then the `c1` half is key-switched from
+    /// `τ_g(s)` back to `s` with the `(g, level)` rotation key. Scale and
+    /// level are unchanged; on the canonical embedding this rotates the
+    /// slot vector (and `g = 2N − 1` conjugates it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rotation key was generated for `(g, level)`.
+    pub fn rotate(&self, ct: &Ciphertext, g: u64, rtk: &RotationKeys) -> Ciphertext {
+        let level = ct.level();
+        let g = g % (2 * self.params.n() as u64);
+        let entries = rtk
+            .entries_for(g, level)
+            .unwrap_or_else(|| panic!("no rotation key for (g={g}, level={level})"));
+        self.with_eval(|st| {
+            let mut c0 = ct.c0.clone();
+            let mut c1 = ct.c1.clone();
+            st.ev.to_coefficient(&mut c0);
+            st.ev.to_coefficient(&mut c1);
+            st.ev.automorphism(&mut c0, g);
+            st.ev.automorphism(&mut c1, g);
+            // key_switch_with takes its input in coefficient form (its
+            // internal inverse transform is a no-op here).
+            let (r0, r1) = self.key_switch_with(st, &c1, entries, level);
+            st.ev.to_evaluation(&mut c0);
+            st.ev.add_assign(&mut c0, &r0);
+            Ciphertext {
+                c0,
+                c1: r1,
+                scale: ct.scale,
+            }
+        })
+    }
+
+    /// Fallible [`HeContext::rotate`] with PR 7's typed-error contract:
+    /// the fault-gated transform/automorphism steps run through `try_*`
+    /// variants, errors classify into transient/fatal/OOM, and a
+    /// non-transient fault quarantines the pool member (rotation keys are
+    /// context-owned, so they survive quarantine + re-fork untouched).
+    ///
+    /// # Errors
+    ///
+    /// Any [`BackendError`] from the underlying evaluator ops.
+    pub fn try_rotate(
+        &self,
+        ct: &Ciphertext,
+        g: u64,
+        rtk: &RotationKeys,
+    ) -> Result<Ciphertext, BackendError> {
+        let level = ct.level();
+        let g = g % (2 * self.params.n() as u64);
+        let entries = rtk
+            .entries_for(g, level)
+            .unwrap_or_else(|| panic!("no rotation key for (g={g}, level={level})"));
+        self.try_with_state(|st| {
+            let mut c0 = ct.c0.clone();
+            let mut c1 = ct.c1.clone();
+            st.ev.try_to_coefficient(&mut c0)?;
+            st.ev.try_to_coefficient(&mut c1)?;
+            st.ev.try_automorphism(&mut c0, g)?;
+            st.ev.try_automorphism(&mut c1, g)?;
+            let (r0, r1) = self.key_switch_with(st, &c1, entries, level);
+            st.ev.try_to_evaluation(&mut c0)?;
+            st.ev.add_assign(&mut c0, &r0);
+            Ok(Ciphertext {
+                c0,
+                c1: r1,
+                scale: ct.scale,
+            })
+        })
+    }
+
+    /// Mod-raise: re-embed a level-1 ciphertext into the first `to_level`
+    /// primes by a centered lift mod `p₀` — the bootstrapping entry
+    /// point. The plaintext underneath becomes `m + q₀·I` for a small
+    /// integer polynomial `I`; the subsequent homomorphic mod-reduction
+    /// (`EvalMod`) removes the `q₀·I` term. Scale is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the ciphertext is at level 1 and `to_level` is in
+    /// range.
+    pub fn mod_raise(&self, ct: &Ciphertext, to_level: usize) -> Ciphertext {
+        assert_eq!(ct.level(), 1, "mod_raise input must be at level 1");
+        assert!(to_level <= self.params.levels, "level out of range");
+        self.with_eval(|st| {
+            let ev = &mut st.ev;
+            let mut c0 = ct.c0.clone();
+            let mut c1 = ct.c1.clone();
+            ev.inverse_polys(&mut [&mut c0, &mut c1]);
+            let mut r0 = ev.mod_raise(&mut c0, to_level);
+            let mut r1 = ev.mod_raise(&mut c1, to_level);
+            ev.forward_polys(&mut [&mut r0, &mut r1]);
+            Ciphertext {
+                c0: r0,
+                c1: r1,
+                scale: ct.scale,
+            }
+        })
+    }
+
+    /// Drop RNS moduli down to `target` level with no scale change (exact
+    /// basis truncation) — aligns operand levels before an add/multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is 0 or above the current level.
+    pub fn drop_to_level(&self, ct: &Ciphertext, target: usize) -> Ciphertext {
+        self.with_eval(|st| {
+            let ev = &mut st.ev;
+            let mut c0 = ct.c0.clone();
+            let mut c1 = ct.c1.clone();
+            ev.drop_level(&mut c0, target);
+            ev.drop_level(&mut c1, target);
+            Ciphertext {
+                c0,
+                c1,
+                scale: ct.scale,
+            }
+        })
+    }
+
+    /// Encode real values at an explicit scale (instead of the parameter
+    /// default) — scale bookkeeping for pipelines like `EvalMod` that
+    /// add plaintext constants to ciphertexts at drifted scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `N` values are supplied or any scaled value
+    /// overflows the 63-bit signed range.
+    pub fn encode_with_scale(&self, values: &[f64], scale: f64) -> Plaintext {
+        assert!(values.len() <= self.params.n(), "too many values");
+        let coeffs: Vec<i64> = values
+            .iter()
+            .map(|&v| {
+                let scaled = (v * scale).round();
+                assert!(
+                    scaled.abs() < (1i64 << 62) as f64,
+                    "encoded value overflows"
+                );
+                scaled as i64
+            })
+            .collect();
+        Plaintext {
+            m: RnsPoly::from_i64_coeffs(&self.ring, &coeffs),
+            scale,
+        }
+    }
+
+    /// Truncate a plaintext to `level`, upload it (on residency-preferring
+    /// backends) and forward-transform it once — the cached-diagonal form
+    /// the homomorphic DFT stages multiply by repeatedly. A prepared
+    /// plaintext passed to [`HeContext::multiply_plain_raw`] or
+    /// [`HeContext::add_plain`] at its level is used as-is: no per-call
+    /// truncation, upload, or NTT.
+    pub fn prepare_plaintext(&self, pt: &Plaintext, level: usize) -> Plaintext {
+        let mut m = pt.m.truncated(level);
+        self.with_eval(|st| {
+            if self.resident {
+                st.ev.make_resident(&mut m);
+            }
+            st.ev.to_evaluation(&mut m);
+        });
+        Plaintext { m, scale: pt.scale }
+    }
+
+    /// Plaintext multiplication **without** the trailing rescale: the
+    /// product keeps the ciphertext's level and multiplies the scales.
+    /// The baby-step/giant-step DFT stages sum many of these at one scale
+    /// and rescale once — one level per stage instead of one per term.
+    pub fn multiply_plain_raw(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let level = ct.level();
+        self.with_eval(|st| {
+            let ev = &mut st.ev;
+            let prepared;
+            let m: &RnsPoly = if pt.m.level() == level && pt.m.repr() == Representation::Evaluation
+            {
+                &pt.m
+            } else {
+                let mut m = pt.m.truncated(level);
+                if self.resident {
+                    ev.make_resident(&mut m);
+                }
+                ev.to_evaluation(&mut m);
+                prepared = m;
+                &prepared
+            };
+            let mut c0 = ct.c0.clone();
+            ev.mul_pointwise(&mut c0, m);
+            let mut c1 = ct.c1.clone();
+            ev.mul_pointwise(&mut c1, m);
+            Ciphertext {
+                c0,
+                c1,
+                scale: ct.scale * pt.scale,
+            }
+        })
+    }
+
+    /// Add a plaintext to a ciphertext (only the `c0` component moves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scales are incompatible (encode the constant at
+    /// exactly `ct.scale()` — see [`HeContext::encode_with_scale`]).
+    pub fn add_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        assert!(
+            (ct.scale / pt.scale - 1.0).abs() < 1e-9,
+            "scale mismatch: {} vs {}",
+            ct.scale,
+            pt.scale
+        );
+        let level = ct.level();
+        self.with_eval(|st| {
+            let ev = &mut st.ev;
+            let prepared;
+            let m: &RnsPoly = if pt.m.level() == level && pt.m.repr() == Representation::Evaluation
+            {
+                &pt.m
+            } else {
+                let mut m = pt.m.truncated(level);
+                if self.resident {
+                    ev.make_resident(&mut m);
+                }
+                ev.to_evaluation(&mut m);
+                prepared = m;
+                &prepared
+            };
+            let mut c0 = ct.c0.clone();
+            ev.add_assign(&mut c0, m);
+            Ciphertext {
+                c0,
+                c1: ct.c1.clone(),
+                scale: ct.scale,
+            }
+        })
+    }
+
+    /// Add the real constant `v` to every slot (encoded at exactly the
+    /// ciphertext's scale, so no scale adjustment is needed).
+    pub fn add_const(&self, ct: &Ciphertext, v: f64) -> Ciphertext {
+        self.add_plain(ct, &self.encode_with_scale(&[v], ct.scale))
+    }
+
+    /// Homomorphic negation.
+    pub fn negate(&self, ct: &Ciphertext) -> Ciphertext {
+        self.with_eval(|st| {
+            let ev = &mut st.ev;
+            let mut c0 = ct.c0.clone();
+            ev.negate(&mut c0);
+            let mut c1 = ct.c1.clone();
+            ev.negate(&mut c1);
+            Ciphertext {
+                c0,
+                c1,
+                scale: ct.scale,
+            }
+        })
+    }
+
+    /// Rescale in place: divide by the last active prime and drop it —
+    /// the public form of the rescale every `multiply` already performs,
+    /// for pipelines that defer it across a sum of raw plain-products.
+    ///
+    /// # Panics
+    ///
+    /// Panics at level 1 (no prime left to drop).
+    pub fn rescale(&self, ct: &mut Ciphertext) {
+        assert!(ct.level() >= 2, "no prime left to rescale into");
+        self.with_eval(|st| self.rescale_in_place(&mut st.ev, ct));
     }
 
     /// Encode real values as scaled integer coefficients
@@ -666,6 +1049,20 @@ impl HeContext {
         rk: &RelinKeys,
         level: usize,
     ) -> (RnsPoly, RnsPoly) {
+        self.key_switch_with(st, e2, &rk.entries[level - 1], level)
+    }
+
+    /// The generic gadget key switch: same digit decomposition and
+    /// accumulation as relinearization, but over an arbitrary `entries[j][d]`
+    /// key set — relinearization passes `B^d·g_j·s²` encryptions, rotation
+    /// passes `B^d·g_j·τ_g(s)` encryptions ([`crate::keys::RotationKeys`]).
+    fn key_switch_with(
+        &self,
+        st: &mut EvalState,
+        e2: &RnsPoly,
+        entries: &[Vec<RelinEntry>],
+        level: usize,
+    ) -> (RnsPoly, RnsPoly) {
         let ring = &self.ring;
         let digits = self.params.gadget_digits();
         let w = self.params.gadget_bits;
@@ -676,6 +1073,14 @@ impl HeContext {
             ks_scratch: buf,
         } = st;
         let mut e2c = e2.clone();
+        // On a residency-preferring backend the key entries live on the
+        // device, so a host-submitted operand must be uploaded first: the
+        // packed host path below would otherwise mix a device-side
+        // `mul_pointwise` (the resident key wins the dispatch) with raw
+        // host accumulation on the same polynomial.
+        if ev.prefers_residency() {
+            ev.make_resident(&mut e2c);
+        }
         ev.to_coefficient(&mut e2c);
 
         // Device-resident fast path: decompose on the device, forward-NTT
@@ -687,11 +1092,10 @@ impl HeContext {
         if let Some(digit_buf) = ev.decompose_resident(&e2c, digits, w) {
             let mut acc0 = ev.zero_resident(level, Representation::Evaluation);
             let mut acc1 = ev.zero_resident(level, Representation::Evaluation);
-            for j in 0..level {
-                for d in 0..digits {
+            for (j, row) in entries.iter().enumerate().take(level) {
+                for (d, entry) in row.iter().enumerate().take(digits) {
                     let k = j * digits + d;
                     let digit = digit_buf.sub(k * level * n, level * n);
-                    let entry = &rk.entries[level - 1][j][d];
                     ev.fma_resident(&mut acc0, digit, &entry.b);
                     ev.fma_resident(&mut acc1, digit, &entry.a);
                 }
@@ -738,7 +1142,7 @@ impl HeContext {
         let mut prod = RnsPoly::zero_with_repr(ring, level, Representation::Evaluation);
         for (k, &(j, d)) in kept.iter().enumerate() {
             let rows = &buf[k * level * n..(k + 1) * level * n];
-            let entry = &rk.entries[level - 1][j][d];
+            let entry = &entries[j][d];
             prod.flat_mut().copy_from_slice(rows);
             ev.mul_pointwise(&mut prod, &entry.b);
             acc0.add_assign(&prod, ring);
@@ -876,6 +1280,60 @@ mod tests {
         assert_eq!(abc.level(), 1);
         let out = ctx.decode(&ctx.decrypt(&abc, &keys.secret));
         assert!((out[0] - 6.0).abs() < 0.1, "got {}", out[0]);
+    }
+
+    #[test]
+    fn rotation_applies_automorphism_to_plaintext() {
+        let (ctx, keys) = ctx();
+        let mut rng = seeded_rng(8);
+        let values = [1.0, 2.0, 3.0, 4.0];
+        let ct = ctx.encrypt(&ctx.encode(&values), &keys.public, &mut rng);
+        let n = ctx.params().n();
+        for g in [5u64, 25, 2 * n as u64 - 1] {
+            let rtk = ctx.keygen_rotation(&keys.secret, &[g], &[ct.level()], &mut rng);
+            let rot = ctx.rotate(&ct, g, &rtk);
+            assert_eq!(rot.level(), ct.level());
+            let out = ctx.decode(&ctx.decrypt(&rot, &keys.secret));
+            // Oracle: apply X → X^g to the encoded coefficients directly.
+            let mut expected = vec![0.0; n];
+            for (i, &v) in values.iter().enumerate() {
+                let idx = ((i as u64 * g) % (2 * n as u64)) as usize;
+                if idx < n {
+                    expected[idx] += v;
+                } else {
+                    expected[idx - n] -= v;
+                }
+            }
+            for (i, &e) in expected.iter().enumerate() {
+                assert!(
+                    (out[i] - e).abs() < 1e-2,
+                    "g={g} coeff {i}: {} vs {e}",
+                    out[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mod_raise_preserves_message_mod_q0() {
+        let (ctx, keys) = ctx();
+        let mut rng = seeded_rng(9);
+        let values = [0.5, -1.25, 2.0];
+        let ct = ctx.encrypt(&ctx.encode(&values), &keys.public, &mut rng);
+        let low = ctx.drop_to_level(&ct, 1);
+        let raised = ctx.mod_raise(&low, ctx.params().levels);
+        assert_eq!(raised.level(), ctx.params().levels);
+        // Decrypting the raised ciphertext gives m + q0·I; the small
+        // coefficients we encoded carry no I term, so they come back
+        // exactly (the q0·I part only shows up when coefficients are
+        // near q0/2 — i.e. the secret-key wrap terms EvalMod removes).
+        let out = ctx.decode(&ctx.decrypt(&raised, &keys.secret));
+        for (i, &v) in values.iter().enumerate() {
+            let dist = (out[i] - v).abs();
+            let q0 = ctx.ring().basis().primes()[0] as f64 / ctx.params().scale();
+            let wrapped = (dist % q0).min(q0 - dist % q0);
+            assert!(wrapped < 1e-2, "coeff {i}: {} vs {v}", out[i]);
+        }
     }
 
     #[test]

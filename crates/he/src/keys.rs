@@ -6,6 +6,7 @@
 //! crosses the bus again.
 
 use ntt_core::poly::RnsPoly;
+use std::collections::BTreeMap;
 
 /// The ternary secret `s`, kept in evaluation form at full level (with a
 /// coefficient-form copy for diagnostics).
@@ -74,6 +75,49 @@ impl RelinKeys {
             .iter()
             .map(|l| l.iter().map(Vec::len).sum::<usize>())
             .sum()
+    }
+}
+
+/// Rotation (Galois) keys: for each Galois element `g`, key-switch
+/// material turning a `τ_g(s)`-ciphertext back into an `s`-ciphertext.
+///
+/// Storage is sparse on both axes: only the requested `g` values and only
+/// the requested levels are generated (a bootstrap pipeline rotates at two
+/// or three known levels, not all of them), so rotation-key memory is
+/// `O(|gs| · |levels| · digits)` instead of `O(|gs| · levels²· digits)`.
+/// Each per-level entry set has the same `entries[j][d]` hoisting-friendly
+/// digit layout as [`RelinKeys`] — an encryption of `B^d · g_j · τ_g(s)`
+/// — so rotations reuse the relinearization key-switch path (including
+/// the device-resident decompose + FMA fast path) unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct RotationKeys {
+    /// `by_g[g][level][j][d]`; `g` stored reduced mod `2N`.
+    pub(crate) by_g: BTreeMap<u64, BTreeMap<usize, Vec<Vec<RelinEntry>>>>,
+}
+
+impl RotationKeys {
+    /// The Galois elements covered (reduced mod `2N`, sorted).
+    pub fn galois_elements(&self) -> Vec<u64> {
+        self.by_g.keys().copied().collect()
+    }
+
+    /// Whether key material exists for `(g, level)`.
+    pub fn contains(&self, g: u64, level: usize) -> bool {
+        self.by_g.get(&g).is_some_and(|m| m.contains_key(&level))
+    }
+
+    /// Total key-material entries (each is a pair of RNS polynomials).
+    pub fn entry_count(&self) -> usize {
+        self.by_g
+            .values()
+            .flat_map(BTreeMap::values)
+            .map(|per_j| per_j.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// The `entries[j][d]` set for `(g, level)`, if generated.
+    pub(crate) fn entries_for(&self, g: u64, level: usize) -> Option<&Vec<Vec<RelinEntry>>> {
+        self.by_g.get(&g)?.get(&level)
     }
 }
 

@@ -11,14 +11,19 @@
 //! * homomorphic add / subtract / multiply;
 //! * relinearization with hybrid RNS ⊗ digit gadget decomposition;
 //! * CKKS-style rescaling (drop the last prime, divide the scale);
-//! * fixed-point *coefficient* encoding of real vectors.
+//! * fixed-point *coefficient* encoding of real vectors;
+//! * Galois rotations ([`HeContext::rotate`], backed by
+//!   [`keys::RotationKeys`]) and mod-raise — the primitives the
+//!   `he-boot` crate composes into the full bootstrapping pipeline
+//!   (CoeffToSlot → EvalMod → SlotToCoeff).
 //!
 //! Scope notes (documented simplifications vs a production CKKS):
-//! encoding is per-coefficient (no canonical-embedding slots, so
-//! multiplication is negacyclic convolution of the encoded vectors, not
-//! element-wise), there is no bootstrapping, and security parameters are
-//! demo-sized. The arithmetic and the NTT workload shape are the real
-//! thing.
+//! encoding is per-coefficient (no canonical-embedding slots baked into
+//! encode/decode — the slot view lives in `he-boot`'s homomorphic DFT,
+//! where multiplication *is* element-wise), and security parameters are
+//! demo-sized. Bootstrapping exists as a separate crate (`he-boot`)
+//! built entirely from this crate's public surface. The arithmetic and
+//! the NTT workload shape are the real thing.
 //!
 //! # Example
 //!
@@ -50,5 +55,5 @@ pub mod sampling;
 
 pub use ciphertext::{Ciphertext, Plaintext};
 pub use context::{HeContext, HeError};
-pub use keys::{KeySet, PublicKey, RelinKeys, SecretKey};
+pub use keys::{KeySet, PublicKey, RelinKeys, RotationKeys, SecretKey};
 pub use params::HeLiteParams;

@@ -630,6 +630,125 @@ impl WarpKernel for DecomposeKernel {
     }
 }
 
+/// Device-side Galois automorphism `X → X^g` (index map per
+/// `ntt_core::backend::NttBackend::dev_automorphism`): one thread per
+/// *input* element — a coalesced read, a scattered sign-wrapped write —
+/// the same shape a real permutation kernel takes.
+struct AutomorphismKernel<'a> {
+    src: Buf,
+    dst: Buf,
+    n: usize,
+    rows: usize,
+    /// Galois element already reduced mod `2N`.
+    g: u64,
+    row_prime: &'a [usize],
+    moduli: &'a [u64],
+}
+
+impl WarpKernel for AutomorphismKernel<'_> {
+    fn phases(&self) -> usize {
+        1
+    }
+
+    fn run_warp(&self, ctx: &mut WarpCtx<'_>) {
+        let total = self.rows * self.n;
+        let two_n = 2 * self.n as u64;
+        let lanes = ctx.lanes();
+        let mut addr_s = vec![None; lanes];
+        let mut addr_d = vec![0usize; lanes];
+        let mut wrap = vec![false; lanes];
+        let mut prime = vec![0usize; lanes];
+        let mut active = 0u64;
+        for l in 0..lanes {
+            let gt = ctx.global_thread(l);
+            if gt >= total {
+                continue;
+            }
+            active += 1;
+            let (r, i) = (gt / self.n, gt % self.n);
+            prime[l] = self.row_prime[r];
+            let idx = (i as u64 * self.g) % two_n;
+            wrap[l] = idx >= self.n as u64;
+            let t = if wrap[l] {
+                idx as usize - self.n
+            } else {
+                idx as usize
+            };
+            addr_s[l] = Some(self.src.word(gt));
+            addr_d[l] = self.dst.word(r * self.n + t);
+        }
+        if active == 0 {
+            return;
+        }
+        let vals = ctx.gmem_load(&addr_s);
+        let writes: Vec<Option<(usize, u64)>> = (0..lanes)
+            .map(|l| {
+                let v = vals[l]?;
+                let p = self.moduli[prime[l]];
+                Some((addr_d[l], if wrap[l] { neg_mod(v, p) } else { v }))
+            })
+            .collect();
+        ctx.count_op(OpClass::ModAddSub, active);
+        ctx.gmem_store(&writes);
+    }
+}
+
+/// Device-side mod-raise (centered lift per
+/// `ntt_core::backend::NttBackend::dev_modraise`): one thread per *output*
+/// element; each of the `to_level` rows re-reads the same `N` source words,
+/// so the read goes through the cached path like the decompose kernel's
+/// replicated rows.
+struct ModRaiseKernel<'a> {
+    src: Buf,
+    dst: Buf,
+    n: usize,
+    to_level: usize,
+    p0: u64,
+    moduli: &'a [u64],
+}
+
+impl WarpKernel for ModRaiseKernel<'_> {
+    fn phases(&self) -> usize {
+        1
+    }
+
+    fn run_warp(&self, ctx: &mut WarpCtx<'_>) {
+        let total = self.to_level * self.n;
+        let half = self.p0 >> 1;
+        let lanes = ctx.lanes();
+        let mut addr_s = vec![None; lanes];
+        let mut prime = vec![0usize; lanes];
+        let mut active = 0u64;
+        for l in 0..lanes {
+            let gt = ctx.global_thread(l);
+            if gt >= total {
+                continue;
+            }
+            active += 1;
+            prime[l] = gt / self.n;
+            addr_s[l] = Some(self.src.word(gt % self.n));
+        }
+        if active == 0 {
+            return;
+        }
+        let vals = ctx.gmem_load_cached(&addr_s);
+        let writes: Vec<Option<(usize, u64)>> = (0..lanes)
+            .map(|l| {
+                let v = vals[l]?;
+                let p = self.moduli[prime[l]];
+                let lifted = if v <= half {
+                    v % p
+                } else {
+                    neg_mod((self.p0 - v) % p, p)
+                };
+                Some((self.dst.word(ctx.global_thread(l)), lifted))
+            })
+            .collect();
+        ctx.count_op(OpClass::Generic, active);
+        ctx.gmem_store(&writes);
+    }
+}
+
 /// Upload (or reuse) the plan's twiddle tables into shared device state.
 /// Tables are keyed on `(N, primes)`; a plan over the same ring never
 /// re-uploads (table uploads are the counted, one-time part of a resident
@@ -1374,6 +1493,66 @@ impl NttBackend for SimBackend {
         m.mark_written(&roots[1..]);
     }
 
+    fn dev_automorphism(
+        &mut self,
+        plan: &RingPlan,
+        src: DeviceBuf,
+        dst: DeviceBuf,
+        level: usize,
+        g: u64,
+    ) {
+        let n = plan.degree();
+        let rows = src.len() / n;
+        assert_eq!(src.len(), dst.len(), "operand shape mismatch");
+        let g = g % (2 * n as u64);
+        assert_eq!(g % 2, 1, "Galois element must be odd");
+        let row_prime: Vec<usize> = (0..rows).map(|r| r % level).collect();
+        let moduli = plan.ring().basis().primes().to_vec();
+        let mut m = lock_mem(&self.mem);
+        m.bind(self.stream);
+        ensure_tables(&mut m, plan);
+        let kernel = AutomorphismKernel {
+            src: m.resolve(src),
+            dst: m.resolve(dst),
+            n,
+            rows,
+            g,
+            row_prime: &row_prime,
+            moduli: &moduli,
+        };
+        let roots = [m.root_base(src), m.root_base(dst)];
+        m.wait_ready(&roots);
+        let blocks = (rows * n).div_ceil(THREADS);
+        let cfg = LaunchConfig::new("sim-automorphism", blocks, THREADS).regs_per_thread(40);
+        m.gpu.launch(&kernel, &cfg);
+        m.mark_written(&roots[1..]);
+    }
+
+    fn dev_modraise(&mut self, plan: &RingPlan, src: DeviceBuf, dst: DeviceBuf, to_level: usize) {
+        let n = plan.degree();
+        assert_eq!(src.len(), n, "mod-raise source must be one level-1 row");
+        assert_eq!(dst.len(), to_level * n, "mod-raise destination shape");
+        let moduli = plan.ring().basis().primes().to_vec();
+        let p0 = moduli[0];
+        let mut m = lock_mem(&self.mem);
+        m.bind(self.stream);
+        ensure_tables(&mut m, plan);
+        let kernel = ModRaiseKernel {
+            src: m.resolve(src),
+            dst: m.resolve(dst),
+            n,
+            to_level,
+            p0,
+            moduli: &moduli,
+        };
+        let roots = [m.root_base(src), m.root_base(dst)];
+        m.wait_ready(&roots);
+        let blocks = (to_level * n).div_ceil(THREADS);
+        let cfg = LaunchConfig::new("sim-modraise", blocks, THREADS).regs_per_thread(40);
+        m.gpu.launch(&kernel, &cfg);
+        m.mark_written(&roots[1..]);
+    }
+
     // ---- Fallible surface: gate-then-delegate (see the fault-gate
     // helpers on `SimBackend` for the granularity contract). ------------
 
@@ -1509,6 +1688,33 @@ impl NttBackend for SimBackend {
         self.check_handles("dev_decompose", &[src, dst])?;
         self.gate_launch("dev_decompose")?;
         self.dev_decompose(plan, src, dst, level, digits, gadget_bits);
+        Ok(())
+    }
+
+    fn try_dev_automorphism(
+        &mut self,
+        plan: &RingPlan,
+        src: DeviceBuf,
+        dst: DeviceBuf,
+        level: usize,
+        g: u64,
+    ) -> Result<(), BackendError> {
+        self.check_handles("dev_automorphism", &[src, dst])?;
+        self.gate_launch("dev_automorphism")?;
+        self.dev_automorphism(plan, src, dst, level, g);
+        Ok(())
+    }
+
+    fn try_dev_modraise(
+        &mut self,
+        plan: &RingPlan,
+        src: DeviceBuf,
+        dst: DeviceBuf,
+        to_level: usize,
+    ) -> Result<(), BackendError> {
+        self.check_handles("dev_modraise", &[src, dst])?;
+        self.gate_launch("dev_modraise")?;
+        self.dev_modraise(plan, src, dst, to_level);
         Ok(())
     }
 }
@@ -1717,6 +1923,58 @@ mod tests {
         );
         sa.sync();
         assert_eq!(sa, ca);
+    }
+
+    #[test]
+    fn resident_automorphism_matches_host() {
+        let ring = ring(32, 3);
+        for g in [1u64, 3, 5, 63, 2 * 32 - 1] {
+            let x = sample(&ring, 27);
+            let mut cpu_ev = Evaluator::cpu(&ring);
+            let mut host = x.clone();
+            cpu_ev.automorphism(&mut host, g);
+            let mut ev = Evaluator::with_backend(&ring, Box::new(SimBackend::titan_v()));
+            let mut dev = x.clone();
+            ev.make_resident(&mut dev);
+            // Warm-up: uploads the plan tables (the one-time part of the
+            // "initial upload") before the steady-state window opens.
+            ev.automorphism(&mut dev, 1);
+            let before = ev.transfer_stats();
+            ev.automorphism(&mut dev, g);
+            assert_eq!(
+                ev.transfer_stats().since(&before).host_transfers(),
+                0,
+                "resident automorphism crosses the bus (g={g})"
+            );
+            dev.sync();
+            assert_eq!(dev, host, "g={g}");
+        }
+    }
+
+    #[test]
+    fn resident_modraise_matches_host() {
+        let ring = ring(32, 4);
+        let x = sample(&ring, 41);
+        let mut cpu_ev = Evaluator::cpu(&ring);
+        let mut low = x.clone();
+        cpu_ev.drop_level(&mut low, 1);
+        let mut host_low = low.clone();
+        let host = cpu_ev.mod_raise(&mut host_low, 4);
+
+        let mut ev = Evaluator::with_backend(&ring, Box::new(SimBackend::titan_v()));
+        let mut dev_low = low.clone();
+        ev.make_resident(&mut dev_low);
+        // Warm-up launch uploads the plan tables before the window opens.
+        ev.automorphism(&mut dev_low, 1);
+        let before = ev.transfer_stats();
+        let mut dev = ev.mod_raise(&mut dev_low, 4);
+        assert_eq!(
+            ev.transfer_stats().since(&before).host_transfers(),
+            0,
+            "resident mod-raise crosses the bus"
+        );
+        dev.sync();
+        assert_eq!(dev, host);
     }
 
     #[test]

@@ -27,7 +27,12 @@
 #   * the fault-injection plane is free when no fault fires: the same
 #     jobs through the fallible serve pipelines with a zero-rate
 #     FaultPlan armed stay within 5% modeled device time of the
-#     disarmed run (armed_zero <= 1.05 * off).
+#     disarmed run (armed_zero <= 1.05 * off);
+#   * the title workload holds its shape: in one steady-state CKKS-style
+#     bootstrap on SimBackend, NTT + key-switch kernels carry >= 60% of
+#     the modeled device time (total <= 1.6667 * ntt_keyswitch), and the
+#     bootstrap crosses the bus zero times (steady_transfers_plus_one
+#     <= 1.0 * unit).
 #
 # Usage:
 #   scripts/bench_smoke.sh                  # within-run ratio gates (CI)
@@ -66,5 +71,7 @@ else
         --gate "he_lite_sim_n256_l3/steady_transfers_plus_one<=1.0*he_lite_sim_n256_l3/unit" \
         --gate "sim_streams_4ev/overlapped_device_time<=0.77*sim_streams_4ev/serialized_device_time" \
         --gate "he_serve_sim/batched_device_time<=0.667*he_serve_sim/unbatched_device_time" \
-        --gate "he_serve_sim/fault_plane_armed_zero_device_time<=1.05*he_serve_sim/fault_plane_off_device_time"
+        --gate "he_serve_sim/fault_plane_armed_zero_device_time<=1.05*he_serve_sim/fault_plane_off_device_time" \
+        --gate "he_boot_sim/total_device_time<=1.6667*he_boot_sim/ntt_keyswitch_device_time" \
+        --gate "he_boot_sim/steady_transfers_plus_one<=1.0*he_boot_sim/unit"
 fi

@@ -18,6 +18,8 @@
 //!   `SimBackend`, the simulated-GPU execution backend ([`ntt_gpu`]).
 //! * [`he`] — a small RNS-HE (CKKS-style) layer exercising the NTT
 //!   ([`he_lite`]).
+//! * [`boot`] — the title workload: a CKKS-style bootstrapping pipeline
+//!   (ModRaise, homomorphic DFT via rotations, EvalMod) ([`he_boot`]).
 //!
 //! See `README.md` for a tour of the workspace, the test pyramid, the
 //! benchmark targets, and the `figures` binary that regenerates every
@@ -41,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub use gpu_sim as sim;
+pub use he_boot as boot;
 pub use he_lite as he;
 pub use ntt_core as core;
 pub use ntt_gpu as gpu;

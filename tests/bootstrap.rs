@@ -1,0 +1,176 @@
+//! The bootstrapping pipeline across execution substrates.
+//!
+//! Three families of checks:
+//!
+//! * **Cross-substrate bit-exactness** — rotations (automorphism + key
+//!   switch) and the *entire* `bootstrap()` chain produce bit-identical
+//!   ciphertexts on `CpuBackend` and the device-resident `SimBackend`.
+//!   The schedule is static and every scale decision is host-side `f64`
+//!   arithmetic shared by both paths, so the pipelines must agree to the
+//!   last ring coefficient.
+//! * **Rotation semantics** — property test: `rotate(ct, g)` for a
+//!   random odd Galois element `g` decrypts to the plaintext permuted by
+//!   `X → X^g` (coefficient permutation with negacyclic sign wrap).
+//! * **Decryption correctness** — the deep-parameter bootstrap output
+//!   decrypts back to the input coefficients (the he-boot unit test
+//!   covers CPU; here the *Sim* output is pinned to the CPU output, so
+//!   correctness transfers).
+//!
+//! CI runs this file under `NTT_WARP_THREADS=1,2,4`: the thread policy
+//! must not leak into results.
+
+use ntt_warp::boot::{BootParams, Bootstrapper};
+use ntt_warp::core::backend::NttBackend;
+use ntt_warp::core::CpuBackend;
+use ntt_warp::gpu::SimBackend;
+use ntt_warp::he::{sampling, Ciphertext, HeContext, HeLiteParams, KeySet};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn rot_params() -> HeLiteParams {
+    HeLiteParams {
+        log_n: 6,
+        prime_bits: 50,
+        levels: 3,
+        scale_bits: 46,
+        gadget_bits: 10,
+        error_eta: 4,
+    }
+}
+
+fn ctx_with(params: HeLiteParams, backend: Box<dyn NttBackend>, seed: u64) -> (HeContext, KeySet) {
+    let ctx = HeContext::with_backend(params, backend).expect("context builds");
+    let keys = ctx.keygen(&mut sampling::seeded_rng(seed));
+    (ctx, keys)
+}
+
+/// Decrypt-ready bit pattern of a ciphertext: both components, synced.
+fn bits(mut ct: Ciphertext) -> (ntt_warp::core::RnsPoly, ntt_warp::core::RnsPoly) {
+    ct.sync();
+    let (c0, c1) = ct.components();
+    (c0.clone(), c1.clone())
+}
+
+/// Rotations agree bit-for-bit between the host backend and the
+/// device-resident simulated GPU, for baby-step, giant-step and
+/// conjugation Galois elements.
+#[test]
+fn rotate_is_bit_exact_across_backends() {
+    let run = |backend: Box<dyn NttBackend>| {
+        let (ctx, keys) = ctx_with(rot_params(), backend, 17);
+        let two_n = 2 * ctx.params().n() as u64;
+        let gs = [5u64, 25, 125 % two_n, two_n - 1];
+        let rtk = ctx.keygen_rotation(&keys.secret, &gs, &[3], &mut sampling::seeded_rng(18));
+        let values: Vec<f64> = (0..8).map(|i| (i as f64 * 0.9).cos()).collect();
+        let ct = ctx.encrypt(
+            &ctx.encode(&values),
+            &keys.public,
+            &mut sampling::seeded_rng(19),
+        );
+        gs.iter()
+            .map(|&g| bits(ctx.rotate(&ct, g, &rtk)))
+            .collect::<Vec<_>>()
+    };
+    let cpu = run(Box::<CpuBackend>::default());
+    let sim = run(Box::new(SimBackend::titan_v()));
+    assert_eq!(cpu, sim, "rotation diverged between Cpu and Sim");
+}
+
+/// The full bootstrap chain — ModRaise, CoeffToSlot, EvalMod,
+/// SlotToCoeff, every rotation and rescale — is bit-exact across
+/// backends on the depth-minimal (shallow) parameters.
+#[test]
+fn bootstrap_is_bit_exact_across_backends() {
+    let bp = BootParams::shallow();
+    let run = |backend: Box<dyn NttBackend>| {
+        let ctx = Arc::new(
+            HeContext::with_backend(bp.he_params(4, 50), backend).expect("context builds"),
+        );
+        let mut rng = sampling::seeded_rng(23);
+        let keys = ctx.keygen(&mut rng);
+        let boot = Bootstrapper::new(Arc::clone(&ctx), &keys, bp, &mut rng);
+        let values: Vec<f64> = (0..16).map(|i| ((i as f64) * 0.41).sin() * 0.7).collect();
+        let pt = ctx.encode_with_scale(&values, boot.input_scale());
+        let ct = ctx.encrypt(&pt, &keys.public, &mut sampling::seeded_rng(24));
+        let low = ctx.drop_to_level(&ct, 1);
+        let out = boot.bootstrap(&low);
+        assert_eq!(out.level(), boot.output_level());
+        bits(out)
+    };
+    let cpu = run(Box::<CpuBackend>::default());
+    let sim = run(Box::new(SimBackend::titan_v()));
+    assert_eq!(cpu, sim, "bootstrap chain diverged between Cpu and Sim");
+}
+
+/// The fallible bootstrap with no fault plan armed takes the identical
+/// path: `try_bootstrap` ≡ `bootstrap`, bit for bit, on the device.
+#[test]
+fn try_bootstrap_matches_infallible_path() {
+    let bp = BootParams::shallow();
+    let ctx = Arc::new(
+        HeContext::with_backend(bp.he_params(4, 50), Box::new(SimBackend::titan_v()))
+            .expect("context builds"),
+    );
+    let mut rng = sampling::seeded_rng(31);
+    let keys = ctx.keygen(&mut rng);
+    let boot = Bootstrapper::new(Arc::clone(&ctx), &keys, bp, &mut rng);
+    let pt = ctx.encode_with_scale(&[0.25, -0.5, 0.125], boot.input_scale());
+    let ct = ctx.encrypt(&pt, &keys.public, &mut sampling::seeded_rng(32));
+    let low = ctx.drop_to_level(&ct, 1);
+    let a = bits(boot.bootstrap(&low));
+    let b = bits(boot.try_bootstrap(&low).expect("no faults armed"));
+    assert_eq!(a, b);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `rotate(ct, g)` decrypts to the `X → X^g` permutation of the
+    /// plaintext (negacyclic sign wrap), for random odd `g` and random
+    /// coefficients — the homomorphic automorphism against the plain
+    /// oracle.
+    #[test]
+    fn rotation_decrypts_to_permuted_plaintext(
+        g_index in 0usize..32,
+        seed in any::<u64>(),
+    ) {
+        let (ctx, keys) = ctx_with(rot_params(), Box::<CpuBackend>::default(), seed);
+        let n = ctx.params().n();
+        let two_n = 2 * n;
+        let g = (2 * g_index + 1) as u64 % (two_n as u64);
+        let rtk = ctx.keygen_rotation(
+            &keys.secret,
+            &[g],
+            &[ctx.params().levels],
+            &mut sampling::seeded_rng(seed ^ 0x5a5a),
+        );
+        let values: Vec<f64> = (0..n)
+            .map(|i| (((seed as f64).sin() * 31.0 + i as f64) * 0.37).cos())
+            .collect();
+        let ct = ctx.encrypt(
+            &ctx.encode(&values),
+            &keys.public,
+            &mut sampling::seeded_rng(seed.wrapping_mul(3)),
+        );
+        let rotated = ctx.rotate(&ct, g, &rtk);
+        let got = ctx.decode(&ctx.decrypt(&rotated, &keys.secret));
+
+        // Oracle: coefficient t of the input lands at (t*g mod 2N),
+        // negated when it wraps past N.
+        let mut want = vec![0.0f64; n];
+        for (t, &v) in values.iter().enumerate() {
+            let idx = (t * g as usize) % two_n;
+            if idx < n {
+                want[idx] += v;
+            } else {
+                want[idx - n] -= v;
+            }
+        }
+        for i in 0..n {
+            prop_assert!(
+                (got[i] - want[i]).abs() < 1e-2,
+                "g={g} coeff {i}: {} vs {}", got[i], want[i]
+            );
+        }
+    }
+}

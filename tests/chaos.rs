@@ -330,3 +330,154 @@ proptest! {
         prop_assert_eq!(snap.failed(), report.failed);
     }
 }
+
+// ---- Bootstrapping under chaos ---------------------------------------
+
+/// Synced bit pattern of a ciphertext, for cross-run comparison.
+fn ct_bits(mut ct: he_lite::Ciphertext) -> (ntt_warp::core::RnsPoly, ntt_warp::core::RnsPoly) {
+    ct.sync();
+    let (c0, c1) = ct.components();
+    (c0.clone(), c1.clone())
+}
+
+/// The CPU reference for a served bootstrap: replay the server's key
+/// schedule (keygen then `Bootstrapper::new` from one seeded stream) on
+/// a host context, so the reference ciphertext is bit-comparable by
+/// backend conformance.
+fn boot_reference(
+    bp: he_serve::BootParams,
+    params: HeLiteParams,
+    key_seed: u64,
+) -> (
+    std::sync::Arc<HeContext>,
+    he_serve::Bootstrapper,
+    he_lite::Ciphertext,
+) {
+    use he_lite::sampling;
+    let ctx = std::sync::Arc::new(HeContext::new(params).expect("cpu context builds"));
+    let mut rng = sampling::seeded_rng(key_seed);
+    let keys = ctx.keygen(&mut rng);
+    let boot = he_serve::Bootstrapper::new(std::sync::Arc::clone(&ctx), &keys, bp, &mut rng);
+    let pt = ctx.encode_with_scale(&[0.5, -0.25, 0.125], boot.input_scale());
+    let ct = ctx.encrypt(&pt, &keys.public, &mut sampling::seeded_rng(100));
+    let low = ctx.drop_to_level(&ct, 1);
+    (ctx, boot, low)
+}
+
+/// Boot jobs under transient launch faults: every answered job is
+/// either bit-correct (retries absorbed the faults) or a classified
+/// fault — never a silently wrong ciphertext. The fallible path routes
+/// every rotation through the fault gate, so the pipeline is genuinely
+/// exposed.
+#[test]
+fn boot_jobs_under_faults_bit_correct_or_classified() {
+    let bp = he_serve::BootParams::shallow();
+    let params = bp.he_params(4, 50);
+    let key_seed = 7u64;
+    let (_ref_ctx, ref_boot, input) = boot_reference(bp, params, key_seed);
+    let reference = ct_bits(ref_boot.bootstrap(&input));
+
+    let (server, _sim) = {
+        let sim = SimBackend::titan_v();
+        let ctx = HeContext::with_backend(params, sim.fork()).expect("sim context builds");
+        let server = HeServer::start(
+            ctx,
+            ServeConfig {
+                workers: 1,
+                batching: false,
+                key_seed,
+                boot: Some(bp),
+                ..ServeConfig::default()
+            },
+        );
+        sim.set_fault_plan(Some(
+            FaultPlan::seeded(chaos_seed()).rate(FaultOp::Launch, 10),
+        ));
+        (server, sim)
+    };
+
+    let tickets: Vec<_> = (0..6)
+        .map(|_| {
+            server
+                .submit(TenantId(0), Request::Boot { ct: input.clone() })
+                .expect("boot job admitted")
+        })
+        .collect();
+    let mut correct = 0u32;
+    let mut classified = 0u32;
+    for t in tickets {
+        match t.wait().expect("answered, not dropped").response {
+            Response::Bootstrapped(ct) => {
+                assert_eq!(ct_bits(ct), reference, "served bootstrap bits drifted");
+                correct += 1;
+            }
+            Response::Failed(ServeError::Fault { .. }) => classified += 1,
+            other => panic!("unexpected answer {other:?}"),
+        }
+    }
+    assert_eq!(correct + classified, 6, "every ticket answered once");
+    assert!(correct >= 1, "no boot job survived modest fault rates");
+    let snap = server.shutdown();
+    assert_eq!(snap.worker_panics, 0, "chaos must not panic a worker");
+    assert_eq!(snap.failed(), u64::from(classified));
+}
+
+/// Rotation keys and DFT diagonals live in shared device memory, not in
+/// any pool member: after a sticky fault wedges the serving evaluator
+/// (quarantine + re-fork), a post-recovery Boot job still completes
+/// bit-correct against the CPU reference.
+#[test]
+fn rotation_keys_survive_quarantine_and_refork() {
+    let bp = he_serve::BootParams::shallow();
+    let params = bp.he_params(4, 50);
+    let key_seed = 7u64;
+    let (_ref_ctx, ref_boot, input) = boot_reference(bp, params, key_seed);
+    let reference = ct_bits(ref_boot.bootstrap(&input));
+
+    let sim = SimBackend::titan_v();
+    let ctx = HeContext::with_backend(params, sim.fork()).expect("sim context builds");
+    let server = HeServer::start(
+        ctx,
+        ServeConfig {
+            workers: 1,
+            batching: false,
+            key_seed,
+            boot: Some(bp),
+            ..ServeConfig::default()
+        },
+    );
+
+    // Wedge the device partway into the first bootstrap.
+    sim.set_fault_plan(Some(FaultPlan::seeded(chaos_seed()).sticky_after(20)));
+    let t = server
+        .submit(TenantId(0), Request::Boot { ct: input.clone() })
+        .expect("boot job admitted");
+    match t.wait().expect("answered").response {
+        Response::Failed(ServeError::Fault { .. }) => {}
+        Response::Bootstrapped(_) => panic!("sticky plan should wedge the first bootstrap"),
+        other => panic!("unexpected answer {other:?}"),
+    }
+    assert!(
+        server.context().quarantined_count() >= 1,
+        "the wedged pool member was never quarantined"
+    );
+
+    // Device heals (plan disarmed): the re-forked evaluators must find
+    // the rotation keys and diagonals still resident and produce the
+    // exact reference bits.
+    sim.set_fault_plan(None);
+    let t = server
+        .submit(TenantId(0), Request::Boot { ct: input.clone() })
+        .expect("boot job admitted");
+    match t.wait().expect("answered").response {
+        Response::Bootstrapped(ct) => {
+            assert_eq!(
+                ct_bits(ct),
+                reference,
+                "post-recovery bootstrap diverged: rotation keys did not survive"
+            );
+        }
+        other => panic!("expected a bootstrapped answer after recovery, got {other:?}"),
+    }
+    server.shutdown();
+}

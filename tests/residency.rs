@@ -283,3 +283,47 @@ fn concurrent_threads_share_one_context() {
         assert!(ctx.evaluator_count() >= 1);
     }
 }
+
+/// The flagship residency gate: rotation keys and DFT diagonal
+/// plaintexts upload once at `Bootstrapper::new`, EvalMod constants on
+/// the first bootstrap — and from then on repeated `bootstrap()` calls
+/// are pure device work. Three steady-state bootstraps cross the bus
+/// zero times.
+#[test]
+fn repeated_bootstrap_has_zero_steady_state_transfers() {
+    use ntt_warp::boot::{BootParams, Bootstrapper};
+    use ntt_warp::gpu::SimBackend;
+    use std::sync::Arc;
+
+    let bp = BootParams::shallow();
+    let ctx = Arc::new(
+        HeContext::with_backend(bp.he_params(4, 50), Box::new(SimBackend::titan_v()))
+            .expect("sim context builds"),
+    );
+    let mut rng = sampling::seeded_rng(41);
+    let keys = ctx.keygen(&mut rng);
+    let boot = Bootstrapper::new(Arc::clone(&ctx), &keys, bp, &mut rng);
+    let pt = ctx.encode_with_scale(&[0.5, -0.25, 0.75], boot.input_scale());
+    let ct = ctx.encrypt(&pt, &keys.public, &mut sampling::seeded_rng(42));
+    let low = ctx.drop_to_level(&ct, 1);
+    assert_eq!(low.residency(), Residency::DeviceOnly);
+
+    // Warm-up: populates the EvalMod constant-plaintext cache (counted
+    // uploads) and any lazily-built twiddle tables.
+    let warm = boot.bootstrap(&low);
+    assert_eq!(warm.residency(), Residency::DeviceOnly);
+
+    // Steady state: every rotation key, diagonal and constant is
+    // resident; three full pipelines move zero words over the bus.
+    let before = ctx.transfer_stats();
+    for _ in 0..3 {
+        let out = boot.bootstrap(&low);
+        assert_eq!(out.residency(), Residency::DeviceOnly);
+    }
+    let steady = ctx.transfer_stats().since(&before);
+    assert_eq!(
+        steady.host_transfers(),
+        0,
+        "steady-state bootstrap crossed the bus: {steady:?}"
+    );
+}
