@@ -218,6 +218,47 @@ fn bench_bootstrap(_c: &mut Criterion) {
     );
 }
 
+/// The hierarchical 4-step NTT's gate inputs: modeled device time at the
+/// bootstrapping-scale ring vs the single-kernel family. Two gates in
+/// `bench_smoke.sh`:
+///
+/// * at N = 2¹⁶ the 3-kernel 4-step plan must not exceed the best
+///   single fused-SMEM kernel's cost extrapolated from N = 2¹³ by its
+///   `c · N log N` scaling law (`four_step_device_time <= 1.0 *
+///   single_kernel_extrapolated_device_time`);
+/// * at N = 2¹³ the backend's auto-routed forward (calibrated over
+///   radix-2, fused-SMEM and hierarchical candidates) stays within 5%
+///   of the best single fused kernel (`auto_device_time <= 1.05 *
+///   best_single_kernel_device_time`) — the 4-step rollout cannot
+///   regress mid-size rings.
+///
+/// All values are modeled time from one deterministic run, so the gates
+/// hold on any host.
+fn bench_ntt_hier(_c: &mut Criterion) {
+    let r = ntt_bench::experiments::hier_bench(13, 16, 2);
+    record_value(
+        "ntt_hier_n65536/four_step_device_time",
+        r.four_step_big_us * 1e3,
+    );
+    record_value(
+        "ntt_hier_n65536/single_kernel_extrapolated_device_time",
+        r.single_extrapolated_big_us * 1e3,
+    );
+    record_value("ntt_hier_n8192/auto_device_time", r.auto_small_us * 1e3);
+    record_value(
+        "ntt_hier_n8192/best_single_kernel_device_time",
+        r.best_single_small_us * 1e3,
+    );
+    println!(
+        "bench: ntt_hier 4-step {}x{} at 2^{} = {:.1} us vs extrapolated single-kernel {:.1} us",
+        r.split_big,
+        (1usize << r.log_big) / r.split_big,
+        r.log_big,
+        r.four_step_big_us,
+        r.single_extrapolated_big_us
+    );
+}
+
 criterion_group!(
     benches,
     bench_he,
@@ -225,6 +266,7 @@ criterion_group!(
     bench_sim_streams,
     bench_serve_batching,
     bench_serve_fault_overhead,
-    bench_bootstrap
+    bench_bootstrap,
+    bench_ntt_hier
 );
 criterion_main!(benches);

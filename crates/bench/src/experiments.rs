@@ -1009,6 +1009,7 @@ fn launch_class(label: &str) -> usize {
         || label.starts_with("radix")
         || label.starts_with("iradix2")
         || label.starts_with("dft-")
+        || label.starts_with("hier-")
         || label == "intt-scale"
     {
         0 // NTT
@@ -1025,11 +1026,29 @@ fn launch_class(label: &str) -> usize {
 /// the quick CI path stays fast; the mix is structural, not
 /// size-dependent.
 pub fn bootstrap(log_n: u32) -> BootstrapReport {
-    use he_boot::{BootParams, Bootstrapper};
+    bootstrap_with(he_boot::BootParams::shallow(), log_n, None)
+}
+
+/// The same accounting at bootstrapping scale: `BootParams::deep()` (the
+/// full 21-level pipeline — 4 sine terms, 6 double-angle steps) with a
+/// sparsely packed slot matrix (`mat_slots` ≪ N/2), which keeps DFT
+/// diagonal and key material tractable at N = 2¹⁶ while preserving the
+/// op sequence — and therefore the kernel-class mix — of a dense run.
+/// The Sim forwards route through the size-calibrated plan, which at
+/// this ring weighs the hierarchical 4-step kernels (`hier-*` labels).
+pub fn bootstrap_deep(log_n: u32, mat_slots: usize) -> BootstrapReport {
+    bootstrap_with(he_boot::BootParams::deep(), log_n, Some(mat_slots))
+}
+
+fn bootstrap_with(
+    bp: he_boot::BootParams,
+    log_n: u32,
+    mat_slots: Option<usize>,
+) -> BootstrapReport {
+    use he_boot::Bootstrapper;
     use he_lite::{sampling, HeContext};
     use std::sync::Arc;
 
-    let bp = BootParams::shallow();
     let params = bp.he_params(log_n, 50);
     let backend = ntt_gpu::SimBackend::titan_v();
     let dev = backend.memory_handle();
@@ -1037,7 +1056,10 @@ pub fn bootstrap(log_n: u32) -> BootstrapReport {
         Arc::new(HeContext::with_backend(params, Box::new(backend)).expect("sim context builds"));
     let mut rng = sampling::seeded_rng(42);
     let keys = ctx.keygen(&mut rng);
-    let boot = Bootstrapper::new(Arc::clone(&ctx), &keys, bp, &mut rng);
+    let boot = match mat_slots {
+        Some(ms) => Bootstrapper::with_matrix_slots(Arc::clone(&ctx), &keys, bp, ms, &mut rng),
+        None => Bootstrapper::new(Arc::clone(&ctx), &keys, bp, &mut rng),
+    };
     let pt = ctx.encode_with_scale(&[0.4, -0.2, 0.1], boot.input_scale());
     let ct = ctx.encrypt(&pt, &keys.public, &mut sampling::seeded_rng(7));
     let low = ctx.drop_to_level(&ct, 1);
@@ -1078,6 +1100,116 @@ pub fn bootstrap(log_n: u32) -> BootstrapReport {
         ntt,
         key_switch,
         pointwise,
+    }
+}
+
+/// The hierarchical 4-step NTT against the single-kernel family — the
+/// inputs behind the `ntt_hier/*` pseudo-benchmarks and their
+/// `bench_smoke.sh` ratio gates. All values are modeled device time
+/// from one deterministic simulated device, so the gates hold on any
+/// host.
+#[derive(Debug, Clone)]
+pub struct HierBenchReport {
+    /// Mid-size ring exponent (the single-kernel home turf).
+    pub log_small: u32,
+    /// Bootstrapping-scale ring exponent.
+    pub log_big: u32,
+    /// Column split `n1` used for the big-ring 4-step run.
+    pub split_big: usize,
+    /// 3-kernel hierarchical plan at `2^log_big`, µs.
+    pub four_step_big_us: f64,
+    /// Best single fused-SMEM kernel at `2^log_small`, extrapolated to
+    /// `2^log_big` by its `c · N log N` scaling law, µs.
+    pub single_extrapolated_big_us: f64,
+    /// The backend's auto-routed forward at `2^log_small` (calibrated
+    /// over radix-2, fused-SMEM and hierarchical candidates), µs.
+    pub auto_small_us: f64,
+    /// Best single fused-SMEM kernel at `2^log_small`, measured, µs.
+    pub best_single_small_us: f64,
+}
+
+/// Measure the [`HierBenchReport`] pair of comparisons:
+///
+/// * at `2^log_big` the 4-step plan must not exceed the single-kernel
+///   cost extrapolated from its mid-size measurement (`c · N log N`) —
+///   the hierarchy's reduced table traffic has to pay for its extra
+///   global-memory pass;
+/// * at `2^log_small` the auto-routed choice must stay within 5% of the
+///   best single fused kernel — rolling out the 4-step path cannot
+///   regress the rings it should lose on.
+pub fn hier_bench(log_small: u32, log_big: u32, np: usize) -> HierBenchReport {
+    use ntt_core::backend::{Evaluator, RingPlan};
+
+    // Best single fused-SMEM kernel, measured at the mid-size ring.
+    let (_, small_best) = best_split(log_small, np, 0);
+
+    // The 3-kernel hierarchical plan at the bootstrapping-scale ring,
+    // near-square split.
+    let split_big = 1usize << (log_big / 2);
+    let (mut mem, batch) = fresh_batch(log_big, np);
+    let gpu = mem.gpu_mut();
+    let rep = ntt_gpu::hier::run(gpu, &batch, split_big);
+    debug_assert!(rep.verify(gpu, &batch));
+    let four_step_big_us = rep.total_us();
+
+    // `c · N log N` extrapolation of the single-kernel family.
+    let scale = ((1u64 << log_big) * u64::from(log_big)) as f64
+        / ((1u64 << log_small) * u64::from(log_small)) as f64;
+    let single_extrapolated_big_us = small_best.time_us * scale;
+
+    // The auto-routed forward at the mid-size ring, end to end through
+    // the backend: warm once (calibration sweep + table upload), then
+    // sum the launch timings of one steady-state forward.
+    let backend = ntt_gpu::SimBackend::titan_v();
+    let dev = backend.memory_handle();
+    let n_small = 1usize << log_small;
+    let ring = ntt_core::RnsRing::new(n_small, ntt_math::ntt_primes(59, 2 * n_small as u64, np))
+        .expect("bench ring builds");
+    let mut ev = Evaluator::new(RingPlan::new(&ring), Box::new(backend));
+    let rand_poly = |seed: u64| {
+        let mut x = ntt_core::RnsPoly::zero(&ring);
+        for i in 0..ring.np() {
+            let p = ring.basis().primes()[i];
+            for (j, v) in x.row_mut(i).iter_mut().enumerate() {
+                *v = (seed | 1)
+                    .wrapping_mul((j as u64).wrapping_add(0x9E37_79B9_7F4A_7C15))
+                    .wrapping_add((i as u64) << 40)
+                    % p;
+            }
+        }
+        x
+    };
+    let mut warm = rand_poly(0x41);
+    ev.make_resident(&mut warm);
+    ev.to_evaluation(&mut warm);
+    let mut x = rand_poly(0x42);
+    ev.make_resident(&mut x);
+    let trace_from = {
+        let mem = dev
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        mem.gpu().trace.len()
+    };
+    ev.to_evaluation(&mut x);
+    let auto_small_us = {
+        let mem = dev
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        mem.gpu().trace[trace_from..]
+            .iter()
+            .map(|r| r.timing.total_s)
+            .sum::<f64>()
+            * 1e6
+    };
+
+    HierBenchReport {
+        log_small,
+        log_big,
+        split_big,
+        four_step_big_us,
+        single_extrapolated_big_us,
+        auto_small_us,
+        best_single_small_us: small_best.time_us,
     }
 }
 

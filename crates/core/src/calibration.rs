@@ -194,6 +194,31 @@ pub fn store_pointwise_verdict(path: &Path, class: usize, montgomery: bool) {
     let _ = cal.store(path);
 }
 
+/// The stored key for the hierarchical NTT split of one transform size.
+fn hier_split_key(n: usize) -> String {
+    format!("hier_split_{n}")
+}
+
+/// Read the persisted hierarchical `N1×N2` split for size `n` from
+/// `path`. `None` on any miss: absent file or key, a value that does not
+/// parse as a power-of-two split, or factors whose product is not `n`
+/// (a stale entry from a different configuration must fall back to
+/// re-calibration, never force a broken split).
+pub fn load_hier_split(path: &Path, n: usize) -> Option<(usize, usize)> {
+    let cal = Calibration::load(path)?;
+    let (a, b) = crate::hier::parse_split(cal.get(&hier_split_key(n))?)?;
+    (a * b == n).then_some((a, b))
+}
+
+/// Persist a calibrated hierarchical split (`AxB` format, the same syntax
+/// `NTT_WARP_SPLIT` accepts), preserving other entries. Failures are
+/// ignored — the split still applies for this process.
+pub fn store_hier_split(path: &Path, n: usize, split: (usize, usize)) {
+    let mut cal = Calibration::load(path).unwrap_or_default();
+    cal.set(&hier_split_key(n), &format!("{}x{}", split.0, split.1));
+    let _ = cal.store(path);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +271,53 @@ mod tests {
         )
         .unwrap();
         assert_eq!(load_pointwise_verdict(&path, 0), None, "bad verdict value");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hier_split_roundtrip_and_fallbacks() {
+        let path = temp_path("hier-split");
+        // Absent file → None.
+        assert_eq!(load_hier_split(&path, 1 << 16), None);
+        // Roundtrip, preserving unrelated keys.
+        store_pointwise_verdict(&path, 0, true);
+        store_hier_split(&path, 1 << 16, (256, 256));
+        store_hier_split(&path, 1 << 13, (64, 128));
+        assert_eq!(load_hier_split(&path, 1 << 16), Some((256, 256)));
+        assert_eq!(load_hier_split(&path, 1 << 13), Some((64, 128)));
+        assert_eq!(load_pointwise_verdict(&path, 0), Some(true));
+        // Absent key for another size → None.
+        assert_eq!(load_hier_split(&path, 1 << 14), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_hier_split_entries_fall_back() {
+        let path = temp_path("hier-corrupt");
+        // Unparseable value → None.
+        std::fs::write(
+            &path,
+            format!("{VERSION_HEADER} host=x\nhier_split_65536 banana\n"),
+        )
+        .unwrap();
+        assert_eq!(load_hier_split(&path, 1 << 16), None, "non-split value");
+        // Parseable but wrong product (stale entry) → None.
+        std::fs::write(
+            &path,
+            format!("{VERSION_HEADER} host=x\nhier_split_65536 128x128\n"),
+        )
+        .unwrap();
+        assert_eq!(load_hier_split(&path, 1 << 16), None, "wrong product");
+        // Non-power-of-two factors → None (parse_split rejects them).
+        std::fs::write(
+            &path,
+            format!("{VERSION_HEADER} host=x\nhier_split_65536 100x655\n"),
+        )
+        .unwrap();
+        assert_eq!(load_hier_split(&path, 1 << 16), None, "non-pow2 factors");
+        // Recovery: the next store overwrites cleanly.
+        store_hier_split(&path, 1 << 16, (512, 128));
+        assert_eq!(load_hier_split(&path, 1 << 16), Some((512, 128)));
         std::fs::remove_file(&path).ok();
     }
 

@@ -194,18 +194,50 @@ impl Bootstrapper {
         params: BootParams,
         rng: &mut R,
     ) -> Self {
+        let slots = ctx.params().n() / 2;
+        Self::with_matrix_slots(ctx, keys, params, slots, rng)
+    }
+
+    /// [`Bootstrapper::new`] with the homomorphic-DFT matrix dimension
+    /// capped at `mat_slots` ≤ N/2 — the sparsely packed configuration
+    /// for bootstrapping-scale rings (N = 2¹⁶–2¹⁷), where the dense
+    /// N/2-dimension build needs hundreds of gigabytes of diagonal
+    /// plaintexts. The BSGS structure, rotation/key-switch op sequence
+    /// and level schedule are identical to the dense build (so op-mix
+    /// accounting and Cpu≡Sim bit-exactness are representative);
+    /// decryption recovers the message only in the dense case
+    /// `mat_slots = N/2`, exactly like the structural
+    /// [`BootParams::shallow`] preset trades accuracy for speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context's depth is below [`BootParams::min_levels`]
+    /// or `mat_slots` is not a power of two in `[2, N/2]`.
+    pub fn with_matrix_slots<R: Rng + RngExt>(
+        ctx: Arc<HeContext>,
+        keys: &KeySet,
+        params: BootParams,
+        mat_slots: usize,
+        rng: &mut R,
+    ) -> Self {
+        let (gs, level_cts, level_stc) = Self::required_rotations(&ctx, &params, mat_slots);
+        let rot = ctx.keygen_rotation(&keys.secret, &gs, &[level_cts, level_stc], rng);
+        Self::with_rotation_keys(ctx, keys, params, mat_slots, rot)
+    }
+
+    /// The BSGS Galois elements and the two rotation levels a
+    /// `(params, mat_slots)` pipeline key-switches at — the exact
+    /// coverage [`HeContext::keygen_rotation`] must provide.
+    fn required_rotations(
+        ctx: &HeContext,
+        params: &BootParams,
+        mat_slots: usize,
+    ) -> (Vec<u64>, usize, usize) {
         let he = *ctx.params();
-        assert!(
-            he.levels >= params.min_levels(),
-            "bootstrap needs {} levels, context has {}",
-            params.min_levels(),
-            he.levels
-        );
         let emb = SlotEmbedding::new(he.n());
-        let ns = emb.slots();
+        let ns = mat_slots;
         let g1 = (ns as f64).sqrt().ceil() as usize;
         let g2 = ns.div_ceil(g1);
-
         let level_cts = he.levels;
         let level_stc = he.levels - (params.sin_terms + 3 + 2 * params.double_angle);
         let mut gs: Vec<u64> = Vec::new();
@@ -216,7 +248,54 @@ impl Bootstrapper {
             gs.push(emb.galois_for_rotation(i * g1));
         }
         gs.push(emb.galois_conjugate());
-        let rot = ctx.keygen_rotation(&keys.secret, &gs, &[level_cts, level_stc], rng);
+        (gs, level_cts, level_stc)
+    }
+
+    /// [`Bootstrapper::with_matrix_slots`] with **precomputed** rotation
+    /// keys. Rotation-key generation is host-side, backend-independent
+    /// math — at bootstrapping-scale rings it is minutes of host NTTs —
+    /// so a cross-substrate comparison can generate the keys once (via a
+    /// first construction plus [`Bootstrapper::rotation_keys`]) and hand
+    /// an [`HeContext::adopt_rotation_keys`] copy to every other
+    /// backend's engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context's depth is below
+    /// [`BootParams::min_levels`], `mat_slots` is not a power of two in
+    /// `[2, N/2]`, or `rot` does not cover every BSGS Galois element at
+    /// both rotation levels.
+    pub fn with_rotation_keys(
+        ctx: Arc<HeContext>,
+        keys: &KeySet,
+        params: BootParams,
+        mat_slots: usize,
+        rot: RotationKeys,
+    ) -> Self {
+        let he = *ctx.params();
+        assert!(
+            he.levels >= params.min_levels(),
+            "bootstrap needs {} levels, context has {}",
+            params.min_levels(),
+            he.levels
+        );
+        let emb = SlotEmbedding::new(he.n());
+        assert!(
+            mat_slots.is_power_of_two() && mat_slots >= 2 && mat_slots <= emb.slots(),
+            "mat_slots must be a power of two in [2, N/2]"
+        );
+        let ns = mat_slots;
+        let g1 = (ns as f64).sqrt().ceil() as usize;
+        let g2 = ns.div_ceil(g1);
+
+        let (gs, level_cts, level_stc) = Self::required_rotations(&ctx, &params, mat_slots);
+        for &g in &gs {
+            let g = g % (2 * he.n() as u64);
+            assert!(
+                rot.contains(g, level_cts) && rot.contains(g, level_stc),
+                "rotation keys missing Galois element {g} at a required level"
+            );
+        }
 
         let primes = ctx.ring().basis().primes().to_vec();
         let work_scale = he.scale();
@@ -237,7 +316,7 @@ impl Bootstrapper {
         let d = |j: usize, k: usize| emb.zeta_pow(j, (k + ns) as i64).scale(c_unfold);
 
         let build = |entry: &dyn Fn(usize, usize) -> Complex, scale: f64, level: usize| {
-            Self::build_diags(&ctx, &emb, g1, g2, entry, scale, level)
+            Self::build_diags(&ctx, &emb, ns, g1, g2, entry, scale, level)
         };
         let cts_f = build(&f, dp_cts, level_cts);
         let cts_fc = build(&|j, k| f(j, k).conj(), dp_cts, level_cts);
@@ -432,16 +511,17 @@ impl Bootstrapper {
 
     /// Precompute the pre-rotated BSGS diagonals of one slot matrix as
     /// prepared (truncated, resident, NTT-form) plaintexts.
+    #[allow(clippy::too_many_arguments)]
     fn build_diags(
         ctx: &HeContext,
         emb: &SlotEmbedding,
+        ns: usize,
         g1: usize,
         g2: usize,
         entry: &dyn Fn(usize, usize) -> Complex,
         scale: f64,
         level: usize,
     ) -> Diags {
-        let ns = emb.slots();
         (0..g2)
             .map(|i| {
                 (0..g1)

@@ -350,6 +350,13 @@ impl HeContext {
     /// modeled window that shrinks a chain's initial-upload cost.
     pub fn keygen<R: Rng + RngExt>(&self, rng: &mut R) -> KeySet {
         let mut keys = self.with_eval(|st| self.keygen_host(&mut st.ev, rng));
+        self.upload_keys(&mut keys);
+        keys
+    }
+
+    /// The residency half of [`HeContext::keygen`]: upload key material
+    /// once on residency-preferring backends (no-op elsewhere).
+    fn upload_keys(&self, keys: &mut KeySet) {
         if self.resident {
             self.with_eval(|st| {
                 let ev = &mut st.ev;
@@ -366,7 +373,46 @@ impl HeContext {
                 }
             });
         }
+    }
+
+    /// Adopt a key set generated on another context with the **same
+    /// parameters**: clone the host-side key material and — on
+    /// residency-preferring backends — perform the one-time device
+    /// upload.
+    ///
+    /// Key math in [`HeContext::keygen`] is host-only and therefore
+    /// backend-independent (identical bits on every substrate), so a
+    /// cross-backend comparison can pay the `Θ(levels² · digits)` host
+    /// generation once and adopt the result everywhere — at
+    /// bootstrapping-scale rings (N = 2¹⁶, ~20 levels) that generation
+    /// is minutes of host NTTs and ~14 GB of key material per run.
+    pub fn adopt_keys(&self, keys: &KeySet) -> KeySet {
+        let mut keys = keys.clone();
+        self.upload_keys(&mut keys);
         keys
+    }
+
+    /// Adopt rotation keys generated on another context with the same
+    /// parameters — the [`HeContext::adopt_keys`] counterpart for
+    /// [`HeContext::keygen_rotation`] output.
+    pub fn adopt_rotation_keys(&self, rtk: &RotationKeys) -> RotationKeys {
+        let mut rtk = rtk.clone();
+        if self.resident {
+            self.with_eval(|st| {
+                let ev = &mut st.ev;
+                for per_level in rtk.by_g.values_mut() {
+                    for per_j in per_level.values_mut() {
+                        for per_d in per_j {
+                            for entry in per_d {
+                                ev.make_resident(&mut entry.b);
+                                ev.make_resident(&mut entry.a);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        rtk
     }
 
     /// The host-side key computation (all polynomials [`RnsPoly`]
@@ -410,8 +456,9 @@ impl HeContext {
                             ntt_math::mul_mod(g % p, b_pow, p)
                         })
                         .collect();
-                    let mut a_jd = sampling::uniform_poly(ring, rng).truncated(level);
-                    ev.to_evaluation(&mut a_jd);
+                    // `a` drawn directly in evaluation form (uniform is
+                    // uniform in either domain) — halves keygen NTTs.
+                    let a_jd = sampling::uniform_eval_poly(ring, level, rng);
                     let mut e_jd = sampling::error_poly(ring, eta, rng).truncated(level);
                     ev.to_evaluation(&mut e_jd);
                     // b = -(a s) + e + g_{j,d} s^2.
@@ -496,8 +543,7 @@ impl HeContext {
                                     ntt_math::mul_mod(gc % p, b_pow, p)
                                 })
                                 .collect();
-                            let mut a_jd = sampling::uniform_poly(ring, rng).truncated(level);
-                            ev.to_evaluation(&mut a_jd);
+                            let a_jd = sampling::uniform_eval_poly(ring, level, rng);
                             let mut e_jd = sampling::error_poly(ring, eta, rng).truncated(level);
                             ev.to_evaluation(&mut e_jd);
                             // b = -(a s) + e + g_{j,d} τ_g(s).

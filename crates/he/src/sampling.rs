@@ -3,7 +3,7 @@
 //! All sampling is routed through a caller-provided RNG so tests and
 //! examples are reproducible with seeded generators.
 
-use ntt_core::poly::{RnsPoly, RnsRing};
+use ntt_core::poly::{Representation, RnsPoly, RnsRing};
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
 
@@ -16,6 +16,28 @@ pub fn seeded_rng(seed: u64) -> StdRng {
 pub fn uniform_poly<R: Rng + RngExt>(ring: &RnsRing, rng: &mut R) -> RnsPoly {
     let mut p = RnsPoly::zero(ring);
     for i in 0..ring.np() {
+        let modulus = ring.basis().primes()[i];
+        for v in p.row_mut(i) {
+            *v = rng.random_range(0..modulus);
+        }
+    }
+    p
+}
+
+/// Uniform polynomial sampled **directly in evaluation form**, at
+/// `level` active limbs.
+///
+/// The NTT is a bijection on each residue row, so a uniform draw in the
+/// evaluation domain has exactly the distribution of
+/// `uniform_poly` followed by a forward transform. Key generation uses
+/// this for the `a` halves of key-switch material: it skips both the
+/// full-basis oversampling and the forward NTT per entry — the dominant
+/// keygen cost at bootstrapping-scale rings (N = 2¹⁶, ~20 levels),
+/// where the per-level entry grid otherwise pays `Θ(levels²·digits)`
+/// large transforms.
+pub fn uniform_eval_poly<R: Rng + RngExt>(ring: &RnsRing, level: usize, rng: &mut R) -> RnsPoly {
+    let mut p = RnsPoly::zero_with_repr(ring, level, Representation::Evaluation);
+    for i in 0..level {
         let modulus = ring.basis().primes()[i];
         for v in p.row_mut(i) {
             *v = rng.random_range(0..modulus);

@@ -24,12 +24,17 @@
 //!   transfers.
 //!
 //! Forward transforms are routed per shape: large batches go through the
-//! two-kernel SMEM implementation (+OT) the paper's Table II favors, with
-//! the split chosen like `best_split` — by the minimum *modeled* time over
-//! the Fig. 12(a) candidates, measured once per `N` on a scratch device
-//! and cached (deterministic, so plans are reproducible). Small shapes
-//! keep the radix-2 stage kernels. Set `NTT_WARP_SIM_FORWARD=radix2` (or
-//! `smem`) to pin one implementation.
+//! two-kernel SMEM implementation (+OT) the paper's Table II favors or
+//! the three-kernel hierarchical 4-step plan ([`crate::hier`]) at
+//! bootstrapping scale, with the winner chosen like `best_split` — by the
+//! minimum *modeled* time over the Fig. 12(a) candidates plus the
+//! near-square hierarchical column counts, measured once per `N` on a
+//! scratch device and cached (deterministic, so plans are reproducible).
+//! Small shapes keep the radix-2 stage kernels. Set
+//! `NTT_WARP_SIM_FORWARD=radix2` (or `smem`, or `hier`) to pin one
+//! implementation, and `NTT_WARP_SPLIT=AxB` to pin the hierarchical
+//! split itself; swept hierarchical winners persist in the per-host
+//! calibration file (`ntt_core::calibration`).
 //!
 //! # Fallible surface and fault injection
 //!
@@ -85,6 +90,7 @@
 //! # Ok::<(), ntt_core::RingError>(())
 //! ```
 
+use crate::hier::{self, DeviceTwist};
 use crate::ot::DeviceOt;
 use crate::radix2::{launch_forward, launch_inverse, ModMul};
 use crate::smem::{self, SmemConfig, SmemJob};
@@ -116,6 +122,9 @@ struct DevTables {
     n_inv: Vec<(u64, u64, u64)>,
     /// Cached OT factor tables (built on first OT-routed forward).
     ot: Option<DeviceOt>,
+    /// Cached hierarchical twist-factor tables (built on first
+    /// hier-routed forward).
+    twist: Option<DeviceTwist>,
 }
 
 /// A reusable device data buffer (outgrown buffers are returned to the
@@ -248,6 +257,40 @@ impl SimMemory {
         }
     }
 
+    /// Borrow a scratch allocation from the GMEM free list for one
+    /// multi-kernel launch plan (e.g. the hierarchical NTT's transposed
+    /// intermediate). The stale readiness event a recycled base may carry
+    /// is *consumed* — the active stream fences on it and then owns the
+    /// storage — so repeated acquire/release cycles keep at most one
+    /// [`buf_ready`](SimMemory::buf_ready) entry per recycled base
+    /// instead of leaking one per cycle. Pair every call with
+    /// [`release_scratch`](SimMemory::release_scratch).
+    pub fn acquire_scratch(&mut self, words: usize) -> Buf {
+        let buf = self.gpu.gmem.alloc(words);
+        if let Some(e) = self.buf_ready.remove(&buf.base()) {
+            let s = self.gpu.active_stream();
+            self.gpu.wait_event(s, e);
+        }
+        buf
+    }
+
+    /// Return a scratch allocation to the free list, recording the active
+    /// stream's completion event as the base's readiness fence (the next
+    /// owner of the recycled storage waits on it before touching the
+    /// bytes).
+    pub fn release_scratch(&mut self, buf: Buf) {
+        let s = self.gpu.active_stream();
+        let e = self.gpu.record_event(s);
+        self.buf_ready.insert(buf.base(), e);
+        self.gpu.gmem.free(buf);
+    }
+
+    /// Number of live per-allocation readiness entries (test hook for the
+    /// boundedness of the event map under scratch recycling).
+    pub fn readiness_entries(&self) -> usize {
+        self.buf_ready.len()
+    }
+
     /// Whether a handle view still resolves to a live allocation (the
     /// fallible surface's non-panicking counterpart of [`resolve`]).
     ///
@@ -377,15 +420,20 @@ enum ForwardImpl {
     Radix2,
     /// Two-kernel SMEM implementation with this split (+OT stages).
     Smem { n1: usize, ot_stages: u32 },
+    /// Three-kernel hierarchical (4-step) implementation with this
+    /// column count (`n2 = N / n1`).
+    Hier { n1: usize },
 }
 
 /// The memoized calibration verdict for one shape: the overall
 /// modeled-time winner, plus the best SMEM split for the forced-`smem`
-/// mode (radix-2 when no split is feasible at all).
+/// mode and the best hierarchical split for the forced-`hier` mode
+/// (radix-2 when no candidate is feasible at all).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct ShapeChoice {
     auto: ForwardImpl,
     best_smem: ForwardImpl,
+    best_hier: ForwardImpl,
 }
 
 /// Forced routing mode from `NTT_WARP_SIM_FORWARD`.
@@ -394,6 +442,7 @@ enum ForwardMode {
     Auto,
     Radix2,
     Smem,
+    Hier,
 }
 
 /// The routing mode, resolved from `NTT_WARP_SIM_FORWARD` once per
@@ -409,6 +458,7 @@ fn forward_mode() -> ForwardMode {
         {
             "radix2" => ForwardMode::Radix2,
             "smem" => ForwardMode::Smem,
+            "hier" => ForwardMode::Hier,
             _ => ForwardMode::Auto,
         }
     })
@@ -773,6 +823,11 @@ fn ensure_tables(m: &mut SimMemory, plan: &RingPlan) {
                 m.gpu.gmem.free(buf);
             }
         }
+        if let Some(tw) = old.twist {
+            for buf in [tw.lo_w, tw.lo_c, tw.hi_w, tw.hi_c] {
+                m.gpu.gmem.free(buf);
+            }
+        }
     }
     let np = plan.np();
     let mut tw = Vec::with_capacity(np * n);
@@ -806,6 +861,7 @@ fn ensure_tables(m: &mut SimMemory, plan: &RingPlan) {
         itwc,
         n_inv,
         ot: None,
+        twist: None,
     });
     let s = m.gpu.active_stream();
     m.tables_ready = m.gpu.record_event(s);
@@ -824,9 +880,23 @@ fn ensure_ot(m: &mut SimMemory, plan: &RingPlan, base: usize) -> DeviceOt {
     ot
 }
 
+/// The cached hierarchical twist-factor tables for the current plan
+/// tables, built on the first hier-routed forward.
+fn ensure_twist(m: &mut SimMemory, plan: &RingPlan) -> DeviceTwist {
+    let tables = m.tables.as_ref().expect("tables uploaded");
+    if let Some(twist) = tables.twist {
+        return twist;
+    }
+    let host_tables: Vec<&ntt_core::NttTable> = (0..plan.np()).map(|i| plan.table(i)).collect();
+    let base = hier::TWIST_BASE.min(2 * plan.degree());
+    let twist = DeviceTwist::upload_tables(&mut m.gpu, plan.degree(), &host_tables, base);
+    m.tables.as_mut().expect("tables uploaded").twist = Some(twist);
+    twist
+}
+
 /// Launch a forward NTT over `row_prime.len()` rows at `data` through the
-/// chosen implementation (radix-2 stage kernels or the SMEM two-kernel
-/// split, per `choice`).
+/// chosen implementation (radix-2 stage kernels, the SMEM two-kernel
+/// split, or the hierarchical three-kernel plan, per `choice`).
 fn run_forward(
     m: &mut SimMemory,
     plan: &RingPlan,
@@ -864,6 +934,26 @@ fn run_forward(
                 row_prime,
             };
             smem::launch_job(gpu, &job, &cfg, ot.as_ref());
+        }
+        ForwardImpl::Hier { n1 } => {
+            let twist = ensure_twist(m, plan);
+            let scratch = m.acquire_scratch(row_prime.len() * plan.degree());
+            {
+                let SimMemory { gpu, tables, .. } = &mut *m;
+                let t = tables.as_ref().expect("tables uploaded");
+                let job = hier::HierJob {
+                    data,
+                    scratch,
+                    tw: t.tw,
+                    twc: t.twc,
+                    n: t.n,
+                    log_n: t.n.trailing_zeros(),
+                    moduli: &t.primes,
+                    row_prime,
+                };
+                hier::launch_job(gpu, &job, n1, &twist, hier::PER_THREAD);
+            }
+            m.release_scratch(scratch);
         }
     }
 }
@@ -1034,6 +1124,9 @@ impl SimBackend {
             ForwardMode::Smem if n >= 4 => {
                 return self.cached_or_calibrated(n, rows).best_smem;
             }
+            ForwardMode::Hier if n >= 4 => {
+                return self.cached_or_calibrated(n, rows).best_hier;
+            }
             _ => {}
         }
         if n < SMEM_MIN_N {
@@ -1102,29 +1195,46 @@ impl SimBackend {
     }
 }
 
+/// A forward-implementation candidate in the calibration sweep.
+enum Cand {
+    Radix2,
+    Smem(SmemConfig),
+    Hier(usize),
+}
+
 /// Pick the forward implementation for `n`-point rows the way
 /// `best_split` does: run every feasible Fig. 12(a) split (with and
-/// without OT) plus the radix-2 baseline on a **scratch** device of the
-/// same model, and keep the minimum modeled time. Purely simulated, so
-/// the verdict is deterministic and reproducible across runs. Both the
-/// overall winner (`auto`, which may be radix-2) and the best SMEM split
-/// (for the forced-`smem` mode) are returned and cached — a radix-2
-/// verdict must not re-trigger the sweep on every launch.
+/// without OT), every hierarchical 4-step column count, and the radix-2
+/// baseline on a **scratch** device of the same model, and keep the
+/// minimum modeled time. Purely simulated, so the verdict is
+/// deterministic and reproducible across runs. The overall winner
+/// (`auto`, which may be radix-2), the best SMEM split (forced-`smem`
+/// mode) and the best hierarchical split (forced-`hier` mode) are all
+/// returned and cached — a radix-2 verdict must not re-trigger the
+/// sweep on every launch.
+///
+/// Hierarchical candidates follow a precedence chain: an
+/// `NTT_WARP_SPLIT=AxB` override (with `A*B == n`) is authoritative; a
+/// split persisted in the per-host calibration file is reused next; only
+/// when neither applies does the sweep try the near-square column counts,
+/// persisting the winner for future processes.
 fn calibrate_forward_choice(config: &GpuConfig, n: usize, rows: usize) -> ShapeChoice {
     let log_n = n.trailing_zeros();
     let np = rows.clamp(1, 4);
-    let bench = |cfg: Option<&SmemConfig>| -> Option<f64> {
+    let bench = |cand: &Cand| -> Option<f64> {
         // Scratch device through the handle layer, so even calibration
         // sweeps exercise the same allocator as resident execution.
         let mut mem = SimMemory::new(config.clone());
         let batch = crate::batch::DeviceBatch::sequential_on(&mut mem, log_n, np, 60).ok()?;
-        let rep = match cfg {
-            None => crate::radix2::run(mem.gpu_mut(), &batch, ModMul::Shoup),
-            Some(c) => smem::run(mem.gpu_mut(), &batch, c),
+        let rep = match cand {
+            Cand::Radix2 => crate::radix2::run(mem.gpu_mut(), &batch, ModMul::Shoup),
+            Cand::Smem(c) => smem::run(mem.gpu_mut(), &batch, c),
+            Cand::Hier(n1) => hier::run(mem.gpu_mut(), &batch, *n1),
         };
         Some(rep.total_s())
     };
-    let mut auto: Option<(ForwardImpl, f64)> = bench(None).map(|t| (ForwardImpl::Radix2, t));
+    let mut auto: Option<(ForwardImpl, f64)> =
+        bench(&Cand::Radix2).map(|t| (ForwardImpl::Radix2, t));
     let mut best_smem: Option<(ForwardImpl, f64)> = None;
     for n1 in SmemConfig::paper_splits(log_n) {
         if !(n1.is_power_of_two() && n1 >= 2 && n1 <= n / 2) {
@@ -1138,7 +1248,7 @@ fn calibrate_forward_choice(config: &GpuConfig, n: usize, rows: usize) -> ShapeC
             if !smem::job_feasible(n, &cfg, config) {
                 continue;
             }
-            if let Some(t) = bench(Some(&cfg)) {
+            if let Some(t) = bench(&Cand::Smem(cfg)) {
                 let choice = ForwardImpl::Smem { n1, ot_stages };
                 if best_smem.as_ref().is_none_or(|(_, b)| t < *b) {
                     best_smem = Some((choice, t));
@@ -1149,9 +1259,58 @@ fn calibrate_forward_choice(config: &GpuConfig, n: usize, rows: usize) -> ShapeC
             }
         }
     }
+    let forced = ntt_core::hier::env_split().filter(|&(a, b)| a * b == n);
+    let calib_path = ntt_core::calibration::calibration_path();
+    let persisted = if forced.is_none() {
+        calib_path
+            .as_deref()
+            .and_then(|p| ntt_core::calibration::load_hier_split(p, n))
+    } else {
+        None
+    };
+    let hier_splits: Vec<usize> = match forced.or(persisted) {
+        Some((a, _)) => vec![a],
+        None => {
+            let l = log_n as usize;
+            let mut v = vec![
+                1usize << (l / 2),
+                1usize << l.div_ceil(2),
+                1usize << (l / 2 + 1),
+            ];
+            if l / 2 >= 1 {
+                v.push(1usize << (l / 2 - 1));
+            }
+            v.sort_unstable();
+            v.dedup();
+            v
+        }
+    };
+    let mut best_hier: Option<(ForwardImpl, f64)> = None;
+    for n1 in hier_splits {
+        if !hier::job_feasible(n, n1, hier::PER_THREAD, config) {
+            continue;
+        }
+        if let Some(t) = bench(&Cand::Hier(n1)) {
+            let choice = ForwardImpl::Hier { n1 };
+            if best_hier.as_ref().is_none_or(|(_, b)| t < *b) {
+                best_hier = Some((choice, t));
+            }
+            if auto.as_ref().is_none_or(|(_, b)| t < *b) {
+                auto = Some((choice, t));
+            }
+        }
+    }
+    if forced.is_none() && persisted.is_none() {
+        if let (Some(path), Some((ForwardImpl::Hier { n1 }, _))) =
+            (calib_path.as_deref(), best_hier.as_ref())
+        {
+            ntt_core::calibration::store_hier_split(path, n, (*n1, n / n1));
+        }
+    }
     ShapeChoice {
         auto: auto.map_or(ForwardImpl::Radix2, |(c, _)| c),
         best_smem: best_smem.map_or(ForwardImpl::Radix2, |(c, _)| c),
+        best_hier: best_hier.map_or(ForwardImpl::Radix2, |(c, _)| c),
     }
 }
 
@@ -1989,5 +2148,108 @@ mod tests {
         ev.rescale(&mut dev);
         dev.sync();
         assert_eq!(dev, host);
+    }
+
+    /// A backend with the forward route pinned to the hierarchical
+    /// implementation for one shape (bypasses the process-global
+    /// `NTT_WARP_SIM_FORWARD` OnceLock so tests stay independent).
+    fn hier_pinned(n: usize, n1: usize) -> SimBackend {
+        let sim = SimBackend::titan_v();
+        let choice = ForwardImpl::Hier { n1 };
+        sim.split_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(
+                n,
+                ShapeChoice {
+                    auto: choice,
+                    best_smem: choice,
+                    best_hier: choice,
+                },
+            );
+        sim
+    }
+
+    #[test]
+    fn hier_routing_matches_cpu_at_bootstrap_scale() {
+        // The full trait path through the 3-kernel hierarchical plan at
+        // N = 2^16 — twist upload, scratch acquire/release, forward —
+        // must stay bit-exact with the CPU reference, and the trace must
+        // actually contain the hier kernels.
+        let n = 1 << 16;
+        let ring = ring(n, 2);
+        let plan = RingPlan::new(&ring);
+        let x = sample(&ring, 77);
+
+        let mut fc = x.clone();
+        CpuBackend::default().forward_batch(&plan, LimbBatch::from_poly(&mut fc));
+
+        let mut sim = hier_pinned(n, 256);
+        let mut fs = x.clone();
+        sim.forward_batch(&plan, LimbBatch::from_poly(&mut fs));
+        assert_eq!(fc.flat(), fs.flat(), "hier-routed forward");
+
+        let launches: Vec<String> =
+            sim.with_gpu(|g| g.trace.iter().map(|l| l.launch.label.clone()).collect());
+        for k in ["hier-col-256", "hier-twt", "hier-row-256"] {
+            assert!(
+                launches.iter().any(|l| l == k),
+                "missing {k} in {launches:?}"
+            );
+        }
+
+        // And the inverse (radix-2) undoes it.
+        sim.inverse_batch(&plan, LimbBatch::from_poly(&mut fs));
+        assert_eq!(fs.flat(), x.flat(), "roundtrip through hier forward");
+    }
+
+    #[test]
+    fn hier_scratch_recycling_keeps_readiness_map_bounded() {
+        // Satellite (f): repeated hier forwards acquire and release the
+        // transpose scratch every call. The consumed-on-acquire protocol
+        // must keep the per-base readiness map bounded instead of leaking
+        // one event per launch.
+        let n = 1 << 12;
+        let ring = ring(n, 1);
+        let plan = RingPlan::new(&ring);
+        let mut sim = hier_pinned(n, 64);
+        let mut x = sample(&ring, 5);
+        sim.forward_batch(&plan, LimbBatch::from_poly(&mut x));
+        let baseline = sim.lock().readiness_entries();
+        for _ in 0..32 {
+            sim.forward_batch(&plan, LimbBatch::from_poly(&mut x));
+        }
+        let after = sim.lock().readiness_entries();
+        assert!(
+            after <= baseline + 1,
+            "readiness map grew {baseline} -> {after} across 32 hier forwards"
+        );
+    }
+
+    #[test]
+    fn auto_calibration_includes_hier_candidates() {
+        // The sweep itself (no pin, no env): calibrating a large shape
+        // must produce a feasible hierarchical winner in `best_hier` and
+        // leave `auto` pointing at *some* modeled-time winner that stays
+        // bit-exact (checked via the normal forward path).
+        let config = GpuConfig::titan_v();
+        let n = 1 << 13;
+        let choice = calibrate_forward_choice(&config, n, 2);
+        match choice.best_hier {
+            ForwardImpl::Hier { n1 } => {
+                assert!(n1.is_power_of_two() && n1 >= 2 && n1 <= n / 2);
+            }
+            other => panic!("expected a hier split for N=2^13, got {other:?}"),
+        }
+
+        let ring = ring(n, 2);
+        let plan = RingPlan::new(&ring);
+        let x = sample(&ring, 19);
+        let mut fc = x.clone();
+        CpuBackend::default().forward_batch(&plan, LimbBatch::from_poly(&mut fc));
+        let mut sim = SimBackend::titan_v();
+        let mut fs = x.clone();
+        sim.forward_batch(&plan, LimbBatch::from_poly(&mut fs));
+        assert_eq!(fc.flat(), fs.flat(), "auto-routed forward at N=2^13");
     }
 }

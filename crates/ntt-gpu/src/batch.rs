@@ -41,6 +41,9 @@ pub struct DeviceBatch {
     /// Handle-layer identities of `[data, twiddles, companions]` when the
     /// batch was allocated through a [`SimMemory`] (None on the raw path).
     handles: Option<[DeviceBuf; 3]>,
+    /// RNS prime index of each data row (identity unless remapped with
+    /// [`DeviceBatch::with_row_prime`]).
+    row_prime: Vec<usize>,
     /// Pristine input copy (host side) for verification.
     input: Vec<Vec<u64>>,
 }
@@ -125,6 +128,7 @@ impl DeviceBatch {
             twiddles,
             companions,
             handles: None,
+            row_prime: (0..rows.len()).collect(),
             input: rows,
         })
     }
@@ -168,8 +172,25 @@ impl DeviceBatch {
             twiddles,
             companions,
             handles: Some([dh, th, ch]),
+            row_prime: (0..rows.len()).collect(),
             input: rows,
         })
+    }
+
+    /// Override the row→prime mapping (e.g. a stacked buffer-of-digits
+    /// layout where row `r` carries prime `r % level`). Kernels draw their
+    /// modulus and twiddle slice from this map instead of assuming row
+    /// `i` ↔ prime `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map's length differs from `np` or any entry is out of
+    /// range.
+    pub fn with_row_prime(mut self, map: Vec<usize>) -> Self {
+        assert_eq!(map.len(), self.np, "row map must cover every row");
+        assert!(map.iter().all(|&p| p < self.np), "prime index out of range");
+        self.row_prime = map;
+        self
     }
 
     /// Convenience batch with deterministic pseudo-input
@@ -240,6 +261,12 @@ impl DeviceBatch {
     #[inline]
     pub fn table(&self, i: usize) -> &NttTable {
         &self.tables[i]
+    }
+
+    /// RNS prime index of each data row.
+    #[inline]
+    pub fn row_prime(&self) -> &[usize] {
+        &self.row_prime
     }
 
     /// The pristine input rows.

@@ -50,6 +50,7 @@ pub mod backend;
 pub mod batch;
 pub mod dft;
 pub mod fpga_baseline;
+pub mod hier;
 pub mod high_radix;
 pub mod ot;
 pub mod radix2;

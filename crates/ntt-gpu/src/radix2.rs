@@ -370,14 +370,13 @@ pub fn run_inverse(gpu: &mut Gpu, batch: &DeviceBatch) -> RunReport {
     let itw = gpu.gmem.alloc_from(&itw_host);
     let itwc = gpu.gmem.alloc_from(&itwc_host);
 
-    let row_prime: Vec<usize> = (0..np).collect();
     let launches = launch_inverse(
         gpu,
         batch.data,
         itw,
         itwc,
         n,
-        &row_prime,
+        batch.row_prime(),
         batch.moduli(),
         &n_inv,
     );
@@ -388,14 +387,13 @@ pub fn run_inverse(gpu: &mut Gpu, batch: &DeviceBatch) -> RunReport {
 ///
 /// The transform is in place on `batch.data` (bit-reversed output).
 pub fn run(gpu: &mut Gpu, batch: &DeviceBatch, mode: ModMul) -> RunReport {
-    let row_prime: Vec<usize> = (0..batch.np()).collect();
     let launches = launch_forward(
         gpu,
         batch.data,
         batch.twiddles,
         batch.companions,
         batch.n(),
-        &row_prime,
+        batch.row_prime(),
         batch.moduli(),
         mode,
     );

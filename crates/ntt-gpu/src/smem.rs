@@ -130,13 +130,13 @@ impl SmemConfig {
 }
 
 /// Modeled 32-bit registers for a T-point-per-thread SMEM kernel.
-fn regs_per_thread(t: usize) -> u32 {
+pub(crate) fn regs_per_thread(t: usize) -> u32 {
     4 * t as u32 + 64
 }
 
 /// Which half of the factorization a kernel instance runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Orientation {
+pub(crate) enum Orientation {
     /// Kernel-1: strided columns, shared twiddles (`tw_base = 1`).
     Strided,
     /// Kernel-2: contiguous rows, per-row twiddles (`tw_base = N1 + row`).
@@ -145,6 +145,16 @@ enum Orientation {
 
 struct TwoStepKernel {
     data: Buf,
+    /// Output buffer of the final level (same as `data` for the classic
+    /// two-kernel split; the hierarchical row kernel stores into the
+    /// original array while reading the transposed intermediate).
+    out: Buf,
+    /// Final stores go through SMEM and a cooperative coalesced write-out
+    /// that *transposes* the block's tile: group `g`'s `r` points land
+    /// contiguously at `out[g*r ..]` even though the kernel reads them
+    /// strided. Used by the hierarchical row kernel so the result comes
+    /// back in natural row-major layout.
+    transposed_out: bool,
     tw: Buf,
     twc: Buf,
     n: usize,
@@ -193,13 +203,13 @@ impl TwoStepKernel {
         }
     }
 
-    /// Global data word for (row, group, local element).
-    fn elem_addr(&self, row: usize, group: usize, e: usize) -> usize {
+    /// Global word in `buf` for (row, group, local element).
+    fn elem_addr(&self, buf: Buf, row: usize, group: usize, e: usize) -> usize {
         let off = match self.orientation {
             Orientation::Strided => group + e * self.groups_per_prime(),
             Orientation::Contiguous => group * self.r + e,
         };
-        self.data.word(row * self.n + off)
+        buf.word(row * self.n + off)
     }
 
     /// Global group index for (block-in-prime, group-in-block).
@@ -387,7 +397,8 @@ impl TwoStepKernel {
 
 impl WarpKernel for TwoStepKernel {
     fn phases(&self) -> usize {
-        2 * self.levels.len()
+        // The transposing write-out needs one extra cooperative phase.
+        2 * self.levels.len() + usize::from(self.transposed_out)
     }
 
     fn run_warp(&self, ctx: &mut WarpCtx<'_>) {
@@ -447,7 +458,7 @@ impl WarpKernel for TwoStepKernel {
                             let (c, u) = self.split_tid(tid);
                             let group = self.global_group(block_in_prime, c);
                             let e = self.item_elem(0, u + b * tpg, s);
-                            Some(self.elem_addr(row, group, e))
+                            Some(self.elem_addr(self.data, row, group, e))
                         })
                         .collect();
                     let vals = if self.coalesced || self.orientation == Orientation::Contiguous {
@@ -463,13 +474,44 @@ impl WarpKernel for TwoStepKernel {
             return;
         }
 
+        if phase == 2 * n_levels {
+            // Transposing write-out (hierarchical row kernel): the block's
+            // finished tile sits in SMEM as `c` groups × `r` points; group
+            // `g`'s points go contiguously to `out[(u0+g)*r ..]`, so SMEM
+            // word `q` maps straight to output word `u0*r + q` and every
+            // warp writes adjacent addresses (coalesced despite the
+            // strided compute layout).
+            let u0 = block_in_prime * self.c;
+            let base = self.out.word(row * self.n + u0 * self.r);
+            let tile = self.c * self.r;
+            let mut q = ctx.warp * 32;
+            while q < tile {
+                let addrs: Vec<Option<usize>> = (0..lanes)
+                    .map(|l| {
+                        let i = q + l;
+                        (i < tile).then_some(i)
+                    })
+                    .collect();
+                let vals = ctx.smem_load(&addrs);
+                let writes: Vec<Option<(usize, u64)>> = (0..lanes)
+                    .map(|l| vals[l].map(|v| (base + q + l, v)))
+                    .collect();
+                ctx.gmem_store(&writes);
+                q += threads; // all warps advance together
+            }
+            return;
+        }
+
         if phase % 2 == 1 {
             // Compute level and store out.
             let level = (phase - 1) / 2;
             self.compute_level(ctx, level);
             let size = self.levels[level];
             let subs = self.t / size;
-            let last = level + 1 == n_levels;
+            // With a transposing write-out the last level parks its
+            // results in SMEM for the final cooperative phase instead of
+            // scattering strided stores to GMEM.
+            let last = level + 1 == n_levels && !self.transposed_out;
             for b in 0..subs {
                 for s in 0..size {
                     if last {
@@ -480,7 +522,7 @@ impl WarpKernel for TwoStepKernel {
                                 let group = self.global_group(block_in_prime, c);
                                 let e = self.item_elem(level, u + b * tpg, s);
                                 let v = ctx.regs(l)[b * size + s];
-                                Some((self.elem_addr(row, group, e), v))
+                                Some((self.elem_addr(self.out, row, group, e), v))
                             })
                             .collect();
                         if self.coalesced || self.orientation == Orientation::Contiguous {
@@ -529,7 +571,7 @@ impl WarpKernel for TwoStepKernel {
 
 /// Decompose `r` into per-thread levels: `t`-sized levels, big first, with
 /// a smaller final level when `log2 t ∤ log2 r`.
-fn level_sizes(r: usize, t: usize) -> Vec<usize> {
+pub(crate) fn level_sizes(r: usize, t: usize) -> Vec<usize> {
     let mut out = Vec::new();
     let mut rem = r;
     while rem > 1 {
@@ -542,7 +584,7 @@ fn level_sizes(r: usize, t: usize) -> Vec<usize> {
 
 /// Block shape for an `r`-point kernel with `t`-point threads: ~256-thread
 /// blocks built from whole groups (never more groups than exist).
-fn launch_shape(r: usize, t: usize, groups_per_prime: usize) -> (usize, usize) {
+pub(crate) fn launch_shape(r: usize, t: usize, groups_per_prime: usize) -> (usize, usize) {
     let tpg = r / t;
     let c = (256 / tpg).max(1).min(groups_per_prime);
     (c, c * tpg)
@@ -614,6 +656,8 @@ fn make_kernel(
     };
     let kernel = TwoStepKernel {
         data: job.data,
+        out: job.data,
+        transposed_out: false,
         tw: job.tw,
         twc: job.twc,
         n,
@@ -635,6 +679,84 @@ fn make_kernel(
         .smem_bytes(smem_words * 8)
         .reg_slots(t);
     (kernel, launch)
+}
+
+/// One sub-NTT stage of the hierarchical (4-step) plan: `N/r` strided
+/// compact `r`-point NTTs per row. Because every group sits below an
+/// inter-block twist, they all share `tw_base = 1`, i.e. the first `r`
+/// entries of the global table — which *are* the compact size-`r` table —
+/// so the stage needs no twiddle uploads of its own and preloads them into
+/// SMEM like Kernel-1.
+pub(crate) struct HierStageJob<'a> {
+    /// Input buffer (`rows × N`), read strided: element `e` of group `g`
+    /// lives at `g + e·(N/r)`.
+    pub data: Buf,
+    /// Output buffer (`rows × N`). Equal to `data` for the in-place column
+    /// stage; the row stage writes the transposed intermediate back to the
+    /// original array.
+    pub out: Buf,
+    /// Store group `g` contiguously at `out[g·r ..]` via the SMEM-staged
+    /// transposing write-out (row stage) instead of in place (column
+    /// stage).
+    pub contiguous_out: bool,
+    /// `np × N` forward twiddle values (bit-reversed global table).
+    pub tw: Buf,
+    /// `np × N` Shoup companions.
+    pub twc: Buf,
+    /// Full transform size `N` (row stride).
+    pub n: usize,
+    /// `log2 N`.
+    pub log_n: u32,
+    /// This stage's sub-NTT size.
+    pub r: usize,
+    /// Per-thread NTT size.
+    pub per_thread: usize,
+    /// Per-prime moduli (indexed by prime id).
+    pub moduli: &'a [u64],
+    /// RNS prime index of each data row.
+    pub row_prime: &'a [usize],
+    /// Kernel label, e.g. `hier-col-256`.
+    pub name: String,
+}
+
+/// Launch one hierarchical sub-NTT stage (one kernel).
+pub(crate) fn launch_hier_stage(gpu: &mut Gpu, job: &HierStageJob<'_>) {
+    assert!(
+        job.r.is_power_of_two() && job.r >= 2 && job.r <= job.n / 2,
+        "invalid hierarchical sub-NTT size"
+    );
+    let t = job.per_thread.min(job.r);
+    let groups = job.n / job.r;
+    let (c, threads) = launch_shape(job.r, t, groups);
+    let levels = level_sizes(job.r, t);
+    // Data tile + preloaded twiddle values and companions.
+    let smem_words = c * job.r + 2 * job.r;
+    let blocks = job.row_prime.len() * groups / c;
+    let kernel = TwoStepKernel {
+        data: job.data,
+        out: job.out,
+        transposed_out: job.contiguous_out,
+        tw: job.tw,
+        twc: job.twc,
+        n: job.n,
+        log_n: job.log_n,
+        moduli: job.moduli.to_vec(),
+        row_prime: job.row_prime.to_vec(),
+        r: job.r,
+        t,
+        levels,
+        c,
+        orientation: Orientation::Strided,
+        coalesced: true,
+        preload: true,
+        native: false,
+        ot: None,
+    };
+    let launch = LaunchConfig::new(job.name.clone(), blocks, threads)
+        .regs_per_thread(regs_per_thread(t))
+        .smem_bytes(smem_words * 8)
+        .reg_slots(t);
+    gpu.launch(&kernel, &launch);
 }
 
 /// Launch the two SMEM kernels over an arbitrary row-mapped job. Returns
@@ -699,7 +821,6 @@ pub fn run_with_ot(
     ot: Option<&DeviceOt>,
 ) -> RunReport {
     let n = batch.n();
-    let row_prime: Vec<usize> = (0..batch.np()).collect();
     let job = SmemJob {
         data: batch.data,
         tw: batch.twiddles,
@@ -707,7 +828,7 @@ pub fn run_with_ot(
         n,
         log_n: batch.log_n(),
         moduli: batch.moduli(),
-        row_prime: &row_prime,
+        row_prime: batch.row_prime(),
     };
     let launches = launch_job(gpu, &job, cfg, ot);
     RunReport::from_trace(format!("smem {}", cfg.label(n)), gpu, launches)

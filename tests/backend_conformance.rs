@@ -120,6 +120,72 @@ proptest! {
     }
 }
 
+/// Bootstrapping-scale conformance: forward ≡ strict CT reference and
+/// `inverse ∘ forward` = id on **every** backend for N ∈ {2^12..2^17} —
+/// the sizes where the Sim auto-router weighs the hierarchical 4-step
+/// plan against the two-kernel SMEM split. One backend instance per
+/// substrate is reused across sizes so the Sim calibrates each shape
+/// once (the verdict cache is per backend family).
+#[test]
+fn every_backend_agrees_at_bootstrap_scale() {
+    let mut backends = registry();
+    for log_n in 12u32..=17 {
+        let n = 1usize << log_n;
+        let ring = ring_with(n, 59, 1);
+        let plan = RingPlan::new(&ring);
+        let x = pseudo_random_rows(&ring, 0xB007_0000 + u64::from(log_n));
+        let mut reference = x.clone();
+        ct::ntt(reference.row_mut(0), ring.ring(0).table());
+        for be in &mut backends {
+            let mut f = x.clone();
+            be.forward_batch(&plan, LimbBatch::from_poly(&mut f));
+            assert_eq!(
+                f.flat(),
+                reference.flat(),
+                "forward, N=2^{log_n}, backend {}",
+                be.name()
+            );
+            be.inverse_batch(&plan, LimbBatch::from_poly(&mut f));
+            assert_eq!(
+                f.flat(),
+                x.flat(),
+                "roundtrip, N=2^{log_n}, backend {}",
+                be.name()
+            );
+        }
+    }
+}
+
+/// Cpu ≡ Sim under a device-resident chain at N = 2^16 (the deep
+/// bootstrapping ring): forward → pointwise-square → negate → inverse,
+/// all device-side on the Sim, must be bit-identical to the host-only
+/// CPU run.
+#[test]
+fn cpu_and_sim_agree_on_resident_chain_at_deep_ring() {
+    use ntt_warp::core::backend::Evaluator;
+    let ring = ring_with(1 << 16, 59, 2);
+    let x = pseudo_random_rows(&ring, 0xDEE9);
+
+    let chain = |ev: &mut Evaluator| -> RnsPoly {
+        let mut a = x.clone();
+        let mut be = x.clone();
+        ev.make_resident(&mut a);
+        ev.make_resident(&mut be);
+        ev.to_evaluation(&mut a);
+        ev.to_evaluation(&mut be);
+        ev.mul_pointwise(&mut a, &be);
+        ev.negate(&mut a);
+        ev.to_coefficient(&mut a);
+        a.sync();
+        a
+    };
+
+    let cpu = chain(&mut Evaluator::cpu(&ring));
+    let mut sim_ev = Evaluator::with_backend(&ring, Box::new(SimBackend::titan_v()));
+    let sim = chain(&mut sim_ev);
+    assert_eq!(cpu.flat(), sim.flat(), "resident chain at N=2^16");
+}
+
 /// Worst-case magnitudes: all-(p−1) rows under the largest 62-bit
 /// NTT-friendly prime, on every backend.
 #[test]

@@ -102,6 +102,66 @@ fn bootstrap_is_bit_exact_across_backends() {
     assert_eq!(cpu, sim, "bootstrap chain diverged between Cpu and Sim");
 }
 
+/// `BootParams::deep()` end-to-end at the bootstrapping-scale ring: the
+/// full 21-level pipeline, sparsely packed (`with_matrix_slots` ≪ N/2)
+/// so key and diagonal material stays tractable, bit-exact Cpu≡Sim.
+/// The Sim side routes its forwards through the size-calibrated winner,
+/// which at this scale weighs the hierarchical 4-step plan. Debug
+/// builds run the identical pipeline (including the key-adoption path)
+/// at N=2^8 to keep `cargo test -q` fast; release builds
+/// (`cargo test --release`) run the full N=2^16 ring, where the CPU
+/// side crosses the hierarchical threshold and the Sim side launches
+/// the three-kernel plan.
+#[test]
+fn deep_bootstrap_at_bootstrap_ring_is_bit_exact_across_backends() {
+    let bp = BootParams::deep();
+    let log_n: u32 = if cfg!(debug_assertions) { 8 } else { 16 };
+    let values: Vec<f64> = (0..16).map(|i| ((i as f64) * 0.23).cos() * 0.5).collect();
+    let run = |ctx: &Arc<HeContext>, boot: &Bootstrapper, keys: &KeySet| {
+        let pt = ctx.encode_with_scale(&values, boot.input_scale());
+        let ct = ctx.encrypt(&pt, &keys.public, &mut sampling::seeded_rng(31));
+        let low = ctx.drop_to_level(&ct, 1);
+        let out = boot.bootstrap(&low);
+        assert_eq!(out.level(), boot.output_level());
+        bits(out)
+    };
+
+    // Key generation is host-side, backend-independent math — at this
+    // ring it is minutes of single-thread NTTs and ~14 GB of relin
+    // material — so pay it once on the CPU context and adopt the
+    // identical bits on the device context.
+    let cpu_ctx = Arc::new(
+        HeContext::with_backend(bp.he_params(log_n, 50), Box::<CpuBackend>::default())
+            .expect("context builds"),
+    );
+    let mut rng = sampling::seeded_rng(29);
+    let keys = cpu_ctx.keygen(&mut rng);
+    let boot_cpu = Bootstrapper::with_matrix_slots(Arc::clone(&cpu_ctx), &keys, bp, 8, &mut rng);
+    let cpu = run(&cpu_ctx, &boot_cpu, &keys);
+    let rot = boot_cpu.rotation_keys().clone();
+    // Free the CPU engine's relin copy before the device copies land.
+    drop(boot_cpu);
+    drop(cpu_ctx);
+
+    let sim_ctx = Arc::new(
+        HeContext::with_backend(bp.he_params(log_n, 50), Box::new(SimBackend::titan_v()))
+            .expect("context builds"),
+    );
+    let keys_sim = sim_ctx.adopt_keys(&keys);
+    let rot_sim = sim_ctx.adopt_rotation_keys(&rot);
+    // The host originals are done; at N=2^16 they hold ~23 GB that the
+    // Sim phase (device mirrors + the bootstrapper's relin copy) needs.
+    drop(keys);
+    drop(rot);
+    let boot_sim =
+        Bootstrapper::with_rotation_keys(Arc::clone(&sim_ctx), &keys_sim, bp, 8, rot_sim);
+    let sim = run(&sim_ctx, &boot_sim, &keys_sim);
+    assert_eq!(
+        cpu, sim,
+        "deep bootstrap at N=2^{log_n} diverged between Cpu and Sim"
+    );
+}
+
 /// The fallible bootstrap with no fault plan armed takes the identical
 /// path: `try_bootstrap` ≡ `bootstrap`, bit for bit, on the device.
 #[test]
