@@ -259,6 +259,44 @@ fn bench_ntt_hier(_c: &mut Criterion) {
     );
 }
 
+/// The multi-device sharding gate inputs: modeled device time for the
+/// same deep-chain multiply/relinearize/rescale job on K = 4 simulated
+/// devices vs a single device, at a bootstrapping-adjacent ring
+/// (N = 2¹⁵, 16 levels — scaling efficiency is a function of work per
+/// launch, so the gate runs where the kernels are row-work-bound; see
+/// `experiments::sharding_params`). One gate in `bench_smoke.sh`:
+///
+/// * `ntt_sharded/k4_device_time <= 0.45 * ntt_sharded/k1_device_time`
+///   — the 4-way RNS row partition must convert to real modeled
+///   speedup through the key-switch all-gather traffic, not just
+///   divide the row counts.
+///
+/// The sweep itself asserts every configuration decrypts bit-identical
+/// to the CPU reference, so the gate cannot pass on a partition that
+/// broke the math. Both sides are modeled time from one deterministic
+/// run, so the gate holds on any host.
+fn bench_sharding(_c: &mut Criterion) {
+    let sweep = ntt_bench::experiments::sharding(15, 16, 1, &[1, 4]);
+    let time_of = |k: usize| {
+        sweep
+            .reports
+            .iter()
+            .find(|r| r.shards == k)
+            .expect("sweep ran this shard count")
+            .timeline
+            .overlapped_s
+    };
+    let (t1, t4) = (time_of(1), time_of(4));
+    record_value("ntt_sharded/k1_device_time", t1 * 1e9);
+    record_value("ntt_sharded/k4_device_time", t4 * 1e9);
+    println!(
+        "bench: ntt_sharded K=4 {:.1} us vs K=1 {:.1} us modeled device time ({:.2}x)",
+        t4 * 1e6,
+        t1 * 1e6,
+        t4 / t1.max(f64::MIN_POSITIVE)
+    );
+}
+
 criterion_group!(
     benches,
     bench_he,
@@ -267,6 +305,7 @@ criterion_group!(
     bench_serve_batching,
     bench_serve_fault_overhead,
     bench_bootstrap,
-    bench_ntt_hier
+    bench_ntt_hier,
+    bench_sharding
 );
 criterion_main!(benches);

@@ -711,7 +711,8 @@ pub struct ServeReport {
     pub batched_jobs: u64,
     /// Chain results that missed the expected value (must be 0).
     pub mismatches: u64,
-    /// Median end-to-end latency, microseconds (bucketed upper bound).
+    /// Median end-to-end latency, microseconds (interpolated within
+    /// the histogram's log2 bucket, clamped to the recorded maximum).
     pub p50_us: f64,
     /// 99th-percentile end-to-end latency, microseconds.
     pub p99_us: f64,
@@ -1239,6 +1240,168 @@ pub fn ot_base_sweep(log_n: u32, np: usize) -> Vec<(usize, usize, usize, f64)> {
             (c.base, c.entries, c.modmuls, time)
         })
         .collect()
+}
+
+/// One shard count's outcome in the multi-device sweep.
+#[derive(Debug, Clone)]
+pub struct ShardingReport {
+    /// Simulated devices the RNS residue rows partition across.
+    pub shards: usize,
+    /// Modeled device window for the job set: `overlapped_s` is the
+    /// slowest shard's clock (the devices run concurrently), while
+    /// serialized time and launches sum over the set.
+    pub timeline: gpu_sim::DeviceTimeline,
+    /// Inter-device words moved inside the window — the key-switch base
+    /// conversion's all-gather traffic (zero at K = 1).
+    pub link_words: usize,
+    /// Inter-device transfer messages inside the window.
+    pub link_transfers: usize,
+}
+
+/// The multi-device sweep: the same serving job set per shard count,
+/// with the K = 1 entry as the single-device control (the `figures
+/// sharding` rows and the `bench_smoke` scaling gate's inputs).
+#[derive(Debug, Clone)]
+pub struct ShardingSweep {
+    /// Ring degree log2.
+    pub log_n: u32,
+    /// Modulus-chain depth (residue rows at full level).
+    pub levels: usize,
+    /// encrypt → multiply/relinearize → rescale → decrypt chains per
+    /// configuration.
+    pub jobs: usize,
+    /// One report per requested shard count, in request order.
+    pub reports: Vec<ShardingReport>,
+}
+
+impl ShardingSweep {
+    /// The single-device control (the K = 1 entry; falls back to the
+    /// smallest swept K when 1 was not requested).
+    pub fn baseline(&self) -> &ShardingReport {
+        self.reports
+            .iter()
+            .min_by_key(|r| r.shards)
+            .expect("sweep ran at least one shard count")
+    }
+
+    /// Modeled device-time speedup of `r` over the single-device
+    /// control (overlapped clocks: the devices run concurrently).
+    pub fn speedup(&self, r: &ShardingReport) -> f64 {
+        self.baseline().timeline.overlapped_s / r.timeline.overlapped_s.max(f64::MIN_POSITIVE)
+    }
+
+    /// Scaling efficiency of `r`: speedup over the control divided by
+    /// its device count (1.0 = perfect linear scaling).
+    pub fn efficiency(&self, r: &ShardingReport) -> f64 {
+        self.speedup(r) / r.shards as f64
+    }
+}
+
+/// Scheme parameters for the sharding sweep: a deeper modulus chain
+/// than [`serve_params`] (5 key-switch digits, caller-chosen depth) so
+/// an 8-way partition still has residue rows on every device and the
+/// kernels are row-work-bound rather than launch-overhead-bound. Every
+/// kernel launch costs a fixed modeled overhead regardless of its row
+/// count, and the per-shard launch count does not shrink with K — so
+/// scaling efficiency is a function of ring degree and chain depth
+/// (work per launch), which is exactly the regime split real multi-GPU
+/// HE stacks report: small rings don't scale, bootstrapping-scale
+/// rings do. Keep `levels % 8 == 0` so the K = 1/2/4/8 sweep hits the
+/// key-switch digit-alignment fast path at every point.
+fn sharding_params(log_n: u32, levels: usize) -> he_lite::HeLiteParams {
+    he_lite::HeLiteParams {
+        log_n,
+        prime_bits: 50,
+        levels,
+        scale_bits: 40,
+        gadget_bits: 10,
+        error_eta: 4,
+    }
+}
+
+/// The serving chain body shared by every sweep configuration: `jobs`
+/// seeded encrypt → multiply/relinearize → rescale → decrypt chains,
+/// returning the decoded results (the bit-exactness digest).
+fn sharding_run(ctx: &he_lite::HeContext, keys: &he_lite::KeySet, jobs: usize) -> Vec<Vec<f64>> {
+    (0..jobs)
+        .map(|j| {
+            let mut rng = he_lite::sampling::seeded_rng(100 + j as u64);
+            let a = ctx.encrypt(&ctx.encode(&[1.0 + j as f64, -0.5]), &keys.public, &mut rng);
+            let b = ctx.encrypt(&ctx.encode(&[2.0, 0.25 * j as f64]), &keys.public, &mut rng);
+            let mut prod = ctx.multiply(&a, &b, &keys.relin);
+            ctx.rescale(&mut prod);
+            ctx.decode(&ctx.decrypt(&prod, &keys.secret))
+        })
+        .collect()
+}
+
+/// Sweep the serving chain across shard counts on the multi-device
+/// [`ntt_gpu::ShardedBackend`], asserting every configuration's results
+/// are bit-identical to a `CpuBackend` reference before reporting
+/// modeled device windows and inter-device link traffic. Modeled time
+/// on both sides of any derived gate comes from the same deterministic
+/// run, so the gates hold on any host.
+///
+/// Keys are generated **once** on the CPU backend and adopted into
+/// every sharded configuration ([`he_lite::HeContext::adopt_keys`],
+/// the PR 9 cross-backend key-adoption path): keygen is bit-identical
+/// across backends, and re-simulating the key NTTs per configuration
+/// would dominate the sweep's wall clock at gate scale without
+/// changing a single measured number.
+pub fn sharding(log_n: u32, levels: usize, jobs: usize, shard_counts: &[usize]) -> ShardingSweep {
+    type SharedShards = std::sync::Arc<std::sync::Mutex<ntt_gpu::ShardedMemory>>;
+    fn drain_shards(dev: &SharedShards) {
+        dev.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .sync_all();
+    }
+    fn snapshot(dev: &SharedShards) -> (gpu_sim::DeviceTimeline, ntt_gpu::LinkStats) {
+        let m = dev
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        (m.timeline(), m.link_stats())
+    }
+
+    let params = sharding_params(log_n, levels);
+    let cpu = he_lite::HeContext::new(params).expect("cpu context builds");
+    let keys = cpu.keygen(&mut he_lite::sampling::seeded_rng(7));
+    let reference = sharding_run(&cpu, &keys, jobs);
+
+    let mut reports = Vec::new();
+    for &k in shard_counts {
+        let backend = ntt_gpu::ShardedBackend::titan_v(k, 1usize << log_n);
+        let dev = backend.memory_handle();
+        let ctx = he_lite::HeContext::with_backend(params, Box::new(backend))
+            .expect("sharded context builds");
+        let keys = ctx.adopt_keys(&keys);
+
+        // Warm-up: twiddle tables, forward-path calibration and pool
+        // setup happen once, outside the measured window.
+        let _ = sharding_run(&ctx, &keys, 1);
+        drain_shards(&dev);
+        let (t0, l0) = snapshot(&dev);
+        let outs = sharding_run(&ctx, &keys, jobs);
+        drain_shards(&dev);
+        let (t1, l1) = snapshot(&dev);
+
+        assert_eq!(
+            outs, reference,
+            "K={k} sharded chains depart from the CPU reference"
+        );
+        let link = l1.since(&l0);
+        reports.push(ShardingReport {
+            shards: k,
+            timeline: t1.since(&t0),
+            link_words: link.words,
+            link_transfers: link.transfers,
+        });
+    }
+    ShardingSweep {
+        log_n,
+        levels,
+        jobs,
+        reports,
+    }
 }
 
 #[cfg(test)]

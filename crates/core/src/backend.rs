@@ -165,20 +165,24 @@ fn montgomery_wins(bits: u32) -> bool {
     let class = usize::from(bits >= 40);
     *WINS[class].get_or_init(|| {
         let path = crate::calibration::calibration_path();
+        // Largest NTT-friendly primes of each class (2N = 2^12 keeps the
+        // probe representative of real parameter sets).
+        let probe_bits = if class == 0 { 31 } else { 61 };
+        // Persisted verdicts are keyed by the probe parameters: change
+        // the probe (prime class, order) and old entries stop matching,
+        // forcing a fresh measurement instead of a stale verdict.
+        let fp = crate::calibration::measurement_fingerprint(&[probe_bits as u64, 1 << 12]);
         if let Some(v) = path
             .as_deref()
-            .and_then(|p| crate::calibration::load_pointwise_verdict(p, class))
+            .and_then(|p| crate::calibration::load_pointwise_verdict(p, class, fp))
         {
             return v;
         }
-        // Largest NTT-friendly primes of each class (2N = 2^12 keeps the
-        // probe representative of real parameter sets).
-        let probe = ntt_math::ntt_prime(if class == 0 { 31 } else { 61 }, 1 << 12)
-            .expect("probe prime exists");
+        let probe = ntt_math::ntt_prime(probe_bits, 1 << 12).expect("probe prime exists");
         let (barrett_ns, mont_ns) = calibrate_pointwise(probe);
         let verdict = mont_ns < barrett_ns;
         if let Some(p) = path.as_deref() {
-            crate::calibration::store_pointwise_verdict(p, class, verdict);
+            crate::calibration::store_pointwise_verdict(p, class, fp, verdict);
         }
         verdict
     })
@@ -354,6 +358,27 @@ pub struct DeviceBuf {
     id: u64,
     base: usize,
     len: usize,
+}
+
+/// Reserve a process-unique id namespace for one [`DeviceMemory`]
+/// instance: the returned value is the starting `next_id` for that
+/// memory's allocations (ids are minted by incrementing past it).
+///
+/// Every memory in the process draws from one atomic counter, shifted
+/// into the high bits, so two memories can never mint the same handle id.
+/// Without this, per-instance counters all start at 1 and a [`DeviceBuf`]
+/// from backend A *silently resolves* against backend B's unrelated
+/// allocation of the same ordinal — the worst form of the foreign-handle
+/// bug, corrupting data instead of failing. With disjoint namespaces a
+/// foreign handle misses the map, which the fallible surface reports as
+/// [`BackendError::Fatal`] (and infallible paths fail fast on).
+///
+/// The low 40 bits leave room for a trillion allocations per memory; the
+/// high 24 bits allow sixteen million memory instances per process.
+pub fn handle_namespace() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(0);
+    NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed) << 40
 }
 
 impl DeviceBuf {
@@ -657,11 +682,24 @@ pub(crate) fn lock_memory(
 /// but they are **counted** exactly like real bus transfers, so the
 /// residency state machine is testable (and conformance-comparable against
 /// the simulated GPU) without any device at all.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct HostArena {
     bufs: HashMap<u64, Vec<u64>>,
     next_id: u64,
     stats: TransferStats,
+}
+
+impl Default for HostArena {
+    /// An empty arena whose handle ids start in a process-unique
+    /// namespace ([`handle_namespace`]) — a handle minted by one arena
+    /// can never resolve against another.
+    fn default() -> Self {
+        Self {
+            bufs: HashMap::new(),
+            next_id: handle_namespace(),
+            stats: TransferStats::default(),
+        }
+    }
 }
 
 impl HostArena {
@@ -736,6 +774,26 @@ impl DeviceMemory for HostArena {
 
     fn reset_stats(&mut self) {
         self.stats = TransferStats::default();
+    }
+
+    // The arena has no fault model, but a freed/foreign handle is still a
+    // recoverable condition on the typed surface: pre-validate instead of
+    // letting the infallible body panic.
+
+    fn try_upload(&mut self, dst: DeviceBuf, src: &[u64]) -> Result<(), BackendError> {
+        if !self.bufs.contains_key(&dst.id) {
+            return Err(BackendError::Fatal { op: "upload" });
+        }
+        self.upload(dst, src);
+        Ok(())
+    }
+
+    fn try_download(&mut self, src: DeviceBuf, dst: &mut [u64]) -> Result<(), BackendError> {
+        if !self.bufs.contains_key(&src.id) {
+            return Err(BackendError::Fatal { op: "download" });
+        }
+        self.download(src, dst);
+        Ok(())
     }
 }
 

@@ -21,9 +21,17 @@
 //!
 //! ```text
 //! # ntt-warp calibration v1 host=examplehost
-//! pointwise_class_0 montgomery
-//! pointwise_class_1 barrett
+//! pointwise_class_0_1fe0a3b4c5d6e7f8 montgomery
+//! pointwise_class_1_1fe0a3b4c5d6e7f8 barrett
 //! ```
+//!
+//! Every entry key carries a *measurement fingerprint* — a digest of the
+//! configuration the value was measured under (the probe parameters for
+//! CPU-side verdicts, `GpuConfig::fingerprint()` for device-model sweeps).
+//! A value recorded under one configuration is invisible under any other,
+//! so changing the device model (SM count, bandwidths, inter-device link
+//! parameters) falls back to re-measurement instead of silently adopting
+//! a stale entry keyed by hostname alone.
 //!
 //! Corrupt or wrong-version files are ignored (and rewritten on the next
 //! measurement); all I/O failures degrade silently to re-measuring —
@@ -168,15 +176,36 @@ pub fn resolve_calibration_path(
     )
 }
 
-/// The stored key for one pointwise prime-size class.
-fn pointwise_key(class: usize) -> String {
-    format!("pointwise_class_{class}")
+/// Fold a sequence of measurement parameters into a stable 64-bit
+/// fingerprint (FNV-1a). CPU-side probes (the pointwise micro-benchmark)
+/// use this over their probe parameters; device-model consumers fold
+/// `GpuConfig::fingerprint()` in directly. Entries persisted under one
+/// fingerprint are invisible under any other, so a changed configuration
+/// falls back to re-measurement instead of adopting a stale verdict.
+pub fn measurement_fingerprint(parts: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for b in part.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
 }
 
-/// Read the persisted Montgomery-vs-Barrett verdict for a size class from
-/// `path` (`true` = Montgomery wins). `None` on any miss.
-pub fn load_pointwise_verdict(path: &Path, class: usize) -> Option<bool> {
-    match Calibration::load(path)?.get(&pointwise_key(class))? {
+/// The stored key for one pointwise prime-size class under one
+/// measurement fingerprint.
+fn pointwise_key(class: usize, fp: u64) -> String {
+    format!("pointwise_class_{class}_{fp:016x}")
+}
+
+/// Read the persisted Montgomery-vs-Barrett verdict for a size class
+/// measured under fingerprint `fp` from `path` (`true` = Montgomery
+/// wins). `None` on any miss — including a verdict recorded under a
+/// different fingerprint (pre-fingerprint entries key as
+/// `pointwise_class_{class}` and simply never match again).
+pub fn load_pointwise_verdict(path: &Path, class: usize, fp: u64) -> Option<bool> {
+    match Calibration::load(path)?.get(&pointwise_key(class, fp))? {
         "montgomery" => Some(true),
         "barrett" => Some(false),
         _ => None,
@@ -185,37 +214,39 @@ pub fn load_pointwise_verdict(path: &Path, class: usize) -> Option<bool> {
 
 /// Persist a measured verdict into `path`, preserving other entries.
 /// Failures are ignored — the verdict still applies for this process.
-pub fn store_pointwise_verdict(path: &Path, class: usize, montgomery: bool) {
+pub fn store_pointwise_verdict(path: &Path, class: usize, fp: u64, montgomery: bool) {
     let mut cal = Calibration::load(path).unwrap_or_default();
     cal.set(
-        &pointwise_key(class),
+        &pointwise_key(class, fp),
         if montgomery { "montgomery" } else { "barrett" },
     );
     let _ = cal.store(path);
 }
 
-/// The stored key for the hierarchical NTT split of one transform size.
-fn hier_split_key(n: usize) -> String {
-    format!("hier_split_{n}")
+/// The stored key for the hierarchical NTT split of one transform size
+/// under one device-model fingerprint.
+fn hier_split_key(n: usize, fp: u64) -> String {
+    format!("hier_split_{n}_{fp:016x}")
 }
 
-/// Read the persisted hierarchical `N1×N2` split for size `n` from
-/// `path`. `None` on any miss: absent file or key, a value that does not
-/// parse as a power-of-two split, or factors whose product is not `n`
-/// (a stale entry from a different configuration must fall back to
-/// re-calibration, never force a broken split).
-pub fn load_hier_split(path: &Path, n: usize) -> Option<(usize, usize)> {
+/// Read the persisted hierarchical `N1×N2` split for size `n` swept under
+/// device-model fingerprint `fp` from `path`. `None` on any miss: absent
+/// file or key, a split recorded under a different fingerprint (a changed
+/// `GpuConfig` must re-sweep, not inherit), a value that does not parse
+/// as a power-of-two split, or factors whose product is not `n`.
+pub fn load_hier_split(path: &Path, n: usize, fp: u64) -> Option<(usize, usize)> {
     let cal = Calibration::load(path)?;
-    let (a, b) = crate::hier::parse_split(cal.get(&hier_split_key(n))?)?;
+    let (a, b) = crate::hier::parse_split(cal.get(&hier_split_key(n, fp))?)?;
     (a * b == n).then_some((a, b))
 }
 
 /// Persist a calibrated hierarchical split (`AxB` format, the same syntax
-/// `NTT_WARP_SPLIT` accepts), preserving other entries. Failures are
-/// ignored — the split still applies for this process.
-pub fn store_hier_split(path: &Path, n: usize, split: (usize, usize)) {
+/// `NTT_WARP_SPLIT` accepts) under device-model fingerprint `fp`,
+/// preserving other entries. Failures are ignored — the split still
+/// applies for this process.
+pub fn store_hier_split(path: &Path, n: usize, fp: u64, split: (usize, usize)) {
     let mut cal = Calibration::load(path).unwrap_or_default();
-    cal.set(&hier_split_key(n), &format!("{}x{}", split.0, split.1));
+    cal.set(&hier_split_key(n, fp), &format!("{}x{}", split.0, split.1));
     let _ = cal.store(path);
 }
 
@@ -230,17 +261,20 @@ mod tests {
         ))
     }
 
+    /// Fixed fingerprint for tests that don't exercise mismatch handling.
+    const FP: u64 = 0x00c0_ffee_0a11_beef;
+
     #[test]
     fn roundtrip_preserves_entries() {
         let path = temp_path("roundtrip");
         let mut cal = Calibration::default();
-        cal.set("pointwise_class_0", "montgomery");
-        cal.set("pointwise_class_1", "barrett");
+        cal.set(&pointwise_key(0, FP), "montgomery");
+        cal.set(&pointwise_key(1, FP), "barrett");
         cal.store(&path).unwrap();
         let loaded = Calibration::load(&path).expect("file parses");
         assert_eq!(loaded, cal);
-        assert_eq!(load_pointwise_verdict(&path, 0), Some(true));
-        assert_eq!(load_pointwise_verdict(&path, 1), Some(false));
+        assert_eq!(load_pointwise_verdict(&path, 0, FP), Some(true));
+        assert_eq!(load_pointwise_verdict(&path, 1, FP), Some(false));
         std::fs::remove_file(&path).ok();
     }
 
@@ -250,10 +284,10 @@ mod tests {
         let mut cal = Calibration::default();
         cal.set("unrelated", "value");
         cal.store(&path).unwrap();
-        store_pointwise_verdict(&path, 1, true);
+        store_pointwise_verdict(&path, 1, FP, true);
         let loaded = Calibration::load(&path).unwrap();
         assert_eq!(loaded.get("unrelated"), Some("value"));
-        assert_eq!(load_pointwise_verdict(&path, 1), Some(true));
+        assert_eq!(load_pointwise_verdict(&path, 1, FP), Some(true));
         std::fs::remove_file(&path).ok();
     }
 
@@ -267,10 +301,17 @@ mod tests {
         assert_eq!(Calibration::load(&path), None, "unsplittable line");
         std::fs::write(
             &path,
-            format!("{VERSION_HEADER} host=x\npointwise_class_0 nonsense\n"),
+            format!(
+                "{VERSION_HEADER} host=x\n{} nonsense\n",
+                pointwise_key(0, FP)
+            ),
         )
         .unwrap();
-        assert_eq!(load_pointwise_verdict(&path, 0), None, "bad verdict value");
+        assert_eq!(
+            load_pointwise_verdict(&path, 0, FP),
+            None,
+            "bad verdict value"
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -278,16 +319,16 @@ mod tests {
     fn hier_split_roundtrip_and_fallbacks() {
         let path = temp_path("hier-split");
         // Absent file → None.
-        assert_eq!(load_hier_split(&path, 1 << 16), None);
+        assert_eq!(load_hier_split(&path, 1 << 16, FP), None);
         // Roundtrip, preserving unrelated keys.
-        store_pointwise_verdict(&path, 0, true);
-        store_hier_split(&path, 1 << 16, (256, 256));
-        store_hier_split(&path, 1 << 13, (64, 128));
-        assert_eq!(load_hier_split(&path, 1 << 16), Some((256, 256)));
-        assert_eq!(load_hier_split(&path, 1 << 13), Some((64, 128)));
-        assert_eq!(load_pointwise_verdict(&path, 0), Some(true));
+        store_pointwise_verdict(&path, 0, FP, true);
+        store_hier_split(&path, 1 << 16, FP, (256, 256));
+        store_hier_split(&path, 1 << 13, FP, (64, 128));
+        assert_eq!(load_hier_split(&path, 1 << 16, FP), Some((256, 256)));
+        assert_eq!(load_hier_split(&path, 1 << 13, FP), Some((64, 128)));
+        assert_eq!(load_pointwise_verdict(&path, 0, FP), Some(true));
         // Absent key for another size → None.
-        assert_eq!(load_hier_split(&path, 1 << 14), None);
+        assert_eq!(load_hier_split(&path, 1 << 14, FP), None);
         std::fs::remove_file(&path).ok();
     }
 
@@ -297,27 +338,73 @@ mod tests {
         // Unparseable value → None.
         std::fs::write(
             &path,
-            format!("{VERSION_HEADER} host=x\nhier_split_65536 banana\n"),
+            format!(
+                "{VERSION_HEADER} host=x\n{} banana\n",
+                hier_split_key(1 << 16, FP)
+            ),
         )
         .unwrap();
-        assert_eq!(load_hier_split(&path, 1 << 16), None, "non-split value");
+        assert_eq!(load_hier_split(&path, 1 << 16, FP), None, "non-split value");
         // Parseable but wrong product (stale entry) → None.
         std::fs::write(
             &path,
-            format!("{VERSION_HEADER} host=x\nhier_split_65536 128x128\n"),
+            format!(
+                "{VERSION_HEADER} host=x\n{} 128x128\n",
+                hier_split_key(1 << 16, FP)
+            ),
         )
         .unwrap();
-        assert_eq!(load_hier_split(&path, 1 << 16), None, "wrong product");
+        assert_eq!(load_hier_split(&path, 1 << 16, FP), None, "wrong product");
         // Non-power-of-two factors → None (parse_split rejects them).
         std::fs::write(
             &path,
-            format!("{VERSION_HEADER} host=x\nhier_split_65536 100x655\n"),
+            format!(
+                "{VERSION_HEADER} host=x\n{} 100x655\n",
+                hier_split_key(1 << 16, FP)
+            ),
         )
         .unwrap();
-        assert_eq!(load_hier_split(&path, 1 << 16), None, "non-pow2 factors");
+        assert_eq!(
+            load_hier_split(&path, 1 << 16, FP),
+            None,
+            "non-pow2 factors"
+        );
         // Recovery: the next store overwrites cleanly.
-        store_hier_split(&path, 1 << 16, (512, 128));
-        assert_eq!(load_hier_split(&path, 1 << 16), Some((512, 128)));
+        store_hier_split(&path, 1 << 16, FP, (512, 128));
+        assert_eq!(load_hier_split(&path, 1 << 16, FP), Some((512, 128)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_falls_back_to_remeasurement() {
+        // The regression this PR pins: entries used to be keyed by
+        // hostname alone, so a hier split or pointwise verdict recorded
+        // under one GpuConfig was silently adopted after the config
+        // changed. With fingerprinted keys, a value stored under one
+        // configuration must be invisible under any other.
+        let path = temp_path("fp-mismatch");
+        let fp_a = measurement_fingerprint(&[80, 651, 12]);
+        let fp_b = measurement_fingerprint(&[40, 651, 12]);
+        assert_ne!(fp_a, fp_b);
+        store_hier_split(&path, 1 << 16, fp_a, (256, 256));
+        store_pointwise_verdict(&path, 1, fp_a, true);
+        // Same config → hit.
+        assert_eq!(load_hier_split(&path, 1 << 16, fp_a), Some((256, 256)));
+        assert_eq!(load_pointwise_verdict(&path, 1, fp_a), Some(true));
+        // Changed config → miss (caller re-measures).
+        assert_eq!(load_hier_split(&path, 1 << 16, fp_b), None);
+        assert_eq!(load_pointwise_verdict(&path, 1, fp_b), None);
+        // Both configs' entries coexist in one file.
+        store_hier_split(&path, 1 << 16, fp_b, (512, 128));
+        assert_eq!(load_hier_split(&path, 1 << 16, fp_a), Some((256, 256)));
+        assert_eq!(load_hier_split(&path, 1 << 16, fp_b), Some((512, 128)));
+        // Legacy un-fingerprinted entries never match a fingerprinted key.
+        std::fs::write(
+            &path,
+            format!("{VERSION_HEADER} host=x\nhier_split_65536 256x256\n"),
+        )
+        .unwrap();
+        assert_eq!(load_hier_split(&path, 1 << 16, fp_a), None);
         std::fs::remove_file(&path).ok();
     }
 
@@ -365,10 +452,10 @@ mod tests {
         // re-measure rewrites the file cleanly.
         std::fs::write(
             &path,
-            format!("{VERSION_HEADER} host=x\npointwise_class_0 montg"),
+            format!("{VERSION_HEADER} host=x\n{} montg", pointwise_key(0, FP)),
         )
         .unwrap();
-        assert_eq!(load_pointwise_verdict(&path, 0), None, "torn value");
+        assert_eq!(load_pointwise_verdict(&path, 0, FP), None, "torn value");
         // Truncation inside the key (no separator at all) drops the file.
         std::fs::write(&path, format!("{VERSION_HEADER} host=x\npointwise_cl")).unwrap();
         assert_eq!(Calibration::load(&path), None, "unsplittable tail line");
@@ -376,8 +463,8 @@ mod tests {
         std::fs::write(&path, "").unwrap();
         assert_eq!(Calibration::load(&path), None, "empty file");
         // Recovery: the next store produces a fully valid file.
-        store_pointwise_verdict(&path, 0, true);
-        assert_eq!(load_pointwise_verdict(&path, 0), Some(true));
+        store_pointwise_verdict(&path, 0, FP, true);
+        assert_eq!(load_pointwise_verdict(&path, 0, FP), Some(true));
         std::fs::remove_file(&path).ok();
     }
 
@@ -397,7 +484,7 @@ mod tests {
                 let path = path.clone();
                 s.spawn(move || {
                     for r in 0..ROUNDS {
-                        store_pointwise_verdict(&path, w % 2, (w + r) % 2 == 0);
+                        store_pointwise_verdict(&path, w % 2, FP, (w + r) % 2 == 0);
                     }
                 });
             }
@@ -408,7 +495,7 @@ mod tests {
                 for _ in 0..200 {
                     if let Some(cal) = Calibration::load(&rpath) {
                         for class in 0..2 {
-                            if let Some(v) = cal.get(&format!("pointwise_class_{class}")) {
+                            if let Some(v) = cal.get(&pointwise_key(class, FP)) {
                                 assert!(
                                     v == "montgomery" || v == "barrett",
                                     "torn value observed: {v:?}"
@@ -425,7 +512,7 @@ mod tests {
         // class's key), but every value present must be valid.
         let cal = Calibration::load(&path).expect("file survives the race");
         let valid: Vec<&str> = (0..2)
-            .filter_map(|class| cal.get(&format!("pointwise_class_{class}")))
+            .filter_map(|class| cal.get(&pointwise_key(class, FP)))
             .collect();
         assert!(!valid.is_empty(), "at least one verdict survives");
         for v in valid {

@@ -45,6 +45,14 @@ pub struct GpuConfig {
     /// Host↔device (PCIe) bandwidth in bytes/second — the bus the stream
     /// scheduler charges uploads/downloads against.
     pub pcie_bw: f64,
+    /// Inter-device link bandwidth in bytes/second — the peer-to-peer
+    /// path a sharded multi-device backend charges base-conversion /
+    /// all-gather traffic against (key-switch digit decomposition is the
+    /// interesting consumer, per HEAAN Demystified). Titan V has no
+    /// NVLink bridge, so the default models P2P over the PCIe switch.
+    pub link_bw: f64,
+    /// Fixed per-message latency of one inter-device transfer, seconds.
+    pub link_latency_s: f64,
 }
 
 impl GpuConfig {
@@ -69,6 +77,10 @@ impl GpuConfig {
             clock_hz: 1.455e9,
             // Titan V: PCIe 3.0 x16, ~12 GB/s effective.
             pcie_bw: 12.0e9,
+            // Device-to-device over the PCIe switch: no host bounce, so
+            // a bit faster than host staging, plus switch latency.
+            link_bw: 10.0e9,
+            link_latency_s: 2.0e-6,
         }
     }
 
@@ -90,6 +102,50 @@ impl GpuConfig {
     /// Words (u64) per DRAM transaction.
     pub fn words_per_transaction(&self) -> usize {
         (self.transaction_bytes / 8) as usize
+    }
+
+    /// Stable 64-bit digest of every performance-relevant field (FNV-1a).
+    ///
+    /// Persisted calibration entries (hier A×B splits, pointwise verdicts)
+    /// embed this so a result measured under one device model is never
+    /// silently adopted after the config changes — a mismatch simply falls
+    /// back to re-measurement. The marketing `name` is excluded: renaming
+    /// a device does not change its performance.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        for v in [
+            self.sm_count,
+            self.cores_per_sm,
+            self.warp_size,
+            self.max_threads_per_sm,
+            self.max_threads_per_block,
+            self.max_blocks_per_sm,
+            self.regfile_words_per_sm,
+            self.max_regs_per_thread,
+            self.smem_bytes_per_sm,
+            self.max_smem_per_block,
+            self.transaction_bytes,
+            self.smem_bytes_per_cycle_per_sm,
+        ] {
+            mix(&v.to_le_bytes());
+        }
+        for v in [
+            self.peak_dram_bw,
+            self.l2_bw,
+            self.clock_hz,
+            self.pcie_bw,
+            self.link_bw,
+            self.link_latency_s,
+        ] {
+            mix(&v.to_bits().to_le_bytes());
+        }
+        h
     }
 }
 
@@ -137,5 +193,21 @@ mod tests {
     #[test]
     fn display_mentions_device() {
         assert!(GpuConfig::titan_v().to_string().contains("Titan V"));
+    }
+
+    #[test]
+    fn fingerprint_tracks_perf_fields_not_name() {
+        let base = GpuConfig::titan_v();
+        let mut renamed = base.clone();
+        renamed.name = "Titan V (relabeled)".to_string();
+        assert_eq!(base.fingerprint(), renamed.fingerprint());
+
+        let mut fewer_sms = base.clone();
+        fewer_sms.sm_count = 40;
+        assert_ne!(base.fingerprint(), fewer_sms.fingerprint());
+
+        let mut slower_link = base.clone();
+        slower_link.link_bw /= 2.0;
+        assert_ne!(base.fingerprint(), slower_link.fingerprint());
     }
 }

@@ -221,6 +221,19 @@ impl Gpu {
         self.gmem.download(buf, out);
     }
 
+    /// Charge one leg of an inter-device (peer-to-peer) copy of `words`
+    /// 64-bit words to the active stream, using the configured
+    /// [`GpuConfig::link_bw`] / [`GpuConfig::link_latency_s`]. The sharded
+    /// backend calls this on **both** endpoints of a cross-shard move, so
+    /// base-conversion all-gathers occupy every participating device's
+    /// timeline. Data movement itself is done by the caller through raw
+    /// [`Gmem`] access; this charges only the modeled time.
+    pub fn link_stall(&mut self, words: usize) {
+        let (bw, lat) = (self.config.link_bw, self.config.link_latency_s);
+        self.streams
+            .enqueue_link_transfer(self.active_stream, words, bw, lat);
+    }
+
     /// Device-wide barrier in modeled time (see
     /// [`StreamScheduler::sync_all`]): later work on any stream starts at
     /// or after the current makespan. Call before opening a measurement

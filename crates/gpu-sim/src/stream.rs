@@ -371,6 +371,34 @@ impl StreamScheduler {
         }
     }
 
+    /// Charge an inter-device (peer-to-peer) transfer of `words` 64-bit
+    /// words to stream `s`, over a link of `link_bw` bytes/s with a fixed
+    /// `latency_s` per message. Unlike [`StreamScheduler::enqueue_transfer`]
+    /// this does not contend for the host PCIe bus — peer traffic rides the
+    /// device-to-device path — but it is ordered within the stream like any
+    /// other command, so compute waiting on remote rows stalls behind it.
+    /// Both endpoints of a sharded copy charge their own scheduler, which
+    /// is how an all-gather occupies every participating device.
+    pub fn enqueue_link_transfer(
+        &mut self,
+        s: Stream,
+        words: usize,
+        link_bw: f64,
+        latency_s: f64,
+    ) -> TimeSpan {
+        let duration = words as f64 * 8.0 / link_bw.max(1.0) + latency_s.max(0.0);
+        let start = self.cursor(s).max(self.floor_s);
+        let end = start + duration;
+        *self.cursor_mut(s) = end;
+        self.timeline.transfers += 1;
+        self.timeline.serialized_s += duration;
+        self.timeline.overlapped_s = self.timeline.overlapped_s.max(end);
+        TimeSpan {
+            start_s: start,
+            end_s: end,
+        }
+    }
+
     /// Device-wide barrier (the modeled `cudaDeviceSynchronize`): every
     /// stream's cursor and the bus advance to the current makespan, so
     /// work enqueued afterwards starts no earlier than everything already
@@ -515,6 +543,26 @@ mod tests {
         let s3 = s.create_stream();
         let k = s.enqueue_kernel(s3, 1.0, 1);
         assert_eq!(k.start_s, 0.0);
+        assert_eq!(s.timeline().transfers, 2);
+    }
+
+    #[test]
+    fn link_transfers_bypass_the_pcie_bus() {
+        let mut s = sched();
+        let s1 = s.create_stream();
+        let s2 = s.create_stream();
+        // Saturate the PCIe bus on s1…
+        let host = s.enqueue_transfer(s1, 1 << 20);
+        // …a peer-to-peer move on s2 starts immediately regardless.
+        let link = s.enqueue_link_transfer(s2, 1 << 20, 10.0e9, 2.0e-6);
+        assert_eq!(link.start_s, 0.0, "link path does not queue on PCIe");
+        assert!(host.end_s > 0.0);
+        // Duration = words*8/bw + latency.
+        let expect = (1u64 << 20) as f64 * 8.0 / 10.0e9 + 2.0e-6;
+        assert!((link.end_s - link.start_s - expect).abs() < 1e-12);
+        // But within one stream the link move is ordered like any command.
+        let k = s.enqueue_kernel(s2, 1.0, 1);
+        assert!(k.start_s >= link.end_s);
         assert_eq!(s.timeline().transfers, 2);
     }
 

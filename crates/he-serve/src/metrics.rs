@@ -12,10 +12,14 @@ const BUCKETS: usize = 48;
 
 /// A fixed-size log2-bucketed latency histogram.
 ///
-/// Quantiles are read as the *upper bound* of the bucket where the
-/// cumulative count crosses the rank — at most 2× off, which is plenty
-/// for p50/p99 spread over decades of latency, and needs no sample
-/// storage.
+/// Quantiles locate the bucket where the cumulative count crosses the
+/// rank, then **linearly interpolate** the rank's position between the
+/// bucket bounds — reading the raw bucket upper bound is biased up to
+/// 2× high (a tight cluster's median snaps to the next power of two),
+/// while interpolation keeps the error well under a bucket width with
+/// no sample storage. Results are clamped to the exact recorded
+/// maximum, so `quantile(1.0) == max_ns()` and a single-sample
+/// histogram reports that sample exactly.
 ///
 /// # Example
 ///
@@ -27,7 +31,8 @@ const BUCKETS: usize = 48;
 ///     h.record(ns);
 /// }
 /// assert_eq!(h.count(), 5);
-/// assert!(h.p50() <= 512, "median bucket covers the 100-400 cluster");
+/// let p50 = h.p50();
+/// assert!((256..=400).contains(&p50), "median interpolates inside the 100-400 cluster, got {p50}");
 /// assert!(h.p99() >= 10_000, "tail sample dominates p99");
 /// ```
 #[derive(Debug, Clone)]
@@ -78,8 +83,10 @@ impl LatencyHistogram {
         }
     }
 
-    /// The latency at quantile `q ∈ [0, 1]`, as the upper bound of the
-    /// bucket holding that rank (0 when empty). Clamped to the exact
+    /// The latency at quantile `q ∈ [0, 1]` (0 when empty). The rank's
+    /// position *inside* the bucket where the cumulative count crosses
+    /// it is linearly interpolated between the bucket's bounds
+    /// (`[2^(b-1), 2^b)`); the result is clamped to the exact recorded
     /// maximum so `quantile(1.0) == max_ns()`.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
@@ -88,21 +95,27 @@ impl LatencyHistogram {
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for (b, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                let bound = if b >= 64 { u64::MAX } else { (1u64 << b) - 1 };
-                return bound.min(self.max_ns);
+            if c == 0 {
+                continue;
             }
+            if seen + c >= rank {
+                let lo = if b == 0 { 0 } else { 1u64 << (b - 1) };
+                let hi = (1u64 << b) - 1;
+                let frac = (rank - seen) as f64 / c as f64;
+                let est = lo as f64 + (hi - lo) as f64 * frac;
+                return (est.round() as u64).min(self.max_ns);
+            }
+            seen += c;
         }
         self.max_ns
     }
 
-    /// Median latency (bucketed upper bound).
+    /// Median latency (bucket-interpolated).
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)
     }
 
-    /// 99th-percentile latency (bucketed upper bound).
+    /// 99th-percentile latency (bucket-interpolated).
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
@@ -243,14 +256,47 @@ mod tests {
     fn quantiles_walk_cumulative_counts() {
         let mut h = LatencyHistogram::default();
         for _ in 0..99 {
-            h.record(1_000); // bucket upper bound 1023
+            h.record(1_000); // bucket 10: [512, 1024)
         }
         h.record(1_000_000);
         assert_eq!(h.count(), 100);
-        assert_eq!(h.p50(), 1023);
-        assert_eq!(h.p99(), 1023, "rank 99 still in the cluster");
+        // Rank 50 of 99 in-bucket samples: 512 + 511 * 50/99 ≈ 770.
+        assert_eq!(h.p50(), 770);
+        assert_eq!(h.p99(), 1023, "rank 99 tops out its bucket");
         assert_eq!(h.quantile(1.0), 1_000_000, "clamped to exact max");
         assert_eq!(h.max_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // The bug this pins down: every rank inside one bucket used to
+        // read the same upper bound, so p50 of a tight cluster came
+        // back as the next power of two (up to 2× high).
+        let mut h = LatencyHistogram::default();
+        for ns in [600, 700, 800, 1000] {
+            h.record(ns); // all in bucket 10: [512, 1024)
+        }
+        // Ranks 1..4 spread across the bucket instead of all snapping
+        // to 1023: 512 + 511 * r/4, the last clamped to the exact max.
+        assert_eq!(h.quantile(0.25), 640);
+        assert_eq!(h.quantile(0.50), 768);
+        assert_eq!(h.quantile(0.75), 895);
+        assert_eq!(h.quantile(1.0), 1000, "clamped to exact max");
+        // Monotone in q.
+        let qs: Vec<u64> = (0..=20).map(|i| h.quantile(i as f64 / 20.0)).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+    }
+
+    #[test]
+    fn single_sample_quantile_is_exact() {
+        let mut h = LatencyHistogram::default();
+        h.record(100);
+        assert_eq!(h.p50(), 100, "max clamp makes one sample exact");
+        assert_eq!(h.p99(), 100);
+        // Zero lands in bucket 0 without underflowing the bounds.
+        let mut z = LatencyHistogram::default();
+        z.record(0);
+        assert_eq!(z.p50(), 0);
     }
 
     #[test]

@@ -236,6 +236,24 @@ mod tests {
     }
 
     #[test]
+    fn zero_cost_items_are_charged_as_cost_one() {
+        // A flood of cost-0 items must not drain unboundedly in one
+        // visit: each consumes one deficit unit (`cost().max(1)`), so a
+        // quantum of 2 serves exactly two per visit and a backlogged
+        // peer still interleaves instead of starving.
+        let mut q: FairQueue<u64> = FairQueue::new(16, 2);
+        for _ in 0..4 {
+            q.push(TenantId(0), 0).unwrap();
+        }
+        for _ in 0..2 {
+            q.push(TenantId(1), 2).unwrap();
+        }
+        let order: Vec<u32> = q.drain(6).into_iter().map(|(t, _)| t.0).collect();
+        assert_eq!(order, [0, 0, 1, 0, 0, 1]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn drain_is_work_conserving() {
         let mut q: FairQueue<u64> = FairQueue::new(16, 1);
         for _ in 0..5 {

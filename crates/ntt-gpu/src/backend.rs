@@ -104,11 +104,11 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Threads per block for the element-wise kernels.
-const THREADS: usize = 256;
+pub(crate) const THREADS: usize = 256;
 
 /// Shapes below this row length keep the radix-2 stage kernels: the
 /// two-kernel split needs enough columns per kernel to fill blocks.
-const SMEM_MIN_N: usize = 256;
+pub(crate) const SMEM_MIN_N: usize = 256;
 
 /// Device-resident twiddle tables for one plan (shared by all forks).
 struct DevTables {
@@ -130,12 +130,12 @@ struct DevTables {
 /// A reusable device data buffer (outgrown buffers are returned to the
 /// GMEM free list).
 #[derive(Default, Clone, Copy)]
-struct DevData {
+pub(crate) struct DevData {
     buf: Option<Buf>,
 }
 
 impl DevData {
-    fn ensure(&mut self, gpu: &mut Gpu, words: usize) -> Buf {
+    pub(crate) fn ensure(&mut self, gpu: &mut Gpu, words: usize) -> Buf {
         match self.buf {
             Some(b) if b.len() >= words => b,
             old => {
@@ -178,11 +178,18 @@ pub struct SimMemory {
 
 impl SimMemory {
     /// Fresh simulated device memory over an explicit device model.
+    ///
+    /// Handle ids start in a process-unique namespace
+    /// ([`ntt_core::backend::handle_namespace`]) so a [`DeviceBuf`] minted
+    /// by one memory never accidentally resolves against another — a
+    /// foreign handle misses the map and surfaces as
+    /// [`BackendError::Fatal`] on the fallible paths instead of silently
+    /// aliasing an unrelated allocation.
     pub fn new(config: GpuConfig) -> Self {
         Self {
             gpu: Gpu::new(config),
             bufs: HashMap::new(),
-            next_id: 0,
+            next_id: ntt_core::backend::handle_namespace(),
             tables: None,
             buf_ready: HashMap::new(),
             tables_ready: Event::DONE,
@@ -197,7 +204,7 @@ impl SimMemory {
     /// the infallible paths (the fallible surface pre-validates with
     /// [`is_live`](SimMemory::is_live) and returns
     /// [`BackendError::Fatal`] instead).
-    fn resolve(&self, buf: DeviceBuf) -> Buf {
+    pub(crate) fn resolve(&self, buf: DeviceBuf) -> Buf {
         self.bufs
             .get(&buf.id())
             .expect("freed or foreign DeviceBuf")
@@ -222,7 +229,7 @@ impl SimMemory {
     }
 
     /// Root allocation base of a handle (the readiness-map key).
-    fn root_base(&self, buf: DeviceBuf) -> usize {
+    pub(crate) fn root_base(&self, buf: DeviceBuf) -> usize {
         self.bufs
             .get(&buf.id())
             .expect("freed or foreign DeviceBuf")
@@ -230,13 +237,13 @@ impl SimMemory {
     }
 
     /// Route subsequent launches and charged transfers to `s`.
-    fn bind(&mut self, s: Stream) {
+    pub(crate) fn bind(&mut self, s: Stream) {
         self.gpu.set_active_stream(s);
     }
 
     /// Fence the active stream on the table upload and on the last write
     /// to each involved allocation (keys are GMEM base addresses).
-    fn wait_ready(&mut self, bases: &[usize]) {
+    pub(crate) fn wait_ready(&mut self, bases: &[usize]) {
         let s = self.gpu.active_stream();
         let mut fence = self.tables_ready;
         for b in bases {
@@ -247,9 +254,33 @@ impl SimMemory {
         self.gpu.wait_event(s, fence);
     }
 
+    /// The readiness fence for a set of allocations *without* waiting on
+    /// it: the latest of the table upload and the last recorded write to
+    /// each base. Cross-device copy engines fence **their own** streams
+    /// on this event instead of stalling this device's compute stream —
+    /// the data dependency crosses the link, the schedule does not.
+    pub(crate) fn ready_fence(&self, bases: &[usize]) -> Event {
+        let mut fence = self.tables_ready;
+        for b in bases {
+            if let Some(e) = self.buf_ready.get(b) {
+                fence = fence.max(*e);
+            }
+        }
+        fence
+    }
+
+    /// Push an allocation's readiness fence forward to `e` if it is
+    /// later than what is recorded (write-after-read hazard: a
+    /// cross-device read in flight must finish before the next local
+    /// writer may land).
+    pub(crate) fn fence_until(&mut self, base: usize, e: Event) {
+        let cur = self.buf_ready.entry(base).or_insert(e);
+        *cur = cur.max(e);
+    }
+
     /// Record the active stream's completion event as the readiness fence
     /// of each written allocation.
-    fn mark_written(&mut self, bases: &[usize]) {
+    pub(crate) fn mark_written(&mut self, bases: &[usize]) {
         let s = self.gpu.active_stream();
         let e = self.gpu.record_event(s);
         for &b in bases {
@@ -295,7 +326,7 @@ impl SimMemory {
     /// fallible surface's non-panicking counterpart of [`resolve`]).
     ///
     /// [`resolve`]: SimMemory::resolve
-    fn is_live(&self, buf: DeviceBuf) -> bool {
+    pub(crate) fn is_live(&self, buf: DeviceBuf) -> bool {
         self.bufs
             .get(&buf.id())
             .is_some_and(|b| buf.base() + buf.len() <= b.len())
@@ -305,7 +336,11 @@ impl SimMemory {
     /// backend entry point, classifying a fired fault into the typed
     /// error surface. A fault charges a stall on the active stream — see
     /// [`Gpu::fault_check`].
-    fn fault_gate(&mut self, op: &'static str, kind: gpu_sim::FaultOp) -> Result<(), BackendError> {
+    pub(crate) fn fault_gate(
+        &mut self,
+        op: &'static str,
+        kind: gpu_sim::FaultOp,
+    ) -> Result<(), BackendError> {
         self.gpu.fault_check(kind).map_err(|k| classify(k, op, 0))
     }
 }
@@ -313,7 +348,7 @@ impl SimMemory {
 /// Map an injected [`gpu_sim::FaultKind`] onto the typed error surface:
 /// transient faults stay retryable, a sticky-wedged device is fatal for
 /// every executor sharing it, and OOM carries the request size.
-fn classify(kind: gpu_sim::FaultKind, op: &'static str, words: usize) -> BackendError {
+pub(crate) fn classify(kind: gpu_sim::FaultKind, op: &'static str, words: usize) -> BackendError {
     match kind {
         gpu_sim::FaultKind::Transient => BackendError::Transient { op },
         gpu_sim::FaultKind::Sticky => BackendError::Fatal { op },
@@ -408,14 +443,14 @@ impl DeviceMemory for SimMemory {
 
 /// Lock a shared [`SimMemory`], recovering from poisoning (free function
 /// so callers can hold `&mut` to other backend fields across the guard).
-fn lock_mem(mem: &Arc<Mutex<SimMemory>>) -> MutexGuard<'_, SimMemory> {
+pub(crate) fn lock_mem(mem: &Arc<Mutex<SimMemory>>) -> MutexGuard<'_, SimMemory> {
     mem.lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Which implementation a forward batch of a given shape routes to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ForwardImpl {
+pub(crate) enum ForwardImpl {
     /// One stage-kernel launch per Cooley–Tukey stage.
     Radix2,
     /// Two-kernel SMEM implementation with this split (+OT stages).
@@ -430,15 +465,15 @@ enum ForwardImpl {
 /// mode and the best hierarchical split for the forced-`hier` mode
 /// (radix-2 when no candidate is feasible at all).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct ShapeChoice {
-    auto: ForwardImpl,
-    best_smem: ForwardImpl,
-    best_hier: ForwardImpl,
+pub(crate) struct ShapeChoice {
+    pub(crate) auto: ForwardImpl,
+    pub(crate) best_smem: ForwardImpl,
+    pub(crate) best_hier: ForwardImpl,
 }
 
 /// Forced routing mode from `NTT_WARP_SIM_FORWARD`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ForwardMode {
+pub(crate) enum ForwardMode {
     Auto,
     Radix2,
     Smem,
@@ -447,7 +482,7 @@ enum ForwardMode {
 
 /// The routing mode, resolved from `NTT_WARP_SIM_FORWARD` once per
 /// process (this sits on every launch's hot path).
-fn forward_mode() -> ForwardMode {
+pub(crate) fn forward_mode() -> ForwardMode {
     static MODE: std::sync::OnceLock<ForwardMode> = std::sync::OnceLock::new();
     *MODE.get_or_init(|| {
         match std::env::var("NTT_WARP_SIM_FORWARD")
@@ -466,7 +501,8 @@ fn forward_mode() -> ForwardMode {
 
 /// Element-wise warp kernels over batches of limb rows: one thread per
 /// element, row `r` reduced mod `moduli[row_prime[r]]`.
-enum ElemOp {
+#[derive(Clone, Copy)]
+pub(crate) enum ElemOp {
     /// `a[i] <- a[i] * b[i]` (the paper's pointwise stage).
     Mul,
     /// `a[i] <- a[i] + b[i] * c[i]` (key-switch accumulate).
@@ -803,7 +839,7 @@ impl WarpKernel for ModRaiseKernel<'_> {
 /// Tables are keyed on `(N, primes)`; a plan over the same ring never
 /// re-uploads (table uploads are the counted, one-time part of a resident
 /// chain's "initial upload").
-fn ensure_tables(m: &mut SimMemory, plan: &RingPlan) {
+pub(crate) fn ensure_tables(m: &mut SimMemory, plan: &RingPlan) {
     let n = plan.degree();
     let primes = plan.ring().basis().primes();
     if let Some(t) = &m.tables {
@@ -897,7 +933,7 @@ fn ensure_twist(m: &mut SimMemory, plan: &RingPlan) -> DeviceTwist {
 /// Launch a forward NTT over `row_prime.len()` rows at `data` through the
 /// chosen implementation (radix-2 stage kernels, the SMEM two-kernel
 /// split, or the hierarchical three-kernel plan, per `choice`).
-fn run_forward(
+pub(crate) fn run_forward(
     m: &mut SimMemory,
     plan: &RingPlan,
     data: Buf,
@@ -960,7 +996,7 @@ fn run_forward(
 
 /// Launch the inverse NTT (always the radix-2 stage kernels — the SMEM
 /// implementation is forward-only, matching the paper's Table II setup).
-fn run_inverse(m: &mut SimMemory, data: Buf, row_prime: &[usize]) {
+pub(crate) fn run_inverse(m: &mut SimMemory, data: Buf, row_prime: &[usize]) {
     let SimMemory { gpu, tables, .. } = m;
     let t = tables.as_ref().expect("tables uploaded");
     launch_inverse(
@@ -969,7 +1005,7 @@ fn run_inverse(m: &mut SimMemory, data: Buf, row_prime: &[usize]) {
 }
 
 /// Launch one element-wise kernel.
-fn launch_elemwise(
+pub(crate) fn launch_elemwise(
     m: &mut SimMemory,
     op: ElemOp,
     a: Buf,
@@ -991,6 +1027,33 @@ fn launch_elemwise(
     };
     let blocks = (row_prime.len() * n).div_ceil(THREADS);
     let cfg = LaunchConfig::new(kernel.op.label(), blocks, THREADS).regs_per_thread(40);
+    m.gpu.launch(&kernel, &cfg);
+}
+
+/// Launch the Galois automorphism kernel over `row_prime.len()` local
+/// rows (`X → X^g`, `g` already reduced mod `2N`). The permutation is
+/// row-local — row `r` of `dst` depends only on row `r` of `src` — which
+/// is what lets the sharded backend run it shard-parallel on row slices.
+pub(crate) fn launch_automorphism(
+    m: &mut SimMemory,
+    src: Buf,
+    dst: Buf,
+    n: usize,
+    g: u64,
+    row_prime: &[usize],
+) {
+    let t = m.tables.as_ref().expect("tables uploaded");
+    let kernel = AutomorphismKernel {
+        src,
+        dst,
+        n,
+        rows: row_prime.len(),
+        g,
+        row_prime,
+        moduli: &t.primes,
+    };
+    let blocks = (row_prime.len() * n).div_ceil(THREADS);
+    let cfg = LaunchConfig::new("sim-automorphism", blocks, THREADS).regs_per_thread(40);
     m.gpu.launch(&kernel, &cfg);
 }
 
@@ -1218,7 +1281,7 @@ enum Cand {
 /// split persisted in the per-host calibration file is reused next; only
 /// when neither applies does the sweep try the near-square column counts,
 /// persisting the winner for future processes.
-fn calibrate_forward_choice(config: &GpuConfig, n: usize, rows: usize) -> ShapeChoice {
+pub(crate) fn calibrate_forward_choice(config: &GpuConfig, n: usize, rows: usize) -> ShapeChoice {
     let log_n = n.trailing_zeros();
     let np = rows.clamp(1, 4);
     let bench = |cand: &Cand| -> Option<f64> {
@@ -1261,10 +1324,14 @@ fn calibrate_forward_choice(config: &GpuConfig, n: usize, rows: usize) -> ShapeC
     }
     let forced = ntt_core::hier::env_split().filter(|&(a, b)| a * b == n);
     let calib_path = ntt_core::calibration::calibration_path();
+    // Persisted splits are keyed by the device-model fingerprint: a split
+    // swept under one config is never adopted under another (it would be
+    // stale the moment SM count, bandwidths, or link parameters change).
+    let fp = config.fingerprint();
     let persisted = if forced.is_none() {
         calib_path
             .as_deref()
-            .and_then(|p| ntt_core::calibration::load_hier_split(p, n))
+            .and_then(|p| ntt_core::calibration::load_hier_split(p, n, fp))
     } else {
         None
     };
@@ -1304,7 +1371,7 @@ fn calibrate_forward_choice(config: &GpuConfig, n: usize, rows: usize) -> ShapeC
         if let (Some(path), Some((ForwardImpl::Hier { n1 }, _))) =
             (calib_path.as_deref(), best_hier.as_ref())
         {
-            ntt_core::calibration::store_hier_split(path, n, (*n1, n / n1));
+            ntt_core::calibration::store_hier_split(path, n, fp, (*n1, n / n1));
         }
     }
     ShapeChoice {
@@ -1666,24 +1733,13 @@ impl NttBackend for SimBackend {
         let g = g % (2 * n as u64);
         assert_eq!(g % 2, 1, "Galois element must be odd");
         let row_prime: Vec<usize> = (0..rows).map(|r| r % level).collect();
-        let moduli = plan.ring().basis().primes().to_vec();
         let mut m = lock_mem(&self.mem);
         m.bind(self.stream);
         ensure_tables(&mut m, plan);
-        let kernel = AutomorphismKernel {
-            src: m.resolve(src),
-            dst: m.resolve(dst),
-            n,
-            rows,
-            g,
-            row_prime: &row_prime,
-            moduli: &moduli,
-        };
+        let (src_raw, dst_raw) = (m.resolve(src), m.resolve(dst));
         let roots = [m.root_base(src), m.root_base(dst)];
         m.wait_ready(&roots);
-        let blocks = (rows * n).div_ceil(THREADS);
-        let cfg = LaunchConfig::new("sim-automorphism", blocks, THREADS).regs_per_thread(40);
-        m.gpu.launch(&kernel, &cfg);
+        launch_automorphism(&mut m, src_raw, dst_raw, n, g, &row_prime);
         m.mark_written(&roots[1..]);
     }
 

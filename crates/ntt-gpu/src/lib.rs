@@ -22,6 +22,10 @@
 //!   `ntt_core::backend::NttBackend`: the same plan-based batched trait
 //!   calls the CPU engine serves, executed through the warp kernels
 //!   (bit-identical outputs, full traffic accounting).
+//! * [`sharded`] — [`ShardedBackend`], the same trait surface over `K`
+//!   simulated devices: RNS residue rows partition across shards and
+//!   key-switch base conversion pays an explicit all-gather over a
+//!   modeled inter-device link.
 //! * [`report`] — run summaries (time, traffic, utilization) used by the
 //!   figure harness.
 //!
@@ -55,8 +59,10 @@ pub mod high_radix;
 pub mod ot;
 pub mod radix2;
 pub mod report;
+pub mod sharded;
 pub mod smem;
 
 pub use backend::SimBackend;
 pub use batch::DeviceBatch;
 pub use report::RunReport;
+pub use sharded::{LinkStats, ShardedBackend, ShardedMemory};

@@ -39,7 +39,13 @@
 #     (four_step <= 1.0 * single_kernel_extrapolated), and at N = 2^13
 #     the auto-routed forward stays within 5% of the best single kernel
 #     (auto <= 1.05 * best_single_kernel) -- the 4-step rollout cannot
-#     regress the mid-size rings it should lose on.
+#     regress the mid-size rings it should lose on;
+#   * multi-device sharding scales: the same deep-chain multiply/
+#     relinearize/rescale job on 4 simulated devices (cyclic RNS row
+#     partition, key-switch all-gather over the modeled link) finishes
+#     in <= 0.45x the single-device modeled time at N = 2^15 / 16
+#     levels (k4_device_time <= 0.45 * k1_device_time; the sweep also
+#     asserts every K decrypts bit-identical to the CPU reference).
 #
 # Usage:
 #   scripts/bench_smoke.sh                  # within-run ratio gates (CI)
@@ -82,5 +88,6 @@ else
         --gate "he_boot_sim/total_device_time<=1.6667*he_boot_sim/ntt_keyswitch_device_time" \
         --gate "he_boot_sim/steady_transfers_plus_one<=1.0*he_boot_sim/unit" \
         --gate "ntt_hier_n65536/four_step_device_time<=1.0*ntt_hier_n65536/single_kernel_extrapolated_device_time" \
-        --gate "ntt_hier_n8192/auto_device_time<=1.05*ntt_hier_n8192/best_single_kernel_device_time"
+        --gate "ntt_hier_n8192/auto_device_time<=1.05*ntt_hier_n8192/best_single_kernel_device_time" \
+        --gate "ntt_sharded/k4_device_time<=0.45*ntt_sharded/k1_device_time"
 fi

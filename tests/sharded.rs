@@ -1,0 +1,184 @@
+//! Multi-device RNS sharding, end to end.
+//!
+//! Four families of checks over [`ShardedBackend`], the `K`-device
+//! partition of the simulated GPU:
+//!
+//! * **Bit-exactness across K** — a full he-lite chain
+//!   (encrypt → multiply/relinearize → rescale → rotate) on
+//!   `K ∈ {2, 3, 4}` shards is bit-identical to the single-device
+//!   `SimBackend` and to the host-only `CpuBackend`, over random seeds
+//!   and payloads.
+//! * **Link accounting** — key-switch base conversion is the one step
+//!   whose operands cross shard boundaries: relinearize pays inter-device
+//!   words when `K > 1` and exactly zero when `K = 1` (the degenerate
+//!   single-device configuration).
+//! * **Serving wiring** — the multi-worker `he-serve` stack (evaluator
+//!   pool, fork-per-worker streams, batching) runs a closed multi-tenant
+//!   load over a sharded context with zero failures or mismatches.
+//! * **Bootstrap wiring** — the full bootstrapping pipeline (CoeffToSlot,
+//!   EvalMod, SlotToCoeff: rotation-heavy, key-switch-heavy) is
+//!   bit-identical on a sharded context.
+
+use he_serve::{loadgen, ArrivalMode, HeServer, LoadConfig, ServeConfig};
+use ntt_warp::core::backend::NttBackend;
+use ntt_warp::core::CpuBackend;
+use ntt_warp::gpu::{ShardedBackend, SimBackend};
+use ntt_warp::he::{sampling, HeContext, HeLiteParams};
+use proptest::prelude::*;
+
+fn chain_params() -> HeLiteParams {
+    HeLiteParams {
+        log_n: 6,
+        prime_bits: 50,
+        levels: 3,
+        scale_bits: 40,
+        gadget_bits: 10,
+        error_eta: 4,
+    }
+}
+
+/// encrypt → multiply (tensor + relinearize) → rescale → rotate on the
+/// given backend, returning the final ciphertext's raw component words —
+/// the bit-exactness currency the backends are compared in.
+fn run_chain(
+    backend: Box<dyn NttBackend>,
+    seed: u64,
+    va: &[f64],
+    vb: &[f64],
+) -> (Vec<u64>, Vec<u64>) {
+    let ctx = HeContext::with_backend(chain_params(), backend).unwrap();
+    let keys = ctx.keygen(&mut sampling::seeded_rng(seed));
+    let mut rng = sampling::seeded_rng(seed.wrapping_add(1));
+    let a = ctx.encrypt(&ctx.encode(va), &keys.public, &mut rng);
+    let b = ctx.encrypt(&ctx.encode(vb), &keys.public, &mut rng);
+    let mut prod = ctx.multiply(&a, &b, &keys.relin);
+    ctx.rescale(&mut prod);
+    // Rotation key at the post-rescale level; g = 3 is the "rotate by
+    // one slot" Galois element.
+    let rtk = ctx.keygen_rotation(
+        &keys.secret,
+        &[3],
+        &[prod.level()],
+        &mut sampling::seeded_rng(seed ^ 0x9e37_79b9),
+    );
+    let mut rot = ctx.rotate(&prod, 3, &rtk);
+    rot.sync();
+    let (c0, c1) = rot.components();
+    (c0.flat().to_vec(), c1.flat().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The acceptance gate: sharded chains on K ∈ {2, 3, 4} devices are
+    /// bit-identical to the single-device SimBackend and to CpuBackend.
+    #[test]
+    fn sharded_chains_match_single_device_and_cpu(
+        seed in 0u64..1_000_000,
+        va in proptest::collection::vec(-4.0f64..4.0, 1..8),
+        vb in proptest::collection::vec(-4.0f64..4.0, 1..8),
+    ) {
+        let n = 1usize << chain_params().log_n;
+        let host = run_chain(Box::<CpuBackend>::default(), seed, &va, &vb);
+        let sim = run_chain(Box::new(SimBackend::titan_v()), seed, &va, &vb);
+        prop_assert_eq!(&host, &sim, "single-device SimBackend departs from CpuBackend");
+        for k in [2usize, 3, 4] {
+            let sharded = run_chain(Box::new(ShardedBackend::titan_v(k, n)), seed, &va, &vb);
+            prop_assert_eq!(&host, &sharded, "ShardedBackend k={} departs from host", k);
+        }
+    }
+}
+
+/// Relinearize's base-conversion all-gather is what crosses the
+/// inter-device link — and only when there is more than one device.
+#[test]
+fn key_switch_pays_link_traffic_only_when_sharded() {
+    let n = 1usize << chain_params().log_n;
+    for (k, expect_link) in [(1usize, false), (2, true), (4, true)] {
+        let backend = ShardedBackend::titan_v(k, n);
+        let mem = backend.memory_handle();
+        let ctx = HeContext::with_backend(chain_params(), Box::new(backend)).unwrap();
+        let keys = ctx.keygen(&mut sampling::seeded_rng(5));
+        let mut rng = sampling::seeded_rng(6);
+        let a = ctx.encrypt(&ctx.encode(&[1.5, -2.0]), &keys.public, &mut rng);
+        let b = ctx.encrypt(&ctx.encode(&[0.5, 3.0]), &keys.public, &mut rng);
+        let before = mem.lock().unwrap().link_stats();
+        let _ = ctx.multiply(&a, &b, &keys.relin);
+        let traffic = mem.lock().unwrap().link_stats().since(&before);
+        if expect_link {
+            assert!(
+                traffic.words > 0,
+                "k={k}: relinearize's all-gather must cross the link"
+            );
+        } else {
+            assert_eq!(
+                traffic.words, 0,
+                "k=1 degenerates to a single device with no link traffic"
+            );
+        }
+    }
+}
+
+/// The serving stack (evaluator pool, per-worker forks, batching) over a
+/// sharded context: a closed multi-tenant load completes cleanly.
+#[test]
+fn serving_stack_runs_over_sharded_backend() {
+    let n = 1usize << chain_params().log_n;
+    let backend = ShardedBackend::titan_v(2, n);
+    let ctx = HeContext::with_backend(chain_params(), Box::new(backend)).unwrap();
+    let server = HeServer::start(ctx, ServeConfig::default());
+    let report = loadgen::run(
+        &server,
+        &LoadConfig {
+            tenants: 2,
+            chains_per_tenant: 2,
+            mode: ArrivalMode::Closed,
+            max_values: 4,
+            seed: 9,
+        },
+    );
+    let metrics = server.shutdown();
+    assert_eq!(
+        report.failed, 0,
+        "healthy sharded run failed jobs: {report:?}"
+    );
+    assert_eq!(report.rejected, 0, "closed load must not hit backpressure");
+    assert_eq!(
+        report.mismatches, 0,
+        "decrypted results must match plaintext math"
+    );
+    assert!(report.completed > 0, "load ran: {report:?}");
+    assert_eq!(metrics.completed(), report.completed);
+}
+
+/// The rotation- and key-switch-heavy bootstrapping pipeline is
+/// bit-identical between one device and two shards.
+#[test]
+fn bootstrap_on_sharded_matches_single_device() {
+    use ntt_warp::boot::{BootParams, Bootstrapper};
+    use std::sync::Arc;
+
+    let bp = BootParams::shallow();
+    let run = |backend: Box<dyn NttBackend>| -> Vec<u64> {
+        let ctx = Arc::new(HeContext::with_backend(bp.he_params(4, 50), backend).unwrap());
+        let mut rng = sampling::seeded_rng(21);
+        let keys = ctx.keygen(&mut rng);
+        let boot = Bootstrapper::new(Arc::clone(&ctx), &keys, bp, &mut rng);
+        let pt = ctx.encode_with_scale(&[0.5, -0.25], boot.input_scale());
+        let ct = ctx.encrypt(&pt, &keys.public, &mut sampling::seeded_rng(22));
+        let low = ctx.drop_to_level(&ct, 1);
+        let mut out = boot.bootstrap(&low);
+        out.sync();
+        let (c0, c1) = out.components();
+        let mut flat = c0.flat().to_vec();
+        flat.extend_from_slice(c1.flat());
+        flat
+    };
+    let n = 1usize << bp.he_params(4, 50).log_n;
+    let sim = run(Box::new(SimBackend::titan_v()));
+    let sharded = run(Box::new(ShardedBackend::titan_v(2, n)));
+    assert_eq!(
+        sim, sharded,
+        "bootstrap pipeline departs between one device and two shards"
+    );
+}
